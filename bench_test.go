@@ -1,0 +1,253 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation at reduced scale (one benchmark per experiment; the full
+// versions run via cmd/figures). Reported custom metrics carry each
+// experiment's headline numbers so `go test -bench` output documents the
+// reproduced shapes. An ablation section exercises the design choices
+// DESIGN.md calls out.
+package virtuoso_test
+
+import (
+	"fmt"
+	"testing"
+
+	virtuoso "repro"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func benchOpts(b *testing.B) experiments.Opts {
+	b.Helper()
+	return experiments.Opts{Quick: true, Seed: 17}
+}
+
+// runExperiment runs one harness per benchmark iteration and reports the
+// selected cells as benchmark metrics.
+func runExperiment(b *testing.B, id string, report func(*experiments.Table, *testing.B)) {
+	b.Helper()
+	f, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tb *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tb = f(benchOpts(b))
+	}
+	if tb != nil && report != nil {
+		report(tb, b)
+	}
+}
+
+func cellOf(tb *experiments.Table, label string, col int) float64 {
+	for _, r := range tb.Rows {
+		if r.Label == label && col < len(r.Cells) {
+			return r.Cells[col]
+		}
+	}
+	return 0
+}
+
+func BenchmarkFig01TimeBreakdown(b *testing.B) {
+	runExperiment(b, "fig01", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "MEAN-long", 0), "long-trans-%")
+		b.ReportMetric(cellOf(tb, "MEAN-long", 1), "long-alloc-%")
+		b.ReportMetric(cellOf(tb, "MEAN-short", 1), "short-alloc-%")
+	})
+}
+
+func BenchmarkFig02MPFDistribution(b *testing.B) {
+	runExperiment(b, "fig02", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "THP-enabled", 5), "thp-outlier-%")
+		b.ReportMetric(cellOf(tb, "THP-disabled", 5), "bd-outlier-%")
+	})
+}
+
+func BenchmarkFig03PTWSweep(b *testing.B) {
+	runExperiment(b, "fig03", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(tb.Rows[0].Cells[0], "ptw-low")
+		b.ReportMetric(tb.Rows[len(tb.Rows)-1].Cells[0], "ptw-sssp")
+	})
+}
+
+func BenchmarkFig08IPCAccuracy(b *testing.B) {
+	runExperiment(b, "fig08", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "MEAN", 3), "acc-virtuoso-%")
+		b.ReportMetric(cellOf(tb, "MEAN", 4), "acc-baseline-%")
+	})
+}
+
+func BenchmarkFig09PFCosine(b *testing.B) {
+	runExperiment(b, "fig09", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "MEAN", 0), "cosine")
+	})
+}
+
+func BenchmarkFig10MMUAccuracy(b *testing.B) {
+	runExperiment(b, "fig10", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "MEAN", 2), "mpki-acc-%")
+		b.ReportMetric(cellOf(tb, "MEAN", 5), "ptw-acc-%")
+	})
+}
+
+func BenchmarkFig11Overheads(b *testing.B) {
+	runExperiment(b, "fig11", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "AVG(MimicOS)", 0), "avg-slowdown-%")
+		b.ReportMetric(cellOf(tb, "gem5-FS vs gem5-SE", 0), "fs-slowdown-%")
+	})
+}
+
+func BenchmarkFig12KernelFraction(b *testing.B) {
+	runExperiment(b, "fig12", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(tb.Rows[0].Cells[1], "norm-time-densest")
+	})
+}
+
+func BenchmarkFig13PTWReduction(b *testing.B) {
+	runExperiment(b, "fig13", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "hdc", 0), "hdc-red-%")
+		b.ReportMetric(cellOf(tb, "ht", len(tb.Columns)-1), "ht-red-%")
+	})
+}
+
+func BenchmarkFig14RowConflicts(b *testing.B) {
+	runExperiment(b, "fig14", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "GMEAN", 0), "ech-x")
+		b.ReportMetric(cellOf(tb, "GMEAN", 1), "hdc-x")
+	})
+}
+
+func BenchmarkFig15MPFReduction(b *testing.B) {
+	runExperiment(b, "fig15", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "MEAN", 1), "hdc-red-%")
+	})
+}
+
+func BenchmarkFig16LLMPolicies(b *testing.B) {
+	runExperiment(b, "fig16", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "Bagel-2.8B BD", 3), "bd-max-ns")
+		b.ReportMetric(cellOf(tb, "Bagel-2.8B AR-THP", 3), "arthp-max-ns")
+	})
+}
+
+func BenchmarkFig17MidgardBreakdown(b *testing.B) {
+	runExperiment(b, "fig17", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "BC", 0), "bc-frontend-%")
+	})
+}
+
+func BenchmarkFig18VMACensus(b *testing.B) {
+	runExperiment(b, "fig18", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "total VMAs", 0), "vmas")
+	})
+}
+
+func BenchmarkFig19RestSegSize(b *testing.B) {
+	runExperiment(b, "fig19", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "GMEAN", len(tb.Columns)-1), "largest-inc-%")
+	})
+}
+
+func BenchmarkFig20SwapActivity(b *testing.B) {
+	runExperiment(b, "fig20", func(tb *experiments.Table, b *testing.B) {
+		if n := len(tb.Rows); n > 0 {
+			b.ReportMetric(tb.Rows[n-1].Cells[0], "swap-x-at-max-coverage")
+		}
+	})
+}
+
+func BenchmarkFig21RMMConflicts(b *testing.B) {
+	runExperiment(b, "fig21", func(tb *experiments.Table, b *testing.B) {
+		b.ReportMetric(cellOf(tb, "GMEAN", 0), "red-at-94-%")
+	})
+}
+
+func BenchmarkTable3IntegrationLoC(b *testing.B) {
+	runExperiment(b, "table3", nil)
+}
+
+// --- Ablations (DESIGN.md) --------------------------------------------
+
+// BenchmarkAblationImitationVsEmulation quantifies the methodology axis
+// itself: the same workload under injected kernel streams vs fixed
+// first-order latencies.
+func BenchmarkAblationImitationVsEmulation(b *testing.B) {
+	for _, mode := range []core.Mode{core.Imitation, core.Emulation} {
+		name := "imitation"
+		if mode == core.Emulation {
+			name = "emulation"
+		}
+		b.Run(name, func(b *testing.B) {
+			prev := workloads.Scale
+			workloads.Scale = 0.05
+			defer func() { workloads.Scale = prev }()
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := virtuoso.ScaledConfig()
+				cfg.Mode = mode
+				cfg.MaxAppInsts = 300_000
+				m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("JSON"))
+				ipc = m.IPC
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+// BenchmarkAblationZeroPool measures the zero-page-pool design choice:
+// with a pool, THP faults dodge synchronous zeroing (Fig. 6's "is there
+// zero 2MB page?"); without, they pay the Fig. 2 tail.
+func BenchmarkAblationZeroPool(b *testing.B) {
+	for _, pool := range []int{0, 16} {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			prev := workloads.Scale
+			workloads.Scale = 0.05
+			defer func() { workloads.Scale = prev }()
+			var p99 float64
+			for i := 0; i < b.N; i++ {
+				cfg := virtuoso.ScaledConfig()
+				cfg.OSCfg.ZeroPoolCap = pool
+				cfg.OSCfg.ZeroPoolRefill = 2
+				cfg.MaxAppInsts = 0
+				m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("JSON"))
+				if m.PFLatNs != nil {
+					p99 = m.PFLatNs.Percentile(99)
+				}
+			}
+			b.ReportMetric(p99, "pf-p99-ns")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetchers measures the Table 4 prefetchers' effect.
+func BenchmarkAblationPrefetchers(b *testing.B) {
+	for _, pf := range []bool{true, false} {
+		b.Run(fmt.Sprintf("prefetch=%v", pf), func(b *testing.B) {
+			prev := workloads.Scale
+			workloads.Scale = 0.05
+			defer func() { workloads.Scale = prev }()
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := virtuoso.ScaledConfig()
+				cfg.CacheCfg.EnablePrefetch = pf
+				cfg.MaxAppInsts = 300_000
+				m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("Hadamard"))
+				ipc = m.IPC
+			}
+			b.ReportMetric(ipc, "ipc")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed (host
+// instructions per second) of the execution-driven assembly.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prev := workloads.Scale
+	workloads.Scale = 0.1
+	defer func() { workloads.Scale = prev }()
+	for i := 0; i < b.N; i++ {
+		cfg := virtuoso.ScaledConfig()
+		cfg.MaxAppInsts = 500_000
+		m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("XS"))
+		b.ReportMetric(float64(m.AppInsts+m.KernelInsts)/m.WallTime.Seconds(), "sim-inst/s")
+	}
+}

@@ -1,0 +1,96 @@
+// Command virtuoso runs one simulation configuration and prints its
+// metrics — the CLI equivalent of the quickstart example.
+//
+// Usage:
+//
+//	virtuoso -workload BFS -design radix -policy thp -insts 2000000
+//	virtuoso -workload Llama-2-7B -design utopia -policy utopia
+//	virtuoso -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	virtuoso "repro"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "BFS", "workload name (-list to enumerate)")
+		design   = flag.String("design", "radix", "translation design: radix|ech|hdc|ht|utopia|rmm|midgard")
+		policy   = flag.String("policy", "thp", "allocation policy: bd|thp|cr-thp|ar-thp|utopia|eager")
+		mode     = flag.String("mode", "imitation", "OS methodology: imitation|emulation")
+		insts    = flag.Uint64("insts", 2_000_000, "max application instructions (0 = run to completion)")
+		scale    = flag.Float64("scale", 0.25, "workload footprint scale")
+		frag     = flag.Float64("frag", 0.80, "fragmentation level (fraction of 2MB blocks unavailable)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("long-running:")
+		for _, w := range virtuoso.LongRunningSuite() {
+			fmt.Printf("  %-12s footprint=%dMB\n", w.Name(), w.FootprintBytes()>>20)
+		}
+		fmt.Println("short-running:")
+		for _, w := range virtuoso.ShortRunningSuite() {
+			fmt.Printf("  %-12s footprint=%dMB\n", w.Name(), w.FootprintBytes()>>20)
+		}
+		return
+	}
+
+	workloads.Scale = *scale
+	w, ok := workloads.ByName(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
+		os.Exit(1)
+	}
+
+	cfg := virtuoso.ScaledConfig()
+	cfg.Design = core.DesignName(*design)
+	cfg.Policy = core.PolicyName(*policy)
+	cfg.MaxAppInsts = *insts
+	cfg.FragFree2M = 1 - *frag
+	cfg.Seed = *seed
+	if *mode == "emulation" {
+		cfg.Mode = core.Emulation
+	}
+	switch cfg.Design {
+	case core.DesignUtopia:
+		if cfg.Policy == "" || cfg.Policy == core.PolicyTHP {
+			cfg.Policy = core.PolicyUtopia
+		}
+	case core.DesignRMM:
+		cfg.Policy = core.PolicyEager
+	}
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "config error:", err)
+		os.Exit(1)
+	}
+	m := sys.Run(w)
+
+	fmt.Printf("workload        %s (%s, footprint %d MB)\n", m.Workload, w.Class(), w.FootprintBytes()>>20)
+	fmt.Printf("design/policy   %s / %s\n", m.Design, m.Policy)
+	fmt.Printf("instructions    app=%d kernel=%d (%.1f%% kernel)\n", m.AppInsts, m.KernelInsts, 100*m.KernelInstFraction())
+	fmt.Printf("cycles          %d  IPC %.3f\n", m.Cycles, m.IPC)
+	fmt.Printf("translation     %.2f%% of cycles, L2 TLB MPKI %.2f, avg PTW %.1f cycles (%d walks)\n",
+		100*m.TranslationFraction(), m.L2TLBMPKI, m.AvgPTWLat, m.Walks)
+	fmt.Printf("allocation      %.2f%% of cycles, %d minor / %d major faults\n",
+		100*m.AllocationFraction(), m.MinorFaults, m.MajorFaults)
+	if m.PFLatNs != nil && m.PFLatNs.Len() > 0 {
+		fmt.Printf("fault latency   median %.0f ns, p99 %.0f ns, max %.0f ns\n",
+			m.PFLatNs.Median(), m.PFLatNs.Percentile(99), m.PFLatNs.Max())
+	}
+	fmt.Printf("dram            row-hit %.1f%%, conflicts %d (translation-induced %d)\n",
+		100*m.Dram.RowHitRate(), m.Dram.TotalConflicts(), m.Dram.TranslationConflicts())
+	fmt.Printf("os              THP pool/direct/fallback %d/%d/%d, collapses %d, swap in/out %d/%d\n",
+		m.OS.THPPoolHits, m.OS.THPDirectZero, m.OS.THPFallback4K, m.OS.Collapses, m.OS.SwapIns, m.OS.SwapOuts)
+	fmt.Printf("wall time       %v\n", m.WallTime)
+}

@@ -1,0 +1,42 @@
+// Pagetable study: the Use Case 1 workflow (§7.4) as a library user
+// would write it — compare the four page-table designs on one workload
+// across two fragmentation levels, reporting walk latency, fault
+// latency, and the DRAM interference each design causes.
+package main
+
+import (
+	"fmt"
+
+	virtuoso "repro"
+	"repro/internal/core"
+)
+
+func main() {
+	virtuoso.SetWorkloadScale(0.1)
+
+	designs := []core.DesignName{
+		virtuoso.DesignRadix, virtuoso.DesignECH, virtuoso.DesignHDC, virtuoso.DesignHT,
+	}
+	frags := []float64{1.00, 0.90} // paper fragmentation levels
+
+	fmt.Println("design  frag   walks     avgPTW   PF-median(ns)  row-conflicts")
+	for _, frag := range frags {
+		for _, d := range designs {
+			cfg := virtuoso.ScaledConfig()
+			cfg.Design = d
+			cfg.Policy = virtuoso.PolicyTHP
+			cfg.FragFree2M = 1 - frag
+			cfg.MaxAppInsts = 0 // run the benchmark to completion
+
+			m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("XS"))
+			med := 0.0
+			if m.PFLatNs != nil {
+				med = m.PFLatNs.Median()
+			}
+			fmt.Printf("%-7s %.0f%%   %-9d %-8.1f %-14.0f %d\n",
+				d, 100*frag, m.Walks, m.AvgPTWLat, med, m.Dram.TotalConflicts())
+		}
+	}
+	fmt.Println("\nExpected shape (paper Fig. 13-15): hash tables shorten walks and")
+	fmt.Println("faults vs radix; ECH trades that for DRAM row-buffer interference.")
+}

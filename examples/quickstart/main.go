@@ -1,0 +1,34 @@
+// Quickstart: build the default Virtuoso system (Table 4), run one
+// long-running workload, and print the headline metrics. This is the
+// 30-second tour of the public API.
+package main
+
+import (
+	"fmt"
+
+	virtuoso "repro"
+)
+
+func main() {
+	// Footprints scale so the example finishes in seconds.
+	virtuoso.SetWorkloadScale(0.1)
+
+	cfg := virtuoso.ScaledConfig()
+	cfg.MaxAppInsts = 1_000_000
+
+	sys := virtuoso.New(cfg)
+	m := sys.Run(virtuoso.WorkloadByName("BFS"))
+
+	fmt.Println("== Virtuoso quickstart: BFS under radix + Linux-like THP ==")
+	fmt.Printf("IPC                 %.3f\n", m.IPC)
+	fmt.Printf("L2 TLB MPKI         %.2f\n", m.L2TLBMPKI)
+	fmt.Printf("avg PTW latency     %.1f cycles over %d walks\n", m.AvgPTWLat, m.Walks)
+	fmt.Printf("minor faults        %d (%.1f%% of cycles in the fault handler)\n",
+		m.MinorFaults, 100*m.AllocationFraction())
+	fmt.Printf("kernel instructions %d injected over %d events\n",
+		m.KernelInsts, m.FunctionalMessages)
+	if m.PFLatNs != nil && m.PFLatNs.Len() > 0 {
+		fmt.Printf("fault latency       median %.0f ns, p99 %.0f ns\n",
+			m.PFLatNs.Median(), m.PFLatNs.Percentile(99))
+	}
+}

@@ -1,0 +1,281 @@
+// Package cache implements the on-chip cache hierarchy of the simulated
+// system: set-associative caches with LRU and SRRIP replacement, an
+// IP-stride prefetcher at L1D and a stream prefetcher at L2 (Table 4), and
+// a Hierarchy type that composes the levels on top of a DRAM controller.
+//
+// Accesses are tagged with a mem.AccessType so the hierarchy can report
+// how much page-table state lives in each cache level and how injected
+// kernel streams pollute the caches — the interference effects Virtuoso's
+// imitation methodology makes visible.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ReplPolicy selects the replacement policy of one cache.
+type ReplPolicy uint8
+
+const (
+	// LRU evicts the least-recently-used way.
+	LRU ReplPolicy = iota
+	// SRRIP is static re-reference interval prediction (Jaleel et al.),
+	// used by the paper's L2 configuration.
+	SRRIP
+)
+
+func (p ReplPolicy) String() string {
+	if p == SRRIP {
+		return "srrip"
+	}
+	return "lru"
+}
+
+const srripMax = 3 // 2-bit RRPV
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-use stamp (LRU)
+	rrpv  uint8  // re-reference prediction value (SRRIP)
+	atype mem.AccessType
+}
+
+// Stats counts per-type cache activity.
+type Stats struct {
+	Hits          [mem.NumAccessTypes]uint64
+	Misses        [mem.NumAccessTypes]uint64
+	Evictions     uint64
+	Writebacks    uint64
+	PrefetchFills uint64
+}
+
+// HitRate returns the overall hit fraction.
+func (s *Stats) HitRate() float64 {
+	var h, m uint64
+	for i := 0; i < mem.NumAccessTypes; i++ {
+		h += s.Hits[i]
+		m += s.Misses[i]
+	}
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// MissesOf returns the miss count for one access type.
+func (s *Stats) MissesOf(t mem.AccessType) uint64 { return s.Misses[t] }
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	latency  uint64
+	policy   ReplPolicy
+	lines    []line // sets*ways, row-major
+	tick     uint64
+	stats    Stats
+	setShift uint
+	setMask  uint64
+}
+
+// New builds a cache with the given geometry. sizeBytes/64 must be
+// divisible by ways.
+func New(name string, sizeBytes uint64, ways int, latency uint64, policy ReplPolicy) *Cache {
+	linesTotal := sizeBytes / mem.CacheLineBytes
+	sets := int(linesTotal) / ways
+	if sets == 0 || int(linesTotal)%ways != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry size=%d ways=%d", name, sizeBytes, ways))
+	}
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets %d not a power of two", name, sets))
+	}
+	return &Cache{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		latency: latency,
+		policy:  policy,
+		lines:   make([]line, sets*ways),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Latency returns the access latency in cycles.
+func (c *Cache) Latency() uint64 { return c.latency }
+
+// Stats returns the cache statistics.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// SizeBytes returns the capacity.
+func (c *Cache) SizeBytes() uint64 {
+	return uint64(c.sets*c.ways) * mem.CacheLineBytes
+}
+
+func (c *Cache) setOf(pa mem.PAddr) int {
+	return int((uint64(pa) >> mem.CacheLineShift) & c.setMask)
+}
+
+func (c *Cache) tagOf(pa mem.PAddr) uint64 {
+	return uint64(pa) >> mem.CacheLineShift / uint64(c.sets)
+}
+
+// Lookup probes the cache without recording a hit/miss stat; it returns
+// whether the line is present. Used by the hierarchy for inclusive checks.
+func (c *Cache) Lookup(pa mem.PAddr) bool {
+	set, tag := c.setOf(pa), c.tagOf(pa)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access, updating replacement state and stats.
+// It reports whether the access hit.
+func (c *Cache) Access(pa mem.PAddr, write bool, t mem.AccessType) bool {
+	c.tick++
+	set, tag := c.setOf(pa), c.tagOf(pa)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			c.stats.Hits[t]++
+			ln.lru = c.tick
+			ln.rrpv = 0
+			if write {
+				ln.dirty = true
+			}
+			return true
+		}
+	}
+	c.stats.Misses[t]++
+	return false
+}
+
+// Fill inserts the line for pa after a miss and returns the physical
+// address of an evicted dirty line (writeback needed) and whether a dirty
+// eviction occurred. prefetch marks fills triggered by a prefetcher, which
+// insert at distant re-reference (SRRIP) / colder LRU position.
+func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) (mem.PAddr, bool) {
+	c.tick++
+	set, tag := c.setOf(pa), c.tagOf(pa)
+	base := set * c.ways
+
+	// Already present (e.g., race between prefetch and demand): refresh.
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			if write {
+				ln.dirty = true
+			}
+			return 0, false
+		}
+	}
+
+	victim := -1
+	for w := 0; w < c.ways; w++ {
+		if !c.lines[base+w].valid {
+			victim = base + w
+			break
+		}
+	}
+	if victim < 0 {
+		switch c.policy {
+		case LRU:
+			oldest := c.lines[base].lru
+			victim = base
+			for w := 1; w < c.ways; w++ {
+				if c.lines[base+w].lru < oldest {
+					oldest = c.lines[base+w].lru
+					victim = base + w
+				}
+			}
+		case SRRIP:
+			for {
+				for w := 0; w < c.ways; w++ {
+					if c.lines[base+w].rrpv >= srripMax {
+						victim = base + w
+						break
+					}
+				}
+				if victim >= 0 {
+					break
+				}
+				for w := 0; w < c.ways; w++ {
+					c.lines[base+w].rrpv++
+				}
+			}
+		}
+	}
+
+	ln := &c.lines[victim]
+	var wbAddr mem.PAddr
+	var wb bool
+	if ln.valid {
+		c.stats.Evictions++
+		if ln.dirty {
+			c.stats.Writebacks++
+			wb = true
+			wbAddr = c.reconstruct(ln.tag, set)
+		}
+	}
+	*ln = line{tag: tag, valid: true, dirty: write, lru: c.tick, atype: t}
+	if prefetch {
+		c.stats.PrefetchFills++
+		ln.rrpv = srripMax - 1
+		if c.tick > uint64(c.ways) {
+			ln.lru = c.tick - uint64(c.ways) // colder LRU position
+		}
+	} else {
+		ln.rrpv = srripMax - 1
+		if c.policy == SRRIP {
+			ln.rrpv = srripMax - 1
+		}
+	}
+	return wbAddr, wb
+}
+
+func (c *Cache) reconstruct(tag uint64, set int) mem.PAddr {
+	return mem.PAddr((tag*uint64(c.sets) + uint64(set)) << mem.CacheLineShift)
+}
+
+// Invalidate drops the line holding pa if present, returning whether it
+// was dirty.
+func (c *Cache) Invalidate(pa mem.PAddr) bool {
+	set, tag := c.setOf(pa), c.tagOf(pa)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			d := ln.dirty
+			*ln = line{}
+			return d
+		}
+	}
+	return false
+}
+
+// OccupancyOf returns the number of valid lines whose last fill was of
+// type t — used to report how much page-table state resides in a level.
+func (c *Cache) OccupancyOf(t mem.AccessType) int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].atype == t {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetStats zeroes the cache statistics without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }

@@ -1,0 +1,130 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/mem"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := New("t", 4*mem.KB, 4, 4, LRU)
+	pa := mem.PAddr(0x1000)
+	if c.Access(pa, false, mem.ATData) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Fill(pa, false, mem.ATData, false)
+	if !c.Access(pa, false, mem.ATData) {
+		t.Fatal("miss after fill")
+	}
+	// Same line, different word.
+	if !c.Access(pa+32, false, mem.ATData) {
+		t.Fatal("miss within line")
+	}
+}
+
+func TestCacheDirtyWriteback(t *testing.T) {
+	c := New("t", 256, 1, 1, LRU) // 4 sets, direct-mapped
+	a := mem.PAddr(0x0)
+	b := a + 256 // same set (4 sets * 64B stride)
+	c.Fill(a, true, mem.ATData, false)
+	wb, dirty := c.Fill(b, false, mem.ATData, false)
+	if !dirty {
+		t.Fatal("dirty eviction not reported")
+	}
+	if wb != a {
+		t.Fatalf("writeback address = %x, want %x", wb, a)
+	}
+}
+
+func TestSRRIPVictimSelection(t *testing.T) {
+	c := New("t", 512, 2, 1, SRRIP) // 4 sets, 2 ways
+	a, b := mem.PAddr(0), mem.PAddr(512)
+	c.Fill(a, false, mem.ATData, false)
+	c.Fill(b, false, mem.ATData, false)
+	c.Access(a, false, mem.ATData) // promote a (rrpv=0)
+	cA := mem.PAddr(1024)
+	c.Fill(cA, false, mem.ATData, false) // must evict b, not a
+	if !c.Lookup(a) {
+		t.Fatal("recently re-referenced line evicted under SRRIP")
+	}
+	if c.Lookup(b) {
+		t.Fatal("distant line not evicted")
+	}
+}
+
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(), dram.NewController(dram.Config{}))
+	pa := mem.PAddr(0x123400)
+	l1 := h.L1D.Latency()
+	cold := h.Access(pa, false, mem.ATData, 0, 0)
+	warm := h.Access(pa, false, mem.ATData, 0, cold)
+	if warm != l1 {
+		t.Fatalf("warm access latency = %d, want L1 %d", warm, l1)
+	}
+	if cold <= h.L3.Latency() {
+		t.Fatalf("cold access latency %d should include DRAM", cold)
+	}
+}
+
+func TestHierarchyPTEAttribution(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig(), dram.NewController(dram.Config{}))
+	h.AccessPTE(0x5000, false, 0)
+	if h.L1D.Stats().Misses[mem.ATPTE] != 1 {
+		t.Fatal("PTE access not attributed")
+	}
+	if got := h.Dram.Stats().Accesses[mem.ATPTE]; got != 1 {
+		t.Fatalf("DRAM PTE accesses = %d", got)
+	}
+}
+
+func TestIPStridePrefetcher(t *testing.T) {
+	p := NewIPStride(64, 2)
+	pc := uint64(0x400100)
+	var got []mem.PAddr
+	for i := 0; i < 6; i++ {
+		got = p.Observe(pc, mem.PAddr(0x1000+i*256))
+	}
+	if len(got) == 0 {
+		t.Fatal("confirmed stride issued no prefetches")
+	}
+	if got[0] != mem.PAddr(0x1000+5*256+256) {
+		t.Fatalf("prefetch addr = %x", got[0])
+	}
+}
+
+func TestStreamPrefetcherStaysInPage(t *testing.T) {
+	p := NewStream(4, 8)
+	var all []mem.PAddr
+	for i := 0; i < 8; i++ {
+		all = p.Observe(mem.PAddr(0x2000 + i*64))
+	}
+	for _, a := range all {
+		if uint64(a)>>12 != 0x2 {
+			t.Fatalf("prefetch crossed page: %x", a)
+		}
+	}
+}
+
+// TestQuickCacheCoherentWithSet property-tests that a cache never
+// reports a hit for a line that was never filled.
+func TestQuickCacheCoherentWithSet(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New("q", 4*mem.KB, 4, 1, LRU)
+		present := map[mem.PAddr]bool{}
+		for _, op := range ops {
+			pa := mem.Line(mem.PAddr(op) << 6)
+			if op%2 == 0 {
+				c.Fill(pa, false, mem.ATData, false)
+				present[pa] = true
+			} else if c.Access(pa, false, mem.ATData) && !present[pa] {
+				return false // phantom hit
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package cache
+
+import (
+	"repro/internal/dram"
+	"repro/internal/mem"
+)
+
+// HierarchyConfig sizes the three cache levels (Table 4 defaults via
+// DefaultHierarchyConfig).
+type HierarchyConfig struct {
+	L1ISize, L1DSize uint64
+	L1Ways           int
+	L1Latency        uint64
+	L2Size           uint64
+	L2Ways           int
+	L2Latency        uint64
+	L3Size           uint64
+	L3Ways           int
+	L3Latency        uint64
+	EnablePrefetch   bool
+}
+
+// DefaultHierarchyConfig returns the paper's Table 4 cache configuration:
+// 32 KB 8-way L1 I/D (4-cycle, LRU, IP-stride at L1D), 2 MB 16-way L2
+// (16-cycle, SRRIP, stream prefetcher), 2 MB/core 16-way L3 (35-cycle).
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1ISize: 32 * mem.KB, L1DSize: 32 * mem.KB, L1Ways: 8, L1Latency: 4,
+		L2Size: 2 * mem.MB, L2Ways: 16, L2Latency: 16,
+		L3Size: 2 * mem.MB, L3Ways: 16, L3Latency: 35,
+		EnablePrefetch: true,
+	}
+}
+
+// Hierarchy composes L1I/L1D, a unified L2, a unified L3 and a DRAM
+// controller. It is shared by application accesses, injected kernel
+// streams, and hardware page-table-walker accesses, so all three classes
+// of traffic contend for the same capacity and bandwidth.
+type Hierarchy struct {
+	L1I, L1D, L2, L3 *Cache
+	Dram             *dram.Controller
+	ipStride         *IPStridePrefetcher
+	stream           *StreamPrefetcher
+	cfg              HierarchyConfig
+}
+
+// NewHierarchy builds the hierarchy over the given DRAM controller.
+func NewHierarchy(cfg HierarchyConfig, d *dram.Controller) *Hierarchy {
+	h := &Hierarchy{
+		L1I:  New("L1I", cfg.L1ISize, cfg.L1Ways, cfg.L1Latency, LRU),
+		L1D:  New("L1D", cfg.L1DSize, cfg.L1Ways, cfg.L1Latency, LRU),
+		L2:   New("L2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency, SRRIP),
+		L3:   New("L3", cfg.L3Size, cfg.L3Ways, cfg.L3Latency, SRRIP),
+		Dram: d,
+		cfg:  cfg,
+	}
+	if cfg.EnablePrefetch {
+		h.ipStride = NewIPStride(256, 2)
+		h.stream = NewStream(16, 4)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// Access performs a data access at physical address pa and returns the
+// latency in cycles. pc drives the IP-stride prefetcher (pass 0 for
+// non-application traffic). The access-type tag t flows down to DRAM for
+// attribution.
+func (h *Hierarchy) Access(pa mem.PAddr, write bool, t mem.AccessType, pc uint64, now uint64) uint64 {
+	la := mem.Line(pa)
+	lat := h.L1D.Latency()
+	hitL1 := h.L1D.Access(la, write, t)
+	if h.ipStride != nil && t == mem.ATData {
+		for _, ppa := range h.ipStride.Observe(pc, la) {
+			h.prefetchFill(mem.Line(ppa), t, now)
+		}
+	}
+	if hitL1 {
+		return lat
+	}
+	lat += h.L2.Latency()
+	if h.L2.Access(la, write, t) {
+		h.L1D.Fill(la, write, t, false)
+		return lat
+	}
+	if h.stream != nil && (t == mem.ATData || t == mem.ATKernel) {
+		for _, ppa := range h.stream.Observe(la) {
+			h.prefetchFillL2(ppa, t, now)
+		}
+	}
+	lat += h.L3.Latency()
+	if h.L3.Access(la, write, t) {
+		h.fillUp(la, write, t)
+		return lat
+	}
+	lat += h.Dram.Access(la, false, t, now+lat)
+	h.fillAll(la, write, t, now+lat)
+	return lat
+}
+
+// FetchInstr performs an instruction-fetch access (L1I path).
+func (h *Hierarchy) FetchInstr(pa mem.PAddr, now uint64) uint64 {
+	la := mem.Line(pa)
+	lat := h.L1I.Latency()
+	if h.L1I.Access(la, false, mem.ATInstr) {
+		return lat
+	}
+	lat += h.L2.Latency()
+	if h.L2.Access(la, false, mem.ATInstr) {
+		h.L1I.Fill(la, false, mem.ATInstr, false)
+		return lat
+	}
+	lat += h.L3.Latency()
+	if h.L3.Access(la, false, mem.ATInstr) {
+		h.L2.Fill(la, false, mem.ATInstr, false)
+		h.L1I.Fill(la, false, mem.ATInstr, false)
+		return lat
+	}
+	lat += h.Dram.Access(la, false, mem.ATInstr, now+lat)
+	h.L3.Fill(la, false, mem.ATInstr, false)
+	h.L2.Fill(la, false, mem.ATInstr, false)
+	h.L1I.Fill(la, false, mem.ATInstr, false)
+	return lat
+}
+
+// fillUp inserts into L2 and L1D after an L3 hit, handling writebacks.
+func (h *Hierarchy) fillUp(la mem.PAddr, write bool, t mem.AccessType) {
+	if wb, dirty := h.L2.Fill(la, write, t, false); dirty {
+		h.L3.Fill(wb, true, t, false)
+	}
+	if wb, dirty := h.L1D.Fill(la, write, t, false); dirty {
+		h.L2.Fill(wb, true, t, false)
+	}
+}
+
+// fillAll inserts into every level after a DRAM fill.
+func (h *Hierarchy) fillAll(la mem.PAddr, write bool, t mem.AccessType, now uint64) {
+	if wb, dirty := h.L3.Fill(la, write, t, false); dirty {
+		h.Dram.Access(wb, true, t, now)
+	}
+	h.fillUp(la, write, t)
+}
+
+// prefetchFill services an L1D prefetch: it pulls the line to L1D,
+// fetching from lower levels as needed (latency hidden, bandwidth and
+// occupancy modeled).
+func (h *Hierarchy) prefetchFill(la mem.PAddr, t mem.AccessType, now uint64) {
+	if h.L1D.Lookup(la) {
+		return
+	}
+	if !h.L2.Lookup(la) && !h.L3.Lookup(la) {
+		h.Dram.Access(la, false, t, now)
+		h.L3.Fill(la, false, t, true)
+		h.L2.Fill(la, false, t, true)
+	}
+	h.L1D.Fill(la, false, t, true)
+}
+
+// prefetchFillL2 services an L2 stream prefetch.
+func (h *Hierarchy) prefetchFillL2(la mem.PAddr, t mem.AccessType, now uint64) {
+	if h.L2.Lookup(la) {
+		return
+	}
+	if !h.L3.Lookup(la) {
+		h.Dram.Access(la, false, t, now)
+		h.L3.Fill(la, false, t, true)
+	}
+	h.L2.Fill(la, false, t, true)
+}
+
+// AccessPTE performs a page-table access on behalf of the hardware walker.
+// PTEs are cacheable in the data caches (Table 2's "TLB entries stored in
+// data caches" schemes extend this path).
+func (h *Hierarchy) AccessPTE(pa mem.PAddr, write bool, now uint64) uint64 {
+	return h.Access(pa, write, mem.ATPTE, 0, now)
+}
+
+// AccessMeta performs a translation-metadata access (range tables, RestSeg
+// tags, VMA trees).
+func (h *Hierarchy) AccessMeta(pa mem.PAddr, write bool, now uint64) uint64 {
+	return h.Access(pa, write, mem.ATTransMeta, 0, now)
+}

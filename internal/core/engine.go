@@ -1,0 +1,578 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mimicos"
+	"repro/internal/mmu"
+	"repro/internal/ssd"
+	"repro/internal/stats"
+	"repro/internal/utopia"
+	"repro/internal/workloads"
+	"repro/internal/xrand"
+)
+
+// Mode selects the OS-simulation methodology (§2.1 / Table 1).
+type Mode uint8
+
+const (
+	// Imitation is Virtuoso's methodology: kernel routines execute in
+	// MimicOS and their instruction streams are injected into the core.
+	Imitation Mode = iota
+	// Emulation is the baseline-simulator methodology: functional OS
+	// effects with fixed first-order latencies (no injected streams, no
+	// walk memory traffic).
+	Emulation
+)
+
+// Frontend selects how application instructions reach the core model
+// (§6.2's three integration styles).
+type Frontend uint8
+
+const (
+	// FrontendExec is execution-driven (Sniper-style): instructions are
+	// generated and simulated on the fly.
+	FrontendExec Frontend = iota
+	// FrontendTrace is trace-driven (ChampSim-style): the application
+	// trace is materialised first, then replayed.
+	FrontendTrace
+	// FrontendMemTrace is memory-trace-driven (Ramulator-style): only
+	// memory operations are simulated.
+	FrontendMemTrace
+	// FrontendEmu is emulation-driven (gem5-SE-style): a functional
+	// emulation step precedes timing for each instruction.
+	FrontendEmu
+)
+
+// DesignName selects the MMU/translation design under study.
+type DesignName string
+
+// Supported translation designs.
+const (
+	DesignRadix     DesignName = "radix"
+	DesignECH       DesignName = "ech"
+	DesignHDC       DesignName = "hdc"
+	DesignHT        DesignName = "ht"
+	DesignUtopia    DesignName = "utopia"
+	DesignRMM       DesignName = "rmm"
+	DesignMidgard   DesignName = "midgard"
+	DesignDirectSeg DesignName = "directseg"
+)
+
+// PolicyName selects the physical memory allocation policy (§7.5).
+type PolicyName string
+
+// Supported allocation policies.
+const (
+	PolicyBuddy  PolicyName = "bd"
+	PolicyTHP    PolicyName = "thp"
+	PolicyCRTHP  PolicyName = "cr-thp"
+	PolicyARTHP  PolicyName = "ar-thp"
+	PolicyUtopia PolicyName = "utopia"
+	PolicyEager  PolicyName = "eager"
+)
+
+// UtopiaSegSpec configures one RestSeg.
+type UtopiaSegSpec struct {
+	SizeBytes uint64
+	Ways      int
+	PageSize  mem.PageSize
+}
+
+// Config assembles a full simulated system.
+type Config struct {
+	Mode     Mode
+	Frontend Frontend
+
+	// Emulation-mode first-order latencies (baseline Sniper uses a fixed
+	// PTW latency; ChampSim a fixed page-fault latency — §2.1).
+	FixedPTWLat   uint64
+	FixedFaultLat uint64
+
+	Design DesignName
+	Policy PolicyName
+
+	UtopiaSegs       []UtopiaSegSpec
+	UtopiaSwapOnFull bool
+
+	CoreCfg  cpu.Config
+	CacheCfg cache.HierarchyConfig
+	MMUCfg   mmu.Config
+	DramCfg  dram.Config
+	OSCfg    mimicos.Config
+	WithDisk bool
+
+	// FragFree2M initialises physical-memory fragmentation as the
+	// fraction of 2MB blocks left *free*. The paper states fragmentation
+	// as the unavailable fraction: its "baseline fragmentation 80%"
+	// (Table 4) is FragFree2M = 0.20.
+	FragFree2M float64
+
+	// MaxAppInsts bounds the run (0 = run the workload to completion).
+	MaxAppInsts uint64
+
+	// RefNoise adds the OS-noise components of the reference ("real")
+	// system that MimicOS deliberately omits — used as ground truth in
+	// the §7.2 validation experiments.
+	RefNoise bool
+
+	// TrackPFLatencies records a per-fault latency series (Figs. 2, 9, 16).
+	TrackPFLatencies bool
+
+	// RetainKernelStreams keeps injected streams in a ring buffer,
+	// modelling online binary instrumentation's memory cost (Fig. 11:
+	// Sniper/ChampSim vs Ramulator/gem5).
+	RetainKernelStreams int
+
+	Seed uint64
+}
+
+// DefaultConfig returns the Table 4 baseline Virtuoso+Sniper system.
+func DefaultConfig() Config {
+	return Config{
+		Mode:             Imitation,
+		Frontend:         FrontendExec,
+		Design:           DesignRadix,
+		Policy:           PolicyTHP,
+		CoreCfg:          cpu.DefaultConfig(),
+		CacheCfg:         cache.DefaultHierarchyConfig(),
+		MMUCfg:           mmu.DefaultConfig(),
+		DramCfg:          dram.DDR4_2400(),
+		OSCfg:            mimicos.DefaultConfig(),
+		WithDisk:         true,
+		FragFree2M:       0.20,
+		TrackPFLatencies: true,
+		Seed:             1,
+	}
+}
+
+// System is one assembled simulator + MimicOS instance.
+type System struct {
+	Cfg  Config
+	Dram *dram.Controller
+	Hier *cache.Hierarchy
+	MMU  *mmu.MMU
+	Core *cpu.Core
+	OS   *mimicos.Kernel
+	Disk *ssd.Device
+	Proc *mimicos.Process
+
+	FuncChan   *FunctionalChannel
+	StreamChan *StreamChannel
+
+	PFLatNs      *stats.Series // minor (non-device) fault latencies, ns
+	MajorPFLatNs *stats.Series // major (device-backed) fault latencies, ns
+	pfIdx        uint64
+	noise        *xrand.Rand
+	streamRing   []isa.Stream
+	ringPos      int
+
+	swapDeviceCycles uint64
+	segvs            uint64
+}
+
+// NewSystem wires a complete system per cfg. The kernel, one process,
+// the translation design, and the channels are all constructed; call Run
+// with a workload to simulate.
+func NewSystem(cfg Config) (*System, error) {
+	if cfg.CoreCfg.Width == 0 {
+		cfg.CoreCfg = cpu.DefaultConfig()
+	}
+	s := &System{Cfg: cfg, noise: xrand.New(cfg.Seed ^ 0x0A15E)}
+	if cfg.WithDisk {
+		s.Disk = ssd.New(ssd.Config{})
+	}
+
+	// OS first: it owns physical memory.
+	oscfg := cfg.OSCfg
+	if oscfg.PhysBytes == 0 {
+		oscfg = mimicos.DefaultConfig()
+	}
+	switch cfg.Design {
+	case DesignECH:
+		oscfg.PTKind = mimicos.PTECH
+	case DesignHDC:
+		oscfg.PTKind = mimicos.PTHDC
+	case DesignHT:
+		oscfg.PTKind = mimicos.PTHT
+	default:
+		oscfg.PTKind = mimicos.PTRadix
+	}
+	s.OS = mimicos.New(oscfg, s.Disk)
+	s.Proc = s.OS.CreateProcess(1)
+
+	// Design-specific OS state.
+	switch cfg.Design {
+	case DesignUtopia:
+		segs := cfg.UtopiaSegs
+		if len(segs) == 0 {
+			segs = []UtopiaSegSpec{
+				{SizeBytes: 512 * mem.MB, Ways: 16, PageSize: mem.Page4K},
+			}
+		}
+		sys := &utopia.System{SwapOnFull: cfg.UtopiaSwapOnFull}
+		for i, sp := range segs {
+			seg, err := utopia.NewRestSeg(fmt.Sprintf("restseg%d", i), sp.SizeBytes, sp.Ways, sp.PageSize, s.OS.Phys)
+			if err != nil {
+				return nil, err
+			}
+			sys.Segs = append(sys.Segs, seg)
+		}
+		s.OS.Utopia = sys
+	case DesignRMM:
+		s.OS.EnableRMM(s.Proc)
+	case DesignMidgard:
+		s.OS.EnableMidgard(s.Proc)
+	}
+
+	// Allocation policy.
+	switch cfg.Policy {
+	case PolicyBuddy, "":
+		s.OS.SetPolicy(&mimicos.BuddyPolicy{})
+	case PolicyTHP:
+		s.OS.SetPolicy(&mimicos.LinuxTHPPolicy{})
+	case PolicyCRTHP:
+		s.OS.SetPolicy(&mimicos.ReservationTHPPolicy{UpgradeFrac: 0.5, PolicyName: "CR-THP"})
+	case PolicyARTHP:
+		s.OS.SetPolicy(&mimicos.ReservationTHPPolicy{UpgradeFrac: 0.1, PolicyName: "AR-THP"})
+	case PolicyUtopia:
+		s.OS.SetPolicy(&mimicos.UtopiaPolicy{Prefer2M: false})
+	case PolicyEager:
+		s.OS.SetPolicy(&mimicos.EagerPolicy{})
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", cfg.Policy)
+	}
+
+	// Fragment physical memory after carve-outs so RestSegs and hash
+	// tables stay contiguous. FragFree2M = 0 is meaningful (the paper's
+	// "100% fragmentation": no free 2MB blocks); negative disables.
+	if cfg.FragFree2M >= 0 && cfg.FragFree2M < 1 {
+		s.OS.Phys.Fragment(cfg.FragFree2M, cfg.Seed^0xF4A6)
+	}
+
+	// Memory side.
+	s.Dram = dram.NewController(cfg.DramCfg)
+	s.Hier = cache.NewHierarchy(cfg.CacheCfg, s.Dram)
+
+	// Translation design.
+	design, err := s.buildDesign()
+	if err != nil {
+		return nil, err
+	}
+	s.MMU = mmu.New(cfg.MMUCfg, design, s.Proc.ASID)
+	s.Core = cpu.New(cfg.CoreCfg, s.Hier, s.MMU)
+
+	// Channels and callbacks.
+	s.FuncChan = NewFunctionalChannel(s.serveRequest)
+	s.StreamChan = &StreamChannel{}
+	s.Core.SetFaultHandler(s.handleFault)
+	s.OS.SetUnmapNotifier(func(pid int, va mem.VAddr, size mem.PageSize) {
+		s.MMU.Invalidate(va, size)
+	})
+	if cfg.RetainKernelStreams > 0 {
+		s.streamRing = make([]isa.Stream, cfg.RetainKernelStreams)
+	}
+	return s, nil
+}
+
+// MustNewSystem is NewSystem, panicking on configuration errors.
+func MustNewSystem(cfg Config) *System {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *System) buildDesign() (mmu.Design, error) {
+	cfg := s.Cfg
+	pwcE, pwcW := cfg.MMUCfg.PWCEntries, cfg.MMUCfg.PWCWays
+	if pwcE == 0 {
+		pwcE, pwcW = 32, 4
+	}
+	newRadix := func() *mmu.RadixWalker {
+		return mmu.NewRadixWalkerSized(s.Proc.PT, s.Hier, pwcE, pwcW)
+	}
+	if cfg.Mode == Emulation {
+		lat := cfg.FixedPTWLat
+		if lat == 0 {
+			lat = 60 // the average real-system PTW latency baseline Sniper uses
+		}
+		return &mmu.FixedWalker{PT: s.Proc.PT, Lat: lat}, nil
+	}
+	switch cfg.Design {
+	case DesignRadix, "":
+		return newRadix(), nil
+	case DesignECH, DesignHDC, DesignHT:
+		return mmu.NewHashWalker(s.Proc.PT, s.Hier), nil
+	case DesignUtopia:
+		return mmu.NewUtopiaDesign(s.OS.Utopia, newRadix(), s.Hier), nil
+	case DesignRMM:
+		return mmu.NewRMMDesign(s.Proc.RMM, newRadix(), s.Hier, s.Proc.ASID), nil
+	case DesignMidgard:
+		return mmu.NewMidgardDesign(s.Proc.Midgard, newRadix(), s.Hier, s.Proc.ASID), nil
+	case DesignDirectSeg:
+		return &mmu.DirectSegDesign{Radix: newRadix()}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown design %q", cfg.Design)
+	}
+}
+
+// serveRequest is the kernel-side functional-channel handler.
+func (s *System) serveRequest(req Request) Response {
+	switch req.Kind {
+	case EvPageFault:
+		return Response{Fault: s.OS.HandlePageFault(req.PID, req.VA, req.Write, req.Now)}
+	case EvMmap:
+		return Response{MmapBase: s.OS.Mmap(req.PID, req.Length, req.Flags)}
+	case EvMunmap:
+		s.OS.Munmap(req.PID, req.VA, req.Length)
+		return Response{}
+	}
+	panic("core: unknown request kind")
+}
+
+// handleFault is the core's page-fault callback: the §4.4 round trip.
+func (s *System) handleFault(va mem.VAddr, write bool) bool {
+	resp := s.FuncChan.Call(Request{
+		Kind: EvPageFault, PID: s.Proc.PID, VA: va, Write: write, Now: s.Core.Now(),
+	})
+	out := resp.Fault
+	if !out.OK {
+		s.segvs++
+		return false
+	}
+	s.swapDeviceCycles += out.DeviceCycles
+
+	switch s.Cfg.Mode {
+	case Emulation:
+		lat := s.Cfg.FixedFaultLat
+		if lat == 0 {
+			lat = 5800 // ~2 µs fixed fault cost (ChampSim-style)
+		}
+		s.Core.StallFault(lat)
+		if s.PFLatNs != nil {
+			s.PFLatNs.Add(s.Core.CyclesToNs(lat))
+		}
+	case Imitation:
+		stream := s.StreamChan.Deliver(s.OS.TakeStream())
+		if s.streamRing != nil {
+			// Online instrumentation retains translated code buffers.
+			cp := make(isa.Stream, len(stream))
+			copy(cp, stream)
+			s.streamRing[s.ringPos%len(s.streamRing)] = cp
+			s.ringPos++
+		}
+		spent := s.Core.RunStream(stream)
+		if s.Cfg.RefNoise {
+			spent += s.referenceNoise()
+		}
+		if out.Major {
+			if s.MajorPFLatNs != nil {
+				s.MajorPFLatNs.Add(s.Core.CyclesToNs(spent))
+			}
+		} else if s.PFLatNs != nil {
+			s.PFLatNs.Add(s.Core.CyclesToNs(spent))
+		}
+	}
+	s.pfIdx++
+	return true
+}
+
+// referenceNoise models the kernel activity a real machine interleaves
+// with fault handling that MimicOS does not imitate: scheduler/IRQ jitter
+// on every fault, and occasional reclaim/compaction interference.
+func (s *System) referenceNoise() uint64 {
+	var extra uint64
+	r := s.noise.Float64()
+	switch {
+	case r < 0.015: // LRU/compaction scan interferes (~20 µs)
+		extra = 58_000
+	case r < 0.10: // timer/IRQ on this CPU (~1.5 µs)
+		extra = 4_350
+	default: // per-fault jitter up to ~0.4 µs
+		extra = uint64(s.noise.Float64() * 1160)
+	}
+	s.Core.StallFault(extra)
+	return extra
+}
+
+// Mmap issues an mmap syscall through the functional channel, injecting
+// the kernel stream in imitation mode.
+func (s *System) Mmap(length uint64, flags mimicos.MmapFlags) mem.VAddr {
+	resp := s.FuncChan.Call(Request{Kind: EvMmap, PID: s.Proc.PID, Length: length, Flags: flags})
+	if s.Cfg.Mode == Imitation {
+		s.Core.RunStream(s.StreamChan.Deliver(s.OS.TakeStream()))
+	}
+	return resp.MmapBase
+}
+
+// Run simulates the workload and returns the collected metrics.
+func (s *System) Run(w *workloads.Workload) Metrics {
+	if s.Cfg.TrackPFLatencies {
+		s.PFLatNs = stats.NewSeries(4096)
+		s.MajorPFLatNs = stats.NewSeries(256)
+	}
+
+	// Address-space setup (the exec/loader phase): functional only.
+	// The text segment backs instruction fetches at the workloads' PCs.
+	s.OS.Mmap(s.Proc.PID, 32*mem.MB, mimicos.MmapFlags{
+		File: true, FileID: 0xC0DE, FixedAddr: 0x400000,
+	})
+	w.Setup(s.OS, s.Proc.PID)
+	s.OS.Tracer.Begin() // drop setup streams
+
+	src := s.makeFrontend(w)
+
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
+	wallStart := time.Now()
+
+	max := s.Cfg.MaxAppInsts
+	var in isa.Inst
+	for src.Next(&in) {
+		s.Core.Run(in)
+		if max > 0 && s.Core.Stats().AppInsts >= max {
+			break
+		}
+	}
+
+	wall := time.Since(wallStart)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	return s.collect(w, wall, msBefore, msAfter)
+}
+
+// makeFrontend adapts the workload source per the configured frontend.
+func (s *System) makeFrontend(w *workloads.Workload) isa.Source {
+	base := w.Source(s.Cfg.Seed ^ 0xF00D)
+	switch s.Cfg.Frontend {
+	case FrontendTrace:
+		// Materialise the trace first (ChampSim-style trace file in
+		// memory), then replay.
+		var tr isa.Stream
+		var in isa.Inst
+		limit := s.Cfg.MaxAppInsts
+		var n uint64
+		for base.Next(&in) {
+			tr = append(tr, in)
+			n += in.N()
+			if limit > 0 && n >= limit+limit/8 {
+				break
+			}
+		}
+		return &isa.SliceSource{S: tr}
+	case FrontendMemTrace:
+		return &memTraceSource{inner: base}
+	case FrontendEmu:
+		return &emuSource{inner: base}
+	default:
+		return base
+	}
+}
+
+// memTraceSource strips non-memory instructions (Ramulator-style
+// memory-trace frontend): ALU batches collapse into token costs.
+type memTraceSource struct {
+	inner isa.Source
+}
+
+// Next implements isa.Source.
+func (m *memTraceSource) Next(out *isa.Inst) bool {
+	for {
+		if !m.inner.Next(out) {
+			return false
+		}
+		if out.Op.HasMemOperand() || out.Op == isa.OpDelay {
+			return true
+		}
+		// Non-memory work becomes a 1-cycle-per-4-inst bubble to keep
+		// timestamps meaningful.
+		if n := out.N(); n >= 16 {
+			*out = isa.Inst{Op: isa.OpDelay, Count: uint32(n / 4)}
+			return true
+		}
+	}
+}
+
+// emuSource models gem5-SE's functional-first execution: each
+// instruction is first emulated (host-side work), then timed.
+type emuSource struct {
+	inner isa.Source
+	sink  uint64
+}
+
+// Next implements isa.Source.
+func (e *emuSource) Next(out *isa.Inst) bool {
+	if !e.inner.Next(out) {
+		return false
+	}
+	// Functional emulation pass (hash the operands, as a stand-in for
+	// interpreting the instruction).
+	e.sink = e.sink*6364136223846793005 + out.Addr + uint64(out.Op)
+	return true
+}
+
+// ResetStats zeroes every statistics counter in the system (functional
+// and microarchitectural state persists), establishing a steady-state
+// measurement window after warm-up.
+func (s *System) ResetStats() {
+	s.Core.ResetStats()
+	s.MMU.ResetStats()
+	s.Dram.ResetStats()
+	s.Hier.L1I.ResetStats()
+	s.Hier.L1D.ResetStats()
+	s.Hier.L2.ResetStats()
+	s.Hier.L3.ResetStats()
+	s.OS.ResetStats()
+	if s.Cfg.TrackPFLatencies {
+		s.PFLatNs = stats.NewSeries(4096)
+		s.MajorPFLatNs = stats.NewSeries(256)
+	}
+	s.swapDeviceCycles = 0
+}
+
+// RunSteps drives the system over src until it is exhausted or the core
+// has retired maxApp further application instructions (0 = no bound).
+// Used by experiments that interleave warm-up and measurement windows.
+func (s *System) RunSteps(src isa.Source, maxApp uint64) {
+	start := s.Core.Stats().AppInsts
+	var in isa.Inst
+	for src.Next(&in) {
+		s.Core.Run(in)
+		if maxApp > 0 && s.Core.Stats().AppInsts-start >= maxApp {
+			return
+		}
+	}
+}
+
+// Prepare performs the address-space setup for w without running it,
+// returning the instruction source. Callers then drive RunSteps and
+// Collect explicitly (warm-up/steady-state experiments).
+func (s *System) Prepare(w *workloads.Workload) isa.Source {
+	s.OS.Mmap(s.Proc.PID, 32*mem.MB, mimicos.MmapFlags{
+		File: true, FileID: 0xC0DE, FixedAddr: 0x400000,
+	})
+	w.Setup(s.OS, s.Proc.PID)
+	s.OS.Tracer.Begin()
+	if s.Cfg.TrackPFLatencies && s.PFLatNs == nil {
+		s.PFLatNs = stats.NewSeries(4096)
+		s.MajorPFLatNs = stats.NewSeries(256)
+	}
+	return s.makeFrontend(w)
+}
+
+// Collect gathers metrics after explicit RunSteps driving.
+func (s *System) Collect(w *workloads.Workload) Metrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return s.collect(w, 0, ms, ms)
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// TestThroughputProbe reports simulation speed at experiment scale; it
+// guards against pathological slowdowns in the hot path.
+func TestThroughputProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput probe")
+	}
+	prev := workloads.Scale
+	workloads.Scale = 0.25
+	defer func() { workloads.Scale = prev }()
+
+	cfg := DefaultConfig()
+	cfg.OSCfg.PhysBytes = 2 * mem.GB
+	cfg.MaxAppInsts = 2_000_000
+	s := MustNewSystem(cfg)
+	m := s.Run(workloads.BFS())
+
+	total := m.AppInsts + m.KernelInsts
+	ips := float64(total) / m.WallTime.Seconds()
+	t.Logf("app=%d kernel=%d wall=%v => %.1f Minst/s, faults=%d mpki=%.2f ptw=%.1f ipc=%.3f trans=%.1f%% alloc=%.1f%%",
+		m.AppInsts, m.KernelInsts, m.WallTime, ips/1e6, m.MinorFaults, m.L2TLBMPKI, m.AvgPTWLat, m.IPC,
+		100*m.TranslationFraction(), 100*m.AllocationFraction())
+	if ips < 100_000 {
+		t.Fatalf("simulation too slow: %.0f inst/s", ips)
+	}
+}

@@ -1,0 +1,86 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	c := NewController(Config{})
+	cfg := c.Config()
+	rowBytes := cfg.RowBytes
+	nb := uint64(cfg.Channels * cfg.BanksPerCh)
+
+	a := mem.PAddr(0)
+	sameRow := a + 64
+	conflictRow := a + mem.PAddr(rowBytes*nb) // same bank, next row
+
+	first := c.Access(a, false, mem.ATData, 0)
+	hit := c.Access(sameRow, false, mem.ATData, first+1000)
+	conflict := c.Access(conflictRow, false, mem.ATData, first+10000)
+
+	if hit >= conflict {
+		t.Fatalf("row hit (%d) should be faster than conflict (%d)", hit, conflict)
+	}
+	s := c.Stats()
+	if s.RowHits[mem.ATData] != 1 || s.RowConflicts[mem.ATData] != 1 || s.RowMisses[mem.ATData] != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestConflictAttribution(t *testing.T) {
+	c := NewController(Config{})
+	nb := uint64(c.Config().Channels * c.Config().BanksPerCh)
+	a := mem.PAddr(0)
+	b := a + mem.PAddr(c.Config().RowBytes*nb)
+	c.Access(a, false, mem.ATData, 0)
+	c.Access(b, false, mem.ATPTE, 100000) // PTE access conflicts with data row
+	s := c.Stats()
+	if s.RowConflicts[mem.ATPTE] != 1 {
+		t.Fatalf("PTE conflict not counted: %+v", s.RowConflicts)
+	}
+	if s.ConflictsCausedTo[mem.ATData] != 1 {
+		t.Fatalf("victim attribution missing: %+v", s.ConflictsCausedTo)
+	}
+	if s.TranslationConflicts() != 1 {
+		t.Fatalf("TranslationConflicts = %d", s.TranslationConflicts())
+	}
+}
+
+func TestBankQueueing(t *testing.T) {
+	c := NewController(Config{})
+	a := mem.PAddr(0)
+	// Two back-to-back accesses to the same bank at the same instant:
+	// the second must queue.
+	c.Access(a, false, mem.ATData, 0)
+	lat := c.Access(a+64, false, mem.ATData, 0)
+	if c.Stats().QueueCycles == 0 {
+		t.Fatal("no queueing recorded for same-cycle same-bank accesses")
+	}
+	if lat <= c.Config().TCAS {
+		t.Fatalf("queued access latency %d too small", lat)
+	}
+}
+
+func TestChannelsSpreadBanks(t *testing.T) {
+	c := NewController(Config{})
+	seen := map[int]bool{}
+	for i := uint64(0); i < 64; i++ {
+		bank, _ := c.bankAndRow(mem.PAddr(i * c.Config().RowBytes))
+		seen[bank] = true
+	}
+	if len(seen) != c.Config().Channels*c.Config().BanksPerCh {
+		t.Fatalf("rows mapped to %d banks, want %d", len(seen), c.Config().Channels*c.Config().BanksPerCh)
+	}
+}
+
+func TestRowHitRate(t *testing.T) {
+	c := NewController(Config{})
+	for i := 0; i < 10; i++ {
+		c.Access(mem.PAddr(i*64), false, mem.ATData, uint64(i*1000))
+	}
+	if r := c.Stats().RowHitRate(); r < 0.8 {
+		t.Fatalf("sequential row hit rate = %f", r)
+	}
+}

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func quick() Opts { return Opts{Quick: true, Seed: 3} }
+
+func TestFig01Shape(t *testing.T) {
+	tb := Fig01(quick())
+	var longTr, longAl, shortTr, shortAl float64
+	for _, r := range tb.Rows {
+		switch r.Label {
+		case "MEAN-long":
+			longTr, longAl = r.Cells[0], r.Cells[1]
+		case "MEAN-short":
+			shortTr, shortAl = r.Cells[0], r.Cells[1]
+		}
+	}
+	t.Logf("long: trans=%.1f%% alloc=%.1f%% | short: trans=%.1f%% alloc=%.1f%%", longTr, longAl, shortTr, shortAl)
+	if !(longTr > shortTr) {
+		t.Errorf("long-running should be translation-dominated: long %.2f%% vs short %.2f%%", longTr, shortTr)
+	}
+	if !(shortAl > longAl) {
+		t.Errorf("short-running should be allocation-dominated: short %.2f%% vs long %.2f%%", shortAl, longAl)
+	}
+}
+
+func TestFig02Shape(t *testing.T) {
+	tb := Fig02(quick())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tb.Rows))
+	}
+	on, off := tb.Rows[0], tb.Rows[1]
+	t.Logf("THP-on: median=%.0fns outliers=%.1f%% | THP-off: median=%.0fns outliers=%.1f%%",
+		on.Cells[1], on.Cells[5], off.Cells[1], off.Cells[5])
+	if !(on.Cells[5] > off.Cells[5]) {
+		t.Errorf("THP-enabled outlier contribution (%.1f%%) should exceed disabled (%.1f%%)", on.Cells[5], off.Cells[5])
+	}
+}
+
+func TestFig08Shape(t *testing.T) {
+	tb := Fig08(quick())
+	last := tb.Rows[len(tb.Rows)-1]
+	accV, accB := last.Cells[3], last.Cells[4]
+	t.Logf("IPC accuracy: virtuoso=%.1f%% baseline=%.1f%%", accV, accB)
+	if !(accV > accB) {
+		t.Errorf("Virtuoso IPC accuracy (%.1f%%) should beat fixed-latency baseline (%.1f%%)", accV, accB)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	tb := Fig13(quick())
+	for _, r := range tb.Rows {
+		t.Logf("%s: %v", r.Label, r.Cells)
+		last := r.Cells[len(r.Cells)-1]
+		// HDC and HT reproduce the paper's reduction at every scale; the
+		// ECH crossover requires page tables larger than the LLC (the
+		// 100GB regime), which the scaled quick configuration cannot
+		// reach — see EXPERIMENTS.md.
+		if r.Label != "ech" && last <= 0 {
+			t.Errorf("%s: hash PT should reduce PTW latency, got %.2f%%", r.Label, last)
+		}
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	tb := Fig16(quick())
+	byLabel := map[string]Row{}
+	for _, r := range tb.Rows {
+		byLabel[r.Label] = r
+		t.Logf("%s: median=%.0f p99=%.0f max=%.0f total=%.0fµs", r.Label, r.Cells[0], r.Cells[2], r.Cells[3], r.Cells[4])
+	}
+	bd := byLabel["Bagel-2.8B BD"]
+	ar := byLabel["Bagel-2.8B AR-THP"]
+	if len(bd.Cells) > 3 && len(ar.Cells) > 3 {
+		if !(ar.Cells[3] > 10*bd.Cells[0]) {
+			t.Errorf("AR-THP max (%.0fns) should dwarf BD median (%.0fns)", ar.Cells[3], bd.Cells[0])
+		}
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	tb := Fig21(quick())
+	last := tb.Rows[len(tb.Rows)-1]
+	t.Logf("GMEAN reductions: %v", last.Cells)
+	for i, v := range last.Cells {
+		if v < 30 {
+			t.Errorf("RMM reduction at frag point %d too small: %.1f%%", i, v)
+		}
+	}
+}
+
+var _ = core.DefaultConfig

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// llmPolicies returns the seven physical-memory allocation policies of
+// Use Case 2 (§7.5, Fig. 16): buddy-only, conservative and aggressive
+// reservation-based THP, and four Utopia configurations with different
+// RestSeg sizes and associativities.
+type llmPolicy struct {
+	label string
+	mut   func(*core.Config)
+}
+
+func llmPolicies() []llmPolicy {
+	ut := func(size uint64, ways int) func(*core.Config) {
+		return func(c *core.Config) {
+			c.Design = core.DesignUtopia
+			c.Policy = core.PolicyUtopia
+			c.UtopiaSegs = []core.UtopiaSegSpec{
+				{SizeBytes: size, Ways: ways, PageSize: mem.Page4K},
+			}
+		}
+	}
+	return []llmPolicy{
+		{"BD", func(c *core.Config) { c.Policy = core.PolicyBuddy }},
+		{"CR-THP", func(c *core.Config) { c.Policy = core.PolicyCRTHP }},
+		{"AR-THP", func(c *core.Config) { c.Policy = core.PolicyARTHP }},
+		{"UT-4MB/8w", ut(4*mem.MB, 8)},
+		{"UT-32MB/8w", ut(32*mem.MB, 8)},
+		{"UT-32MB/16w", ut(32*mem.MB, 16)},
+		{"UT-512MB/16w", ut(512*mem.MB, 16)},
+	}
+}
+
+// Fig16 reproduces Figure 16: the page-fault latency distribution of the
+// seven allocation policies across the three LLM inference workloads.
+// Paper shape: the THP reservation allocators match BD's median but grow
+// >1000× tails; UT-32MB/16w achieves the lowest total PF latency; the
+// 512MB RestSeg regresses (tag locality).
+func Fig16(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	t := &Table{
+		ID:      "fig16",
+		Title:   "Page fault latency distribution per allocation policy (ns)",
+		Columns: []string{"median", "p90", "p99", "max", "total(µs)"},
+	}
+
+	lws := []*workloads.Workload{workloads.Bagel(), workloads.Llama(), workloads.Mistral()}
+	if o.Quick {
+		lws = lws[:1]
+	}
+	for _, w := range lws {
+		for _, pol := range llmPolicies() {
+			cfg := BaseConfig(o)
+			cfg.MaxAppInsts = 0 // run inference to completion
+			pol.mut(&cfg)
+			m := runOne(cfg, cloneW(w))
+			s := m.PFLatNs
+			if s == nil || s.Len() == 0 {
+				t.Add(w.Name()+" "+pol.label, 0, 0, 0, 0, 0)
+				continue
+			}
+			t.Add(w.Name()+" "+pol.label,
+				s.Median(), s.Percentile(90), s.Percentile(99), s.Max(), s.Sum()/1e3)
+		}
+	}
+	t.Note("Paper: reservation THP has BD-like medians with >1000x tail latency; UT-32MB/16w has the lowest page fault latency; UT-512MB/16w regresses due to tag-array locality.")
+	return t
+}

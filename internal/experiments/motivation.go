@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Fig01 reproduces Figure 1: the fraction of total execution time spent
+// on address translation and on physical memory allocation (page-fault
+// handling), for the long-running and short-running suites. The paper's
+// shape: long-running ≈ 25% translation / ~5% allocation; short-running
+// < 1% translation / ~32% allocation.
+func Fig01(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	t := &Table{
+		ID:      "fig01",
+		Title:   "Fraction of execution time in address translation vs physical memory allocation",
+		Columns: []string{"translation %", "allocation %", "class"},
+	}
+
+	run := func(w *workloads.Workload, class float64) (float64, float64) {
+		cfg := BaseConfig(o)
+		// Run every workload to completion: the long programs' iterate
+		// phases amortise their allocation cost exactly as real
+		// long-running executions do.
+		cfg.MaxAppInsts = 0
+		m := runOne(cfg, w)
+		tr, al := 100*m.TranslationFraction(), 100*m.AllocationFraction()
+		t.Add(w.Name(), tr, al, class)
+		return tr, al
+	}
+
+	var ltr, lal, str, sal []float64
+	for _, w := range longSubset(o) {
+		a, b := run(w, 0)
+		ltr, lal = append(ltr, a), append(lal, b)
+	}
+	for _, w := range shortSubset(o) {
+		a, b := run(w, 1)
+		str, sal = append(str, a), append(sal, b)
+	}
+	t.Add("MEAN-long", meanOf(ltr), meanOf(lal), 0)
+	t.Add("MEAN-short", meanOf(str), meanOf(sal), 1)
+	t.Note("Paper: long-running 25%% translation / 4.9%% allocation; short-running <1%% translation / 32%% allocation.")
+	return t
+}
+
+func meanOf(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// Fig02 reproduces Figure 2: the minor-page-fault latency distribution
+// with THP enabled vs disabled, including the outlier (>10 µs)
+// contribution to total MPF latency (paper: 67% THP-on, 25.5% THP-off).
+func Fig02(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	t := &Table{
+		ID:      "fig02",
+		Title:   "Minor page fault latency distribution, THP enabled vs disabled (ns)",
+		Columns: []string{"p25", "median", "p75", "mean", "stddev", "outlier-contrib %"},
+	}
+
+	for _, pol := range []core.PolicyName{core.PolicyTHP, core.PolicyBuddy} {
+		label := "THP-enabled"
+		if pol == core.PolicyBuddy {
+			label = "THP-disabled"
+		}
+		pooled := newPooledSeries()
+		suite := append(longSubset(o), shortSubset(o)...)
+		for _, w := range suite {
+			cfg := BaseConfig(o)
+			cfg.Policy = pol
+			m := runOne(cfg, w)
+			if m.PFLatNs != nil {
+				pooled.extend(m.PFLatNs.Values())
+			}
+		}
+		s := pooled.series()
+		t.Add(label,
+			s.Percentile(25), s.Median(), s.Percentile(75),
+			s.Mean(), s.StdDev(),
+			100*s.OutlierContribution(10_000)) // 10 µs
+	}
+	t.Note("Paper: THP-enabled mean 2.2 µs with stddev >50 µs; outliers contribute 67%% (enabled) vs 25.5%% (disabled).")
+	return t
+}
+
+// Fig03 reproduces Figure 3: average page-table-walk latency across a
+// sweep of applications with increasing memory intensity (the paper
+// spans ~39 cycles for an I/O stressor to >180 for SSSP).
+func Fig03(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	levels := 53
+	if o.Quick {
+		levels = 6
+	}
+	t := &Table{
+		ID:      "fig03",
+		Title:   "Average PTW latency (cycles) across memory-intensity levels",
+		Columns: []string{"avg PTW latency (cycles)", "L2 TLB MPKI"},
+	}
+	for lvl := 0; lvl < levels; lvl++ {
+		w := workloads.Stress(lvl, levels)
+		cfg := BaseConfig(o)
+		m := runOne(cfg, w)
+		t.Add(w.Name(), m.AvgPTWLat, m.L2TLBMPKI)
+	}
+	// The paper's outlier: SSSP.
+	cfg := BaseConfig(o)
+	m := runOne(cfg, workloads.SP())
+	t.Add("SSSP", m.AvgPTWLat, m.L2TLBMPKI)
+	t.Note("Paper: PTW latency varies ~39 cycles (I/O stressor) to >180 cycles (SSSP).")
+	return t
+}
+
+// pooledSeries collects values across runs.
+type pooledSeries struct{ vals []float64 }
+
+func newPooledSeries() *pooledSeries { return &pooledSeries{} }
+
+func (p *pooledSeries) extend(vs []float64) { p.vals = append(p.vals, vs...) }
+
+func (p *pooledSeries) series() *stats.Series {
+	s := stats.NewSeries(len(p.vals))
+	for _, v := range p.vals {
+		s.Add(v)
+	}
+	return s
+}

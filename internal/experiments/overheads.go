@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/mimicos"
+	"repro/internal/simulators"
+	"repro/internal/workloads"
+)
+
+// Fig11 reproduces Figure 11: the simulation-time slowdown and host
+// memory overhead of integrating MimicOS into the four simulators
+// (ChampSim, Sniper, Ramulator, gem5-SE), plus gem5-FS (full-blown
+// kernel) over gem5-SE. The workload is randacc (RND), the paper's
+// worst case (highest page faults per kilo-instruction).
+func Fig11(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	t := &Table{
+		ID:      "fig11",
+		Title:   "Simulation time slowdown and memory overhead of MimicOS integration (worst case: randacc)",
+		Columns: []string{"slowdown %", "memory ratio", "kernel-inst share %"},
+	}
+
+	maxInsts := uint64(2_000_000)
+	if o.Quick {
+		maxInsts = 300_000
+	}
+
+	measure := func(k simulators.Kind, withOS bool) (secs float64, heap uint64, kshare float64) {
+		runtime.GC()
+		s := simulators.MustBuild(k, simulators.Options{
+			WithMimicOS: withOS,
+			MaxAppInsts: maxInsts,
+			PhysBytes:   1 * mem.GB,
+			Seed:        o.Seed + 11,
+		})
+		m := s.Run(workloads.RND())
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return m.WallTime.Seconds(), ms.HeapInuse, 100 * m.KernelInstFraction()
+	}
+
+	var slowdowns []float64
+	var memRatios []float64
+	for _, k := range simulators.Kinds() {
+		base, bheap, _ := measure(k, false)
+		with, wheap, kshare := measure(k, true)
+		slow := 100 * (with - base) / base
+		if slow < 0 {
+			slow = 0
+		}
+		mr := float64(wheap) / float64(bheap)
+		slowdowns = append(slowdowns, slow)
+		memRatios = append(memRatios, mr)
+		t.Add(string(k), slow, mr, kshare)
+	}
+	t.Add("AVG(MimicOS)", meanOf(slowdowns), meanOf(memRatios), 0)
+
+	// gem5-FS (full-blown kernel) vs gem5-SE.
+	seTime, seHeap, _ := measure(simulators.Gem5SE, true)
+	fsTime, fsHeap, fsShare := measure(simulators.Gem5FS, true)
+	t.Add("gem5-FS vs gem5-SE", 100*(fsTime-seTime)/seTime, float64(fsHeap)/float64(seHeap), fsShare)
+	t.Note("Paper: MimicOS slowdown 13/35/2/28%% (avg 20%%), memory 1.45x avg; gem5-FS +77%% time over gem5-SE.")
+	return t
+}
+
+// Fig12 reproduces Figure 12: normalized simulation time as a function
+// of the fraction of simulated instructions executed by MimicOS, using a
+// microbenchmark that holds total instructions constant while varying
+// the kernel share (paper: slope ≈ 1.5×).
+func Fig12(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	t := &Table{
+		ID:      "fig12",
+		Title:   "Normalized simulation time vs fraction of MimicOS instructions",
+		Columns: []string{"kernel-inst fraction %", "normalized sim time"},
+	}
+
+	total := uint64(1_500_000)
+	if o.Quick {
+		total = 250_000
+	}
+
+	// Vary the fault rate: each point touches fresh pages with a
+	// different amount of interleaved compute.
+	points := []uint32{0, 4, 16, 64, 160, 400, 1200}
+	var baseline float64
+	for i, aluPer := range points {
+		w := faultMicro(aluPer)
+		cfg := BaseConfig(o)
+		cfg.Policy = core.PolicyBuddy
+		cfg.MaxAppInsts = total
+		m := runOne(cfg, w)
+		secsPerInst := m.WallTime.Seconds() / float64(m.AppInsts)
+		if i == 0 {
+			// The most kernel-heavy point is measured first? No: index 0
+			// is the densest fault rate; normalise to the compute-only
+			// extreme instead (last point).
+			_ = secsPerInst
+		}
+		frac := 100 * m.KernelInstFraction()
+		t.Add(w.Name(), frac, secsPerInst)
+		if i == len(points)-1 {
+			baseline = secsPerInst
+		}
+	}
+	// Normalise against the lowest-kernel-share point.
+	if baseline > 0 {
+		for i := range t.Rows {
+			t.Rows[i].Cells[1] /= baseline
+		}
+	}
+	t.Note("Paper: simulation time grows ~1.5x as MimicOS instruction share reaches ~50%%.")
+	return t
+}
+
+// faultMicro builds the Fig. 12 microbenchmark: first-touch stores with
+// aluPer compute instructions between faults.
+func faultMicro(aluPer uint32) *workloads.Workload {
+	foot := uint64(48 * mem.MB)
+	return workloads.Custom(
+		"kfrac-alu"+itoa(int(aluPer)),
+		workloads.LongRunning,
+		foot,
+		func(w *workloads.Workload, k *mimicos.Kernel, pid int) {
+			w.SetBase("data", k.Mmap(pid, foot, mimicos.MmapFlags{Anon: true}))
+		},
+		func(w *workloads.Workload) []workloads.Step {
+			return []workloads.Step{
+				{Kind: workloads.StepTouch, Base: w.Base("data"), Size: foot,
+					Stride: 4 * mem.KB, ALUPer: aluPer, PC: 0xA00100},
+			}
+		},
+	)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

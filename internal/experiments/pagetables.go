@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// ptDesigns lists Use Case 1's page-table designs in paper order.
+func ptDesigns() []core.DesignName {
+	return []core.DesignName{core.DesignRadix, core.DesignECH, core.DesignHDC, core.DesignHT}
+}
+
+// runPT runs one (workload, design, fragmentation) cell with the
+// Linux-like THP policy Use Case 1 uses.
+func runPT(o Opts, w *workloads.Workload, d core.DesignName, frag float64) core.Metrics {
+	cfg := BaseConfig(o)
+	cfg.Design = d
+	cfg.Policy = core.PolicyTHP
+	cfg.FragFree2M = 1 - frag
+	cfg.MaxAppInsts = 0 // total PTW latency covers the whole benchmark
+	return runOne(cfg, cloneW(w))
+}
+
+// Fig13 reproduces Figure 13: reduction in total PTW latency of the
+// hash-based designs over Radix across memory fragmentation levels
+// (fraction of free 2MB blocks, 100%→90%). Paper: all hash designs
+// reduce PTW latency, and the reduction grows as fragmentation worsens.
+func Fig13(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	// Paper fragmentation levels (fraction of 2MB blocks *unavailable*).
+	frags := []float64{1.0, 0.98, 0.96, 0.94, 0.92, 0.90}
+	if o.Quick {
+		frags = []float64{1.0, 0.94, 0.90}
+	}
+	ws := longSubset(o)
+	if !o.Quick && len(ws) > 5 {
+		ws = ws[:5] // keep the full sweep tractable
+	}
+
+	t := &Table{
+		ID:      "fig13",
+		Title:   "Reduction in total PTW latency over Radix (%), by fragmentation level",
+		Columns: fragCols(frags),
+	}
+
+	// walkCycles[design][fragIdx] summed over workloads.
+	sums := map[core.DesignName][]float64{}
+	for _, d := range ptDesigns() {
+		sums[d] = make([]float64, len(frags))
+	}
+	for _, w := range ws {
+		for fi, f := range frags {
+			for _, d := range ptDesigns() {
+				m := runPT(o, w, d, f)
+				sums[d][fi] += float64(m.WalkCycles)
+			}
+		}
+	}
+	for _, d := range ptDesigns()[1:] {
+		cells := make([]float64, len(frags))
+		for fi := range frags {
+			radix := sums[core.DesignRadix][fi]
+			if radix > 0 {
+				cells[fi] = 100 * (radix - sums[d][fi]) / radix
+			}
+		}
+		t.Add(string(d), cells...)
+	}
+	t.Note("Paper: ECH/HDC/HT consistently reduce total PTW latency vs Radix; the reduction grows as free-2MB fraction drops 100%%→90%%.")
+	return t
+}
+
+func fragCols(frags []float64) []string {
+	cols := make([]string, len(frags))
+	for i, f := range frags {
+		cols[i] = fmt.Sprintf("%.0f%%", 100*f)
+	}
+	return cols
+}
+
+// Fig14 reproduces Figure 14: total DRAM row-buffer conflicts of the
+// hash designs normalized to Radix (paper: ECH 1.52x, HDC 0.95x, HT
+// 0.93x on average — ECH's parallel nest probes interfere).
+func Fig14(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	t := &Table{
+		ID:      "fig14",
+		Title:   "DRAM row buffer conflicts normalized to Radix",
+		Columns: []string{"ECH", "HDC", "HT"},
+	}
+	gm := map[core.DesignName][]float64{}
+	for _, w := range longSubset(o) {
+		base := runPT(o, w, core.DesignRadix, 0.80)
+		cells := make([]float64, 0, 3)
+		for _, d := range ptDesigns()[1:] {
+			m := runPT(o, w, d, 0.80) // baseline fragmentation (Table 4)
+			r := ratio(float64(m.Dram.TotalConflicts()), float64(base.Dram.TotalConflicts()))
+			cells = append(cells, r)
+			gm[d] = append(gm[d], r)
+		}
+		t.Add(w.Name(), cells...)
+	}
+	t.Add("GMEAN", gmeanOf(gm[core.DesignECH]), gmeanOf(gm[core.DesignHDC]), gmeanOf(gm[core.DesignHT]))
+	t.Note("Paper: ECH increases total row-buffer conflicts by 52%% over Radix; HDC and HT reduce them by 5%% and 7%%.")
+	return t
+}
+
+// Fig15 reproduces Figure 15: reduction in total minor-page-fault
+// latency over Radix (paper: ECH 9%, HDC 18%, HT 19% on average; ECH
+// regresses on RND due to hash-collision relocations).
+func Fig15(o Opts) *Table {
+	restore := scaleFor(o)
+	defer restore()
+
+	t := &Table{
+		ID:      "fig15",
+		Title:   "Reduction in total minor page fault latency over Radix (%)",
+		Columns: []string{"ECH", "HDC", "HT"},
+	}
+	var avg = map[core.DesignName][]float64{}
+	for _, w := range longSubset(o) {
+		base := runPT(o, w, core.DesignRadix, 0.80)
+		baseTotal := pfTotal(base)
+		cells := make([]float64, 0, 3)
+		for _, d := range ptDesigns()[1:] {
+			m := runPT(o, w, d, 0.80) // baseline fragmentation (Table 4)
+			var red float64
+			if baseTotal > 0 {
+				red = 100 * (baseTotal - pfTotal(m)) / baseTotal
+			}
+			cells = append(cells, red)
+			avg[d] = append(avg[d], red)
+		}
+		t.Add(w.Name(), cells...)
+	}
+	t.Add("MEAN", meanOf(avg[core.DesignECH]), meanOf(avg[core.DesignHDC]), meanOf(avg[core.DesignHT]))
+	t.Note("Paper: ECH -9%%, HDC -18%%, HT -19%% total MPF latency vs Radix on average; ECH increases it on RND.")
+	return t
+}
+
+func pfTotal(m core.Metrics) float64 {
+	if m.PFLatNs == nil {
+		return 0
+	}
+	return m.PFLatNs.Sum()
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return a
+	}
+	return a / b
+}
+
+func gmeanOf(vs []float64) float64 { return stats.GeoMean(vs) }

@@ -1,0 +1,166 @@
+// Package isa defines the synthetic instruction format shared by the
+// application frontends and the kernel instrumentation layer. It plays the
+// role of the instruction stream that, in the paper, a binary
+// instrumentation tool (Intel Pin / DynamoRIO) produces for both the
+// simulated application and MimicOS routines, and that the simulator's
+// core model consumes.
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Op is a synthetic instruction class. The core model only needs
+// instruction classes, not full semantics: it charges pipeline occupancy
+// per class and routes memory operands through the MMU and cache models.
+type Op uint8
+
+const (
+	// OpALU is a register-only integer operation. Count may batch several.
+	OpALU Op = iota
+	// OpFP is a floating-point operation (longer issue latency).
+	OpFP
+	// OpBranch is a conditional branch.
+	OpBranch
+	// OpLoad reads Addr.
+	OpLoad
+	// OpStore writes Addr.
+	OpStore
+	// OpAtomic is a locked read-modify-write on Addr (kernel
+	// synchronisation; models the §4.3 multithreaded-kernel overheads).
+	OpAtomic
+	// OpDelay stalls the pipeline for Count cycles. Used to represent
+	// device time (e.g., SSD access latency returned by MQSim) inside an
+	// injected kernel stream.
+	OpDelay
+	// OpMagic is a magic instruction (xchg rN,rN / m5op imitation): a
+	// doorbell marking functional-channel synchronisation points. The
+	// core model executes it in one cycle; the Virtuoso engine intercepts
+	// it to switch between application and kernel instruction streams.
+	OpMagic
+	numOps
+)
+
+// NumOps is the number of instruction classes.
+const NumOps = int(numOps)
+
+func (o Op) String() string {
+	switch o {
+	case OpALU:
+		return "alu"
+	case OpFP:
+		return "fp"
+	case OpBranch:
+		return "branch"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpAtomic:
+		return "atomic"
+	case OpDelay:
+		return "delay"
+	case OpMagic:
+		return "magic"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// HasMemOperand reports whether the op carries a memory address.
+func (o Op) HasMemOperand() bool {
+	return o == OpLoad || o == OpStore || o == OpAtomic
+}
+
+// IsWrite reports whether the op writes memory.
+func (o Op) IsWrite() bool { return o == OpStore || o == OpAtomic }
+
+// Inst is one synthetic instruction.
+//
+// Application streams carry virtual addresses (Phys=false) that the core
+// model translates through the MMU. Kernel streams produced by the
+// instrumentation layer carry physical addresses in the kernel direct map
+// (Phys=true), bypassing translation but still traversing the cache
+// hierarchy and DRAM — this is how injected OS routines pollute caches and
+// contend for memory bandwidth, the effect emulation-based simulators miss.
+type Inst struct {
+	Op    Op
+	Phys  bool
+	Count uint32 // batch size for OpALU/OpFP/OpBranch; delay cycles for OpDelay; else 1
+	PC    uint64 // synthetic program counter (drives the IP-stride prefetcher)
+	Addr  uint64 // memory operand if Op.HasMemOperand()
+}
+
+// N returns the effective batch count (at least 1).
+func (i Inst) N() uint64 {
+	if i.Count == 0 {
+		return 1
+	}
+	return uint64(i.Count)
+}
+
+// Stream is a materialised instruction sequence (e.g., one kernel routine's
+// dynamically generated instructions).
+type Stream []Inst
+
+// Instructions returns the total dynamic instruction count of the stream,
+// counting batched ops at their batch size and excluding pure delays.
+func (s Stream) Instructions() uint64 {
+	var n uint64
+	for _, in := range s {
+		if in.Op == OpDelay {
+			continue
+		}
+		n += in.N()
+	}
+	return n
+}
+
+// MemOps returns the number of memory-operand instructions in the stream.
+func (s Stream) MemOps() uint64 {
+	var n uint64
+	for _, in := range s {
+		if in.Op.HasMemOperand() {
+			n += in.N()
+		}
+	}
+	return n
+}
+
+// Source produces an instruction stream one instruction at a time; it is
+// the frontend-facing abstraction (trace-driven, execution-driven, or
+// emulation-driven frontends all implement it).
+type Source interface {
+	// Next stores the next instruction into out and reports whether one
+	// was produced. After Next returns false the source is exhausted.
+	Next(out *Inst) bool
+}
+
+// SliceSource adapts a Stream into a Source.
+type SliceSource struct {
+	S   Stream
+	pos int
+}
+
+// Next implements Source.
+func (ss *SliceSource) Next(out *Inst) bool {
+	if ss.pos >= len(ss.S) {
+		return false
+	}
+	*out = ss.S[ss.pos]
+	ss.pos++
+	return true
+}
+
+// Reset rewinds the source to the beginning.
+func (ss *SliceSource) Reset() { ss.pos = 0 }
+
+// Load constructs a load instruction at a virtual address.
+func Load(pc uint64, va mem.VAddr) Inst { return Inst{Op: OpLoad, PC: pc, Addr: uint64(va)} }
+
+// Store constructs a store instruction at a virtual address.
+func Store(pc uint64, va mem.VAddr) Inst { return Inst{Op: OpStore, PC: pc, Addr: uint64(va)} }
+
+// ALU constructs a batch of n register-only operations.
+func ALU(n uint32) Inst { return Inst{Op: OpALU, Count: n} }

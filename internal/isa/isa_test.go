@@ -1,0 +1,72 @@
+package isa
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestStreamCounts(t *testing.T) {
+	s := Stream{
+		ALU(100),
+		Load(0x400000, 0x1000),
+		Store(0x400004, 0x2000),
+		{Op: OpDelay, Count: 5000},
+		{Op: OpAtomic, Count: 1, Addr: 0x3000},
+	}
+	if got := s.Instructions(); got != 103 {
+		t.Fatalf("instructions = %d (delays must not count)", got)
+	}
+	if got := s.MemOps(); got != 3 {
+		t.Fatalf("mem ops = %d", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	if !OpLoad.HasMemOperand() || !OpStore.HasMemOperand() || !OpAtomic.HasMemOperand() {
+		t.Fatal("memory ops misclassified")
+	}
+	if OpALU.HasMemOperand() || OpDelay.HasMemOperand() || OpMagic.HasMemOperand() {
+		t.Fatal("non-memory ops misclassified")
+	}
+	if OpLoad.IsWrite() || !OpStore.IsWrite() || !OpAtomic.IsWrite() {
+		t.Fatal("write classification wrong")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := Stream{ALU(1), ALU(2), ALU(3)}
+	src := &SliceSource{S: s}
+	var in Inst
+	n := 0
+	for src.Next(&in) {
+		n++
+	}
+	if n != 3 {
+		t.Fatalf("drained %d", n)
+	}
+	src.Reset()
+	if !src.Next(&in) || in.Count != 1 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestBatchCount(t *testing.T) {
+	if (Inst{Op: OpALU}).N() != 1 {
+		t.Fatal("zero count should mean 1")
+	}
+	if (Inst{Op: OpALU, Count: 7}).N() != 7 {
+		t.Fatal("batch count lost")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	l := Load(0x400100, mem.VAddr(0x1234))
+	if l.Op != OpLoad || l.Addr != 0x1234 || l.PC != 0x400100 || l.Phys {
+		t.Fatalf("Load = %+v", l)
+	}
+	st := Store(0x400104, mem.VAddr(0x5678))
+	if st.Op != OpStore || !st.Op.IsWrite() {
+		t.Fatalf("Store = %+v", st)
+	}
+}

@@ -1,0 +1,77 @@
+package midgard
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+type nop struct{}
+
+func (nop) Load(mem.PAddr)  {}
+func (nop) Store(mem.PAddr) {}
+func (nop) ALU(uint32)      {}
+
+func TestSpaceMapsVMAsToDisjointMA(t *testing.T) {
+	s := NewSpace(0x100000)
+	k := nop{}
+	a := s.AddVMA(0x10000, 0x20000, k)
+	b := s.AddVMA(0x40000, 0x60000, k)
+	if a.MBase == b.MBase {
+		t.Fatal("VMAs share an MA base")
+	}
+	aEnd := a.MBase + MAddr(0x10000)
+	if b.MBase < aEnd {
+		t.Fatalf("MA ranges overlap: a=[%x,%x) b starts %x", a.MBase, aEnd, b.MBase)
+	}
+}
+
+func TestSpaceFindChargesWalk(t *testing.T) {
+	s := NewSpace(0x100000)
+	k := nop{}
+	s.AddVMA(0x10000, 0x20000, k)
+	var steps []mem.PAddr
+	v, ok := s.Find(0x15000, &steps)
+	if !ok {
+		t.Fatal("find missed")
+	}
+	if len(steps) == 0 {
+		t.Fatal("frontend walk accessed no tree nodes")
+	}
+	if ma := v.Translate(0x15000); ma != v.MBase+0x5000 {
+		t.Fatalf("translate = %x", ma)
+	}
+	if _, ok := s.Find(0x30000, nil); ok {
+		t.Fatal("found VMA in a hole")
+	}
+}
+
+func TestSpaceRemove(t *testing.T) {
+	s := NewSpace(0x100000)
+	k := nop{}
+	s.AddVMA(0x10000, 0x20000, k)
+	s.AddVMA(0x30000, 0x40000, k)
+	if n := s.RemoveVMA(0x10000, 0x20000, k); n != 1 {
+		t.Fatalf("removed %d", n)
+	}
+	if s.VMACount() != 1 {
+		t.Fatalf("count = %d", s.VMACount())
+	}
+}
+
+func TestManySmallVMAs(t *testing.T) {
+	// The Fig. 18 regime: one big VMA plus many small ones.
+	s := NewSpace(0x100000)
+	k := nop{}
+	s.AddVMA(0x1_0000_0000, 0x11_0000_0000, k)
+	for i := 0; i < 147; i++ {
+		base := mem.VAddr(0x20_0000_0000 + i*0x10000)
+		s.AddVMA(base, base+0x1000, k)
+	}
+	if s.VMACount() != 148 {
+		t.Fatalf("count = %d", s.VMACount())
+	}
+	if _, ok := s.Find(0x2_0000_0000, nil); !ok {
+		t.Fatal("big VMA lookup failed")
+	}
+}

@@ -1,0 +1,380 @@
+package mimicos
+
+import (
+	"repro/internal/instrument"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+// FaultOutcome is the functional result of a page fault, returned to the
+// simulator over the functional channel; the corresponding instruction
+// stream is retrieved via TakeStream and injected through the
+// instruction-stream channel.
+type FaultOutcome struct {
+	OK    bool // false = SIGSEGV
+	Frame mem.PAddr
+	Size  mem.PageSize
+	Major bool // required device I/O
+	// DeviceCycles is the SSD time embedded in the stream (swap and
+	// page-cache misses); exposed for swap-activity accounting (Fig. 20).
+	DeviceCycles uint64
+}
+
+// HandlePageFault runs the §5.1 / Fig. 6 page-fault flow for (pid, va)
+// at simulated time now (used for device queueing).
+func (k *Kernel) HandlePageFault(pid int, va mem.VAddr, write bool, now uint64) FaultOutcome {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+
+	p := k.procs[pid]
+	tr := k.Tracer
+	tr.Begin()
+	exit := tr.Enter("__do_page_fault")
+	tr.ALU(140) // exception entry, error-code decode, per-CPU state
+	tr.Atomic(k.lk.mmap)
+	k.faultCount++
+
+	if k.Cfg.FullKernel {
+		k.fullKernelNoise(tr, noiseFaultEntry)
+	}
+
+	// 1: find the virtual memory area.
+	vma := k.findVMA(p, va, tr)
+	if vma == nil {
+		tr.ALU(120) // bad-area path, signal delivery setup
+		k.stats.SegvFaults++
+		exit()
+		return FaultOutcome{OK: false}
+	}
+
+	// Page in hugetlbfs? (explicit huge-page VMAs bypass the normal path).
+	if vma.HugeTLB {
+		out := k.hugetlbFault(p, vma, va, tr)
+		k.postFault(p, tr, now)
+		exit()
+		return out
+	}
+
+	key := k.translationKey(p, va, tr)
+
+	// Did a concurrent fault already resolve this page? (Also catches
+	// retried faults after reservation upgrades.) Periodic daemon work
+	// (khugepaged, reclaim, zero-pool) still runs: it is driven by the
+	// fault clock, not the fault outcome.
+	if e, ok := p.PT.Lookup(key); ok && e.Present {
+		tr.ALU(60)
+		k.postFault(p, tr, now)
+		exit()
+		return FaultOutcome{OK: true, Frame: e.Frame, Size: e.Size}
+	}
+	// RestSeg mappings live outside the page table entirely.
+	if k.Utopia != nil {
+		for _, seg := range k.Utopia.Segs {
+			vpn := seg.PageSize.VPN(va)
+			if way, ok := seg.Lookup(vpn); ok {
+				tr.ALU(40)
+				exit()
+				return FaultOutcome{OK: true, Frame: seg.FramePA(seg.SetOf(vpn), way), Size: seg.PageSize}
+			}
+		}
+	}
+
+	var out FaultOutcome
+	if e, ok := p.PT.Lookup(key); ok && e.Swapped {
+		// 6: swapped-out anonymous page: consult the swap cache and
+		// read the slot back from disk.
+		out = k.swapInFault(p, vma, va, key, e, tr, now)
+	} else if vma.File || vma.DAX {
+		// 7-9: file-backed: try a 1GB mapping, then the page cache.
+		out = k.fileFault(p, vma, va, key, tr, now)
+	} else {
+		// Anonymous memory: the physical allocation policy decides
+		// (buddy 4K, THP variants, Utopia, eager paging).
+		out = k.anonFault(p, vma, va, key, write, tr, now)
+	}
+
+	if out.OK {
+		k.postFault(p, tr, now)
+	}
+	tr.ALU(80) // PTE flags, mm counters, return path
+	exit()
+	return out
+}
+
+// translationKey maps va into the key space the page table is indexed
+// by: the virtual address itself, or the Midgard intermediate address
+// when an intermediate address space is active.
+func (k *Kernel) translationKey(p *Process, va mem.VAddr, tr *instrument.Tracer) mem.VAddr {
+	if p.Midgard == nil {
+		return va
+	}
+	mv, ok := p.Midgard.Find(va, nil)
+	tr.ALU(20)
+	if !ok {
+		return va
+	}
+	return mem.VAddr(mv.Translate(va))
+}
+
+// anonFault services an anonymous-memory fault through the active
+// allocation policy, zeroes the page if required, and installs the PTE.
+func (k *Kernel) anonFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, write bool, tr *instrument.Tracer, now uint64) FaultOutcome {
+	exit := tr.Enter("do_anonymous_page")
+	defer exit()
+	tr.ALU(90)
+
+	frame, size, prezeroed, restseg, ok := k.policy.AllocAnon(k, p, vma, va, tr, now)
+	if !ok {
+		// Out of physical memory: direct reclaim, then retry once.
+		k.directReclaim(p, tr, now)
+		frame, size, prezeroed, restseg, ok = k.policy.AllocAnon(k, p, vma, va, tr, now)
+		if !ok {
+			k.stats.SegvFaults++
+			return FaultOutcome{OK: false}
+		}
+	}
+
+	if !prezeroed {
+		zexit := tr.Enter("clear_page")
+		tr.ZeroRange(frame, size.Bytes())
+		zexit()
+	}
+
+	base := size.PageBase(va)
+	keyBase := key - (va - base)
+	if restseg {
+		// Utopia RestSeg mappings bypass the page table: translation is
+		// set-index plus tag match, which is the whole point (§7.5).
+		// Invalidate any negative SF/TAR state cached by the MMU.
+		tr.ALU(20)
+		k.notifyUnmap(p.PID, base, size)
+	} else {
+		tr.Atomic(k.lk.pt)
+		if err := p.PT.Insert(keyBase, pagetable.Entry{
+			Frame: frame, Size: size, Present: true, Writable: true, Dirty: write, Accessed: true,
+		}, tr); err != nil {
+			k.stats.SegvFaults++
+			return FaultOutcome{OK: false}
+		}
+	}
+	if size == mem.Page4K {
+		vma.region4K[uint64(mem.Page2M.PageBase(va))]++
+	}
+	p.RSS += size.Bytes()
+	p.addResident(residentPage{VA: base, Size: size, Frame: frame, RestSeg: restseg})
+	k.stats.MinorFaults++
+	k.stats.FaultsBySize[size]++
+	return FaultOutcome{OK: true, Frame: frame, Size: size}
+}
+
+// fileFault services a file-backed (or DAX) fault: 1 GB mapping when the
+// Fig. 6 conditions hold, else page-cache lookup with disk fallback.
+func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr *instrument.Tracer, now uint64) FaultOutcome {
+	exit := tr.Enter("do_fault_file")
+	defer exit()
+	tr.ALU(110)
+
+	// 3: 1GB page: VMA is DAX or file-backed, flags set, and a 1GB
+	// contiguous region exists in the buddy free lists.
+	if vma.Huge1G && k.Cfg.Enable1G && k.Cfg.PTKind == PTRadix {
+		gexit := tr.Enter("alloc_1g_page")
+		tr.Atomic(k.lk.buddy)
+		tr.ALU(320) // free-list scan across orders
+		tr.TouchObject(k.lk.buddy, 6, 0)
+		frame, ok := k.Phys.Alloc1G()
+		gexit()
+		if ok {
+			dev := k.fetchFromPageCache(vma, va, frame, mem.Page1G, tr, now)
+			base := mem.Page1G.PageBase(va)
+			keyBase := key - (va - base)
+			tr.Atomic(k.lk.pt)
+			if err := p.PT.Insert(keyBase, pagetable.Entry{
+				Frame: frame, Size: mem.Page1G, Present: true, Writable: true, Accessed: true,
+			}, tr); err == nil {
+				p.RSS += mem.Page1G.Bytes()
+				p.addResident(residentPage{VA: base, Size: mem.Page1G, Frame: frame})
+				k.stats.MinorFaults++
+				k.stats.OneGigFaults++
+				k.stats.FaultsBySize[mem.Page1G]++
+				return FaultOutcome{OK: true, Frame: frame, Size: mem.Page1G, Major: dev > 0, DeviceCycles: dev}
+			}
+			k.Phys.Free(frame, mem.Page1G.Bytes()/(4*mem.KB))
+		}
+		// Conditions not met: fall through to smaller pages.
+	}
+
+	frame, ok := k.allocBuddy4K(tr)
+	if !ok {
+		k.directReclaim(p, tr, now)
+		frame, ok = k.allocBuddy4K(tr)
+		if !ok {
+			k.stats.SegvFaults++
+			return FaultOutcome{OK: false}
+		}
+	}
+	dev := k.fetchFromPageCache(vma, va, frame, mem.Page4K, tr, now)
+
+	base := mem.Page4K.PageBase(va)
+	keyBase := key - (va - base)
+	tr.Atomic(k.lk.pt)
+	if err := p.PT.Insert(keyBase, pagetable.Entry{
+		Frame: frame, Size: mem.Page4K, Present: true, Writable: true, Accessed: true,
+	}, tr); err != nil {
+		k.stats.SegvFaults++
+		return FaultOutcome{OK: false}
+	}
+	vma.region4K[uint64(mem.Page2M.PageBase(va))]++
+	p.RSS += 4 * mem.KB
+	p.addResident(residentPage{VA: base, Size: mem.Page4K, Frame: frame})
+	if dev > 0 {
+		k.stats.MajorFaults++
+	} else {
+		k.stats.MinorFaults++
+	}
+	k.stats.FaultsBySize[mem.Page4K]++
+	return FaultOutcome{OK: true, Frame: frame, Size: mem.Page4K, Major: dev > 0, DeviceCycles: dev}
+}
+
+// fetchFromPageCache resolves file data for [va, va+size): a page-cache
+// hit costs an index lookup; a miss reads the disk (MQSim latency) and
+// inserts the page. Returns the device cycles charged.
+func (k *Kernel) fetchFromPageCache(vma *VMA, va mem.VAddr, frame mem.PAddr, size mem.PageSize, tr *instrument.Tracer, now uint64) uint64 {
+	exit := tr.Enter("page_cache_lookup")
+	defer exit()
+	filePage := uint64(va-vma.Start) >> 12
+	keyObj := pcKey{file: vma.FileID, page: filePage}
+	tr.ALU(70) // xarray descent
+	tr.Load(k.lk.lru)
+
+	if _, hit := k.pageCache[keyObj]; hit || k.Cfg.PrepopulatePageCache {
+		k.stats.PageCacheHits++
+		k.pageCache[keyObj] = frame
+		// Mapping a cached page: no copy for DAX; copy a page otherwise
+		// is avoided by mapping the cache page itself (we model the
+		// common shared-mapping path).
+		tr.ALU(40)
+		return 0
+	}
+	k.stats.PageCacheMisses++
+	var dev uint64 = 174_000 // stand-in when no disk is attached (~60µs)
+	if k.Disk != nil {
+		dev = k.Disk.Read(uint64(vma.FileID)<<32+filePage*4096, size.Bytes(), now)
+	}
+	dexit := tr.Enter("submit_bio_read")
+	tr.ALU(420) // block layer, request setup, completion
+	tr.Delay(dev)
+	dexit()
+	k.pageCache[keyObj] = frame
+	return dev
+}
+
+// hugetlbFault serves a fault in a hugetlbfs VMA from the reserved pool.
+func (k *Kernel) hugetlbFault(p *Process, vma *VMA, va mem.VAddr, tr *instrument.Tracer) FaultOutcome {
+	exit := tr.Enter("hugetlb_fault")
+	defer exit()
+	tr.ALU(150)
+	frame, ok := k.hugetlbPop()
+	if !ok {
+		k.stats.SegvFaults++
+		return FaultOutcome{OK: false}
+	}
+	zexit := tr.Enter("clear_huge_page")
+	tr.ZeroRange(frame, mem.Page2M.Bytes())
+	zexit()
+	base := mem.Page2M.PageBase(va)
+	tr.Atomic(k.lk.pt)
+	if err := p.PT.Insert(base, pagetable.Entry{
+		Frame: frame, Size: mem.Page2M, Present: true, Writable: true, Accessed: true,
+	}, tr); err != nil {
+		k.stats.SegvFaults++
+		return FaultOutcome{OK: false}
+	}
+	p.RSS += mem.Page2M.Bytes()
+	p.addResident(residentPage{VA: base, Size: mem.Page2M, Frame: frame})
+	k.stats.MinorFaults++
+	k.stats.HugeTLBFaults++
+	k.stats.FaultsBySize[mem.Page2M]++
+	return FaultOutcome{OK: true, Frame: frame, Size: mem.Page2M}
+}
+
+// postFault runs the deferred work attached to fault handling: reclaim
+// when above the watermark, khugepaged scan ticks, zero-pool refill.
+func (k *Kernel) postFault(p *Process, tr *instrument.Tracer, now uint64) {
+	if k.Cfg.SwapBytes > 0 && k.Phys.UsedFraction() > k.Cfg.SwapThreshold {
+		k.directReclaim(p, tr, now)
+	}
+	if n := k.Cfg.KhugeEveryNFaults; n > 0 && k.faultCount%n == 0 {
+		k.khuge.scan(p, tr, now)
+	}
+	k.refillZeroPool(tr)
+	if k.Cfg.FullKernel {
+		k.fullKernelNoise(tr, noiseFaultExit)
+	}
+}
+
+// refillZeroPool zeroes up to the configured number of 2MB pages into
+// the pool (background work charged to the current event, as the paper's
+// single-channel injection does).
+func (k *Kernel) refillZeroPool(tr *instrument.Tracer) {
+	if k.Cfg.ZeroPoolCap == 0 {
+		return
+	}
+	for i := 0; i < k.Cfg.ZeroPoolRefill && len(k.zeroPool) < k.Cfg.ZeroPoolCap; i++ {
+		frame, ok := k.Phys.Alloc2M()
+		if !ok {
+			return
+		}
+		exit := tr.Enter("zero_pool_refill")
+		tr.ZeroRange(frame, 2*mem.MB)
+		exit()
+		k.zeroPool = append(k.zeroPool, frame)
+	}
+}
+
+// popZeroPool returns a pre-zeroed 2MB frame if one is ready.
+func (k *Kernel) popZeroPool() (mem.PAddr, bool) {
+	if n := len(k.zeroPool); n > 0 {
+		f := k.zeroPool[n-1]
+		k.zeroPool = k.zeroPool[:n-1]
+		return f, true
+	}
+	return 0, false
+}
+
+// hugetlb pool -------------------------------------------------------------
+
+func (k *Kernel) hugetlbPop() (mem.PAddr, bool) {
+	if len(k.hugetlbPool) == 0 {
+		return 0, false
+	}
+	f := k.hugetlbPool[len(k.hugetlbPool)-1]
+	k.hugetlbPool = k.hugetlbPool[:len(k.hugetlbPool)-1]
+	return f, true
+}
+
+// ReserveHugeTLB fills the hugetlbfs pool with n 2MB pages (done at boot,
+// like hugetlbfs reservation).
+func (k *Kernel) ReserveHugeTLB(n int) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	got := 0
+	for i := 0; i < n; i++ {
+		f, ok := k.Phys.Alloc2M()
+		if !ok {
+			break
+		}
+		k.hugetlbPool = append(k.hugetlbPool, f)
+		got++
+	}
+	return got
+}
+
+// allocBuddy4K is the instrumented buddy fast path for a single frame.
+func (k *Kernel) allocBuddy4K(tr *instrument.Tracer) (mem.PAddr, bool) {
+	exit := tr.Enter("alloc_pages")
+	defer exit()
+	tr.Atomic(k.lk.buddy)
+	tr.ALU(85) // gfp checks, zone selection, freelist pop
+	tr.TouchObject(k.lk.buddy, 2, 1)
+	return k.Phys.Alloc4K()
+}

@@ -1,0 +1,89 @@
+package mimicos
+
+import (
+	"repro/internal/instrument"
+	"repro/internal/mem"
+)
+
+type pAddrAlias = mem.PAddr
+
+// Full-kernel mode imitates what a full-system simulator executes on
+// every kernel entry beyond the memory-management subsystem: scheduler
+// accounting, RCU, timers, cgroup charging, auditing, vmstat — the
+// routines MimicOS deliberately omits. The §7.3 comparison (Fig. 11)
+// enables this mode to reproduce gem5-FS's simulation-time and memory
+// overheads against gem5-SE.
+
+type noisePhase int
+
+const (
+	noiseFaultEntry noisePhase = iota
+	noiseFaultExit
+)
+
+// fullKernelNoise injects the non-VM kernel work a full-blown kernel
+// performs around the event. The instruction mix is deterministic and
+// sized from published Linux fault-path profiles (~3-4x the MM-only
+// instruction count).
+func (k *Kernel) fullKernelNoise(tr *instrument.Tracer, phase noisePhase) {
+	switch phase {
+	case noiseFaultEntry:
+		exit := tr.Enter("context_tracking_enter")
+		tr.ALU(180)
+		tr.Load(k.lk.mmap + 0x40)
+		exit()
+
+		exit = tr.Enter("rcu_note_context_switch")
+		tr.ALU(260)
+		tr.TouchObject(k.fullKernelObj(0), 2, 1)
+		exit()
+
+		exit = tr.Enter("sched_clock_tick")
+		tr.ALU(340)
+		tr.TouchObject(k.fullKernelObj(1), 3, 2)
+		exit()
+
+		exit = tr.Enter("cgroup_charge")
+		tr.ALU(300)
+		tr.Atomic(k.fullKernelObj(2))
+		tr.TouchObject(k.fullKernelObj(2), 2, 1)
+		exit()
+
+	case noiseFaultExit:
+		exit := tr.Enter("vmstat_update")
+		tr.ALU(220)
+		tr.TouchObject(k.fullKernelObj(3), 2, 2)
+		exit()
+
+		exit = tr.Enter("audit_syscall_exit")
+		tr.ALU(280)
+		tr.Load(k.fullKernelObj(4))
+		exit()
+
+		exit = tr.Enter("hrtimer_run_queues")
+		tr.ALU(380)
+		tr.TouchObject(k.fullKernelObj(5), 4, 1)
+		exit()
+
+		// Periodic tick: every 64th event also runs the scheduler's
+		// load-balancing pass.
+		k.noiseTicks++
+		if k.noiseTicks%64 == 0 {
+			exit = tr.Enter("scheduler_tick")
+			tr.ALU(2400)
+			tr.TouchObject(k.fullKernelObj(6), 12, 6)
+			tr.Atomic(k.fullKernelObj(6))
+			exit()
+		}
+	}
+}
+
+// fullKernelObj lazily allocates the kernel objects the noise routines
+// touch. Full kernels also hold far more resident state; the adapter
+// layer additionally reserves a boot footprint when FullKernel is set.
+func (k *Kernel) fullKernelObj(i int) (pa pAddrAlias) {
+	for len(k.noiseObjs) <= i {
+		k.noiseObjs = append(k.noiseObjs, k.kalloc(4096))
+	}
+	return k.noiseObjs[i]
+}

@@ -1,0 +1,275 @@
+package mmu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tlb"
+	"repro/internal/xrand"
+)
+
+// This file implements the remaining VirTool techniques of Table 2 as
+// composable Design wrappers: software-managed TLBs, the part-of-memory
+// TLB, TLB prefetching, page-size prediction, and Victima-style TLB
+// entries in the data caches. Each wraps an inner Design and can stack.
+
+// SWTLBDesign models a software-managed TLB (MIPS/SPARC tradition,
+// Table 2's "Software-managed TLBs" [118]): an L2 TLB miss traps to a
+// software refill handler whose cost (trap + lookup + TLB write) is
+// charged before the inner translation resolves the mapping.
+type SWTLBDesign struct {
+	Inner     Design
+	RefillLat uint64 // trap entry/exit + handler instructions
+	Refills   uint64
+}
+
+// Name implements Design.
+func (d *SWTLBDesign) Name() string { return "swtlb+" + d.Inner.Name() }
+
+// TranslateMiss implements Design.
+func (d *SWTLBDesign) TranslateMiss(va mem.VAddr, now uint64) Result {
+	lat := d.RefillLat
+	if lat == 0 {
+		lat = 120 // typical software refill cost in cycles
+	}
+	d.Refills++
+	res := d.Inner.TranslateMiss(va, now+lat)
+	res.Lat += lat
+	return res
+}
+
+// Invalidate implements Design.
+func (d *SWTLBDesign) Invalidate(va mem.VAddr, size mem.PageSize) { d.Inner.Invalidate(va, size) }
+
+// POMTLBDesign models a part-of-memory TLB (Ryoo et al., ISCA'17 [118]):
+// a very large software-visible TLB stored in DRAM, consulted after the
+// on-chip hierarchy misses and before a full walk.
+type POMTLBDesign struct {
+	Inner Design
+	Mem   Memory
+	Base  mem.PAddr
+	// Entries is the number of 16-byte POM-TLB slots.
+	Entries uint64
+
+	content map[uint64]Result
+	Hits    uint64
+	Misses  uint64
+}
+
+// NewPOMTLB builds a part-of-memory TLB over inner.
+func NewPOMTLB(inner Design, m Memory, base mem.PAddr, entries uint64) *POMTLBDesign {
+	return &POMTLBDesign{Inner: inner, Mem: m, Base: base, Entries: entries, content: make(map[uint64]Result)}
+}
+
+// Name implements Design.
+func (d *POMTLBDesign) Name() string { return "pom+" + d.Inner.Name() }
+
+func (d *POMTLBDesign) slotPA(vpn uint64) mem.PAddr {
+	return d.Base + mem.PAddr(xrand.Hash64(vpn, 0x90)%d.Entries*16)
+}
+
+// TranslateMiss implements Design.
+func (d *POMTLBDesign) TranslateMiss(va mem.VAddr, now uint64) Result {
+	vpn := mem.Page4K.VPN(va)
+	// The POM-TLB lookup is a DRAM access (cacheable).
+	lat := d.Mem.AccessMeta(d.slotPA(vpn), false, now)
+	if r, ok := d.content[vpn]; ok {
+		d.Hits++
+		r.Lat = lat
+		return r
+	}
+	d.Misses++
+	res := d.Inner.TranslateMiss(va, now+lat)
+	res.Lat += lat
+	if !res.Fault {
+		stored := res
+		stored.PA = res.Size.FrameBase(res.PA) | mem.PAddr(mem.Page4K.Offset(va))
+		// Store per-4K-page granularity for simplicity.
+		d.content[vpn] = Result{PA: res.Size.Translate(res.PA, va), Size: res.Size}
+		d.Mem.AccessMeta(d.slotPA(vpn), true, now+res.Lat)
+	}
+	return res
+}
+
+// Invalidate implements Design.
+func (d *POMTLBDesign) Invalidate(va mem.VAddr, size mem.PageSize) {
+	pages := size.Bytes() / (4 * mem.KB)
+	base := mem.Page4K.VPN(size.PageBase(va))
+	for i := uint64(0); i < pages; i++ {
+		delete(d.content, base+i)
+	}
+	d.Inner.Invalidate(va, size)
+}
+
+// PrefetchDesign adds distance-based TLB prefetching (Table 2's "TLB
+// prefetching [170]"): on a walk for page N, it walks page N+delta ahead
+// of demand, filling a prefetch buffer.
+type PrefetchDesign struct {
+	Inner  Design
+	Degree int
+
+	buffer     *tlb.TLB
+	lastVPN    uint64
+	stride     int64
+	conf       int
+	Issued     uint64
+	BufferHits uint64
+}
+
+// NewPrefetchDesign wraps inner with a TLB prefetcher.
+func NewPrefetchDesign(inner Design, degree int) *PrefetchDesign {
+	return &PrefetchDesign{
+		Inner:  inner,
+		Degree: degree,
+		buffer: tlb.New("tlb-pf-buffer", 32, 4, 1, mem.Page4K, mem.Page2M),
+	}
+}
+
+// Name implements Design.
+func (d *PrefetchDesign) Name() string { return "tlbpf+" + d.Inner.Name() }
+
+// TranslateMiss implements Design.
+func (d *PrefetchDesign) TranslateMiss(va mem.VAddr, now uint64) Result {
+	if e, ok := d.buffer.Lookup(va, 0); ok {
+		d.BufferHits++
+		return Result{PA: e.Size.Translate(e.Frame, va), Size: e.Size, Lat: d.buffer.Latency()}
+	}
+	res := d.Inner.TranslateMiss(va, now)
+
+	// Distance predictor on the demand-miss VPN stream.
+	vpn := mem.Page4K.VPN(va)
+	delta := int64(vpn) - int64(d.lastVPN)
+	if delta == d.stride && delta != 0 {
+		if d.conf < 3 {
+			d.conf++
+		}
+	} else {
+		d.stride = delta
+		d.conf = 0
+	}
+	d.lastVPN = vpn
+	if d.conf >= 2 && !res.Fault {
+		for i := 1; i <= d.Degree; i++ {
+			nvpn := int64(vpn) + d.stride*int64(i)
+			if nvpn <= 0 {
+				break
+			}
+			pva := mem.VAddr(nvpn << 12)
+			pres := d.Inner.TranslateMiss(pva, now+res.Lat) // latency off the critical path
+			if pres.Fault {
+				break
+			}
+			d.Issued++
+			d.buffer.Insert(tlb.Entry{VPN: pres.Size.VPN(pva), Size: pres.Size, Frame: pres.Size.FrameBase(pres.PA)})
+		}
+	}
+	return res
+}
+
+// Invalidate implements Design.
+func (d *PrefetchDesign) Invalidate(va mem.VAddr, size mem.PageSize) {
+	d.buffer.InvalidateVA(va, 0)
+	d.Inner.Invalidate(va, size)
+}
+
+// SizePredictDesign models page-size prediction (Papadopoulou et al.,
+// HPCA'15 [127]): a PC-indexed predictor guesses the page size before
+// the split-L1 probe; a correct guess saves the second probe's cycle,
+// a wrong one costs a re-probe. The MMU models L1 probes internally, so
+// here the predictor adjusts the walk-entry latency.
+type SizePredictDesign struct {
+	Inner Design
+
+	pred    map[uint64]mem.PageSize
+	Correct uint64
+	Wrong   uint64
+}
+
+// NewSizePredictDesign wraps inner with a size predictor.
+func NewSizePredictDesign(inner Design) *SizePredictDesign {
+	return &SizePredictDesign{Inner: inner, pred: make(map[uint64]mem.PageSize)}
+}
+
+// Name implements Design.
+func (d *SizePredictDesign) Name() string { return "szpred+" + d.Inner.Name() }
+
+// TranslateMiss implements Design.
+func (d *SizePredictDesign) TranslateMiss(va mem.VAddr, now uint64) Result {
+	key := uint64(va) >> 21 // region-grained prediction state
+	res := d.Inner.TranslateMiss(va, now)
+	if res.Fault {
+		return res
+	}
+	if guess, ok := d.pred[key]; ok {
+		if guess == res.Size {
+			d.Correct++
+			if res.Lat > 0 {
+				res.Lat-- // saved probe
+			}
+		} else {
+			d.Wrong++
+			res.Lat += 2 // mispredicted probe replay
+		}
+	}
+	d.pred[key] = res.Size
+	return res
+}
+
+// Invalidate implements Design.
+func (d *SizePredictDesign) Invalidate(va mem.VAddr, size mem.PageSize) {
+	d.Inner.Invalidate(va, size)
+}
+
+// VictimaDesign models Victima-style TLB-entry storage in the data
+// caches (Table 2's "TLB entries stored in data caches [175]"): L2 TLB
+// victims are written into the cache hierarchy at a reserved region;
+// before walking, the design probes that region — converting many walks
+// into single cached accesses.
+type VictimaDesign struct {
+	Inner Design
+	Mem   Memory
+	Base  mem.PAddr
+
+	content map[uint64]Result
+	Hits    uint64
+	Misses  uint64
+}
+
+// NewVictimaDesign wraps inner with cached-TLB-entry lookup.
+func NewVictimaDesign(inner Design, m Memory, base mem.PAddr) *VictimaDesign {
+	return &VictimaDesign{Inner: inner, Mem: m, Base: base, content: make(map[uint64]Result)}
+}
+
+// Name implements Design.
+func (d *VictimaDesign) Name() string { return "victima+" + d.Inner.Name() }
+
+func (d *VictimaDesign) linePA(vpn uint64) mem.PAddr {
+	return d.Base + mem.PAddr(xrand.Hash64(vpn, 0x71C)%(1<<20))*64
+}
+
+// TranslateMiss implements Design.
+func (d *VictimaDesign) TranslateMiss(va mem.VAddr, now uint64) Result {
+	vpn := mem.Page4K.VPN(va)
+	lat := d.Mem.AccessMeta(d.linePA(vpn), false, now)
+	if r, ok := d.content[vpn]; ok {
+		d.Hits++
+		r.Lat = lat
+		return r
+	}
+	d.Misses++
+	res := d.Inner.TranslateMiss(va, now+lat)
+	res.Lat += lat
+	if !res.Fault {
+		d.content[vpn] = Result{PA: res.Size.Translate(res.PA, va), Size: res.Size}
+		d.Mem.AccessMeta(d.linePA(vpn), true, now+res.Lat)
+	}
+	return res
+}
+
+// Invalidate implements Design.
+func (d *VictimaDesign) Invalidate(va mem.VAddr, size mem.PageSize) {
+	pages := size.Bytes() / (4 * mem.KB)
+	base := mem.Page4K.VPN(size.PageBase(va))
+	for i := uint64(0); i < pages; i++ {
+		delete(d.content, base+i)
+	}
+	d.Inner.Invalidate(va, size)
+}

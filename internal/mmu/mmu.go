@@ -1,0 +1,229 @@
+// Package mmu models the memory management unit: the TLB hierarchy of
+// Table 4 (split L1 DTLBs per page size, unified L2 STLB, page-walk
+// caches) in front of a pluggable translation design — radix or hashed
+// page-table walkers, Utopia, RMM ranges, Midgard's intermediate address
+// space, direct segments, and nested (virtualised) translation.
+//
+// Walk memory traffic goes through the shared cache hierarchy and DRAM
+// with the mem.ATPTE / mem.ATTransMeta attribution the row-buffer
+// experiments (Figs. 14, 21) rely on.
+package mmu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// Memory is the walker-facing view of the cache hierarchy.
+type Memory interface {
+	AccessPTE(pa mem.PAddr, write bool, now uint64) uint64
+	AccessMeta(pa mem.PAddr, write bool, now uint64) uint64
+}
+
+// Result is the outcome of one translation.
+type Result struct {
+	PA    mem.PAddr
+	Size  mem.PageSize
+	Lat   uint64 // cycles spent translating (TLB lookups + walk)
+	Fault bool   // no valid mapping: the OS must intervene
+	// FrontendLat/BackendLat split translation time for intermediate
+	// address space designs (Fig. 17); zero elsewhere.
+	FrontendLat uint64
+	BackendLat  uint64
+}
+
+// Design is a translation mechanism invoked after an L2 STLB miss.
+type Design interface {
+	Name() string
+	// TranslateMiss resolves va after the TLB hierarchy missed.
+	TranslateMiss(va mem.VAddr, now uint64) Result
+	// Invalidate drops design-internal state for a page (shootdowns).
+	Invalidate(va mem.VAddr, size mem.PageSize)
+}
+
+// Config sizes the TLB hierarchy (Table 4 defaults via DefaultConfig).
+type Config struct {
+	ITLBEntries, ITLBWays     int
+	ITLBLat                   uint64
+	DTLB4KEntries, DTLB4KWays int
+	DTLB2MEntries, DTLB2MWays int
+	DTLBLat                   uint64
+	STLBEntries, STLBWays     int
+	STLBLat                   uint64
+	// STLB4KOnly restricts the unified L2 TLB to 4 KB entries
+	// (Sandy-Bridge-style); large pages then rely on the L1 alone.
+	// Scaled-down experiment configurations use this to preserve the
+	// paper's footprint-to-TLB-reach ratio for huge pages.
+	STLB4KOnly bool
+	// PWCEntries/PWCWays size the page-walk caches (0 = Table 4's 32/4).
+	PWCEntries, PWCWays int
+}
+
+// DefaultConfig returns the Table 4 MMU configuration: 128-entry 8-way
+// L1 I-TLB; 64-entry 4-way L1 D-TLB (4K); 32-entry 4-way L1 D-TLB (2M);
+// 2048-entry 16-way L2 STLB at 12 cycles.
+func DefaultConfig() Config {
+	return Config{
+		ITLBEntries: 128, ITLBWays: 8, ITLBLat: 1,
+		DTLB4KEntries: 64, DTLB4KWays: 4,
+		DTLB2MEntries: 32, DTLB2MWays: 4,
+		DTLBLat:     1,
+		STLBEntries: 2048, STLBWays: 16, STLBLat: 12,
+	}
+}
+
+// Stats aggregates MMU activity.
+type Stats struct {
+	DataTranslations  uint64
+	InstrTranslations uint64
+	L1DTLBMisses      uint64
+	L2TLBMisses       uint64 // drives the L2 TLB MPKI of Fig. 10
+	Walks             uint64
+	WalkCycles        uint64 // total page-table-walk latency
+	Faults            uint64
+	TransCycles       uint64 // total translation cycles beyond the L1 hit path
+	FrontendCycles    uint64 // Midgard frontend share (Fig. 17)
+	BackendCycles     uint64
+}
+
+// AvgWalkLatency returns average PTW latency in cycles (Figs. 3, 10).
+func (s *Stats) AvgWalkLatency() float64 {
+	if s.Walks == 0 {
+		return 0
+	}
+	return float64(s.WalkCycles) / float64(s.Walks)
+}
+
+// MMU couples the TLB hierarchy with a translation design.
+type MMU struct {
+	cfg    Config
+	itlb   *tlb.TLB
+	dtlb4k *tlb.TLB
+	dtlb2m *tlb.TLB
+	stlb   *tlb.TLB
+	design Design
+	asid   uint16
+	stats  Stats
+}
+
+// New builds an MMU over the given design.
+func New(cfg Config, design Design, asid uint16) *MMU {
+	if cfg.ITLBEntries == 0 {
+		cfg = DefaultConfig()
+	}
+	stlbSizes := []mem.PageSize{mem.Page4K, mem.Page2M, mem.Page1G}
+	if cfg.STLB4KOnly {
+		stlbSizes = []mem.PageSize{mem.Page4K}
+	}
+	return &MMU{
+		cfg:    cfg,
+		itlb:   tlb.New("L1I-TLB", cfg.ITLBEntries, cfg.ITLBWays, cfg.ITLBLat, mem.Page4K, mem.Page2M),
+		dtlb4k: tlb.New("L1D-TLB-4K", cfg.DTLB4KEntries, cfg.DTLB4KWays, cfg.DTLBLat, mem.Page4K),
+		dtlb2m: tlb.New("L1D-TLB-2M", cfg.DTLB2MEntries, cfg.DTLB2MWays, cfg.DTLBLat, mem.Page2M, mem.Page1G),
+		stlb:   tlb.New("L2-STLB", cfg.STLBEntries, cfg.STLBWays, cfg.STLBLat, stlbSizes...),
+		design: design,
+		asid:   asid,
+	}
+}
+
+// Design returns the installed translation design.
+func (m *MMU) Design() Design { return m.design }
+
+// Stats returns the accumulated statistics.
+func (m *MMU) Stats() *Stats { return &m.stats }
+
+// STLB exposes the L2 TLB (hit-rate reporting).
+func (m *MMU) STLB() *tlb.TLB { return m.stlb }
+
+// Translate resolves a data access at va. On Result.Fault the caller
+// must invoke the OS and retry.
+func (m *MMU) Translate(va mem.VAddr, write bool, now uint64) Result {
+	m.stats.DataTranslations++
+	// L1: both split DTLBs probe in parallel; one cycle.
+	if e, ok := m.dtlb4k.Lookup(va, m.asid); ok {
+		return Result{PA: e.Size.Translate(e.Frame, va), Size: e.Size, Lat: m.cfg.DTLBLat}
+	}
+	if e, ok := m.dtlb2m.Lookup(va, m.asid); ok {
+		return Result{PA: e.Size.Translate(e.Frame, va), Size: e.Size, Lat: m.cfg.DTLBLat}
+	}
+	m.stats.L1DTLBMisses++
+	lat := m.cfg.DTLBLat + m.cfg.STLBLat
+	if e, ok := m.stlb.Lookup(va, m.asid); ok {
+		m.fillL1(e)
+		m.stats.TransCycles += lat
+		return Result{PA: e.Size.Translate(e.Frame, va), Size: e.Size, Lat: lat}
+	}
+	m.stats.L2TLBMisses++
+
+	res := m.design.TranslateMiss(va, now+lat)
+	m.stats.Walks++
+	m.stats.WalkCycles += res.Lat
+	m.stats.FrontendCycles += res.FrontendLat
+	m.stats.BackendCycles += res.BackendLat
+	lat += res.Lat
+	m.stats.TransCycles += lat
+	if res.Fault {
+		m.stats.Faults++
+		return Result{Lat: lat, Fault: true}
+	}
+	e := tlb.Entry{VPN: res.Size.VPN(va), Size: res.Size, Frame: res.Size.FrameBase(res.PA), ASID: m.asid}
+	m.stlb.Insert(e)
+	m.fillL1(e)
+	return Result{PA: res.Size.Translate(res.PA, va), Size: res.Size, Lat: lat}
+}
+
+// TranslateInstr resolves an instruction fetch at va.
+func (m *MMU) TranslateInstr(va mem.VAddr, now uint64) Result {
+	m.stats.InstrTranslations++
+	if e, ok := m.itlb.Lookup(va, m.asid); ok {
+		return Result{PA: e.Size.Translate(e.Frame, va), Size: e.Size, Lat: m.cfg.ITLBLat}
+	}
+	lat := m.cfg.ITLBLat + m.cfg.STLBLat
+	if e, ok := m.stlb.Lookup(va, m.asid); ok {
+		m.itlb.Insert(e)
+		m.stats.TransCycles += lat
+		return Result{PA: e.Size.Translate(e.Frame, va), Size: e.Size, Lat: lat}
+	}
+	m.stats.L2TLBMisses++
+	res := m.design.TranslateMiss(va, now+lat)
+	m.stats.Walks++
+	m.stats.WalkCycles += res.Lat
+	lat += res.Lat
+	m.stats.TransCycles += lat
+	if res.Fault {
+		m.stats.Faults++
+		return Result{Lat: lat, Fault: true}
+	}
+	e := tlb.Entry{VPN: res.Size.VPN(va), Size: res.Size, Frame: res.Size.FrameBase(res.PA), ASID: m.asid}
+	m.stlb.Insert(e)
+	m.itlb.Insert(e)
+	return Result{PA: res.Size.Translate(res.PA, va), Size: res.Size, Lat: lat}
+}
+
+func (m *MMU) fillL1(e tlb.Entry) {
+	if e.Size == mem.Page4K {
+		m.dtlb4k.Insert(e)
+	} else {
+		m.dtlb2m.Insert(e)
+	}
+}
+
+// Invalidate performs a TLB shootdown for one page.
+func (m *MMU) Invalidate(va mem.VAddr, size mem.PageSize) {
+	m.itlb.InvalidateVA(va, m.asid)
+	m.dtlb4k.InvalidateVA(va, m.asid)
+	m.dtlb2m.InvalidateVA(va, m.asid)
+	m.stlb.InvalidateVA(va, m.asid)
+	m.design.Invalidate(va, size)
+}
+
+// FlushAll flushes the whole TLB hierarchy (context switch).
+func (m *MMU) FlushAll() {
+	m.itlb.InvalidateAll()
+	m.dtlb4k.InvalidateAll()
+	m.dtlb2m.InvalidateAll()
+	m.stlb.InvalidateAll()
+}
+
+// ResetStats zeroes the accumulated statistics (TLB contents persist).
+func (m *MMU) ResetStats() { m.stats = Stats{} }

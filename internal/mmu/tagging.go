@@ -1,0 +1,211 @@
+package mmu
+
+import (
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/tlb"
+)
+
+// This file implements the memory-tagging and rich-abstraction entries of
+// Table 2: Mondrian-style protection domains (Witchel et al., ASPLOS'02),
+// XMem-style expressive memory attributes (Vijaykumar et al., ISCA'18),
+// and the Virtual Block Interface (Hajinazar et al., ISCA'20).
+
+// Perm is a Mondrian access permission.
+type Perm uint8
+
+// Permission values.
+const (
+	PermNone Perm = iota
+	PermRead
+	PermReadWrite
+)
+
+// Mondrian is a word/region-granular protection-domain table with a
+// permission lookaside buffer (PLB): checks resolve from the PLB or by
+// walking the in-memory permission trie (translation-metadata traffic).
+type Mondrian struct {
+	Mem  Memory
+	Base mem.PAddr // permission-table storage
+
+	regions []mondrianRegion
+	plb     *tlb.MetaCache
+
+	Checks  uint64
+	PLBHits uint64
+	Walks   uint64
+	Denials uint64
+}
+
+type mondrianRegion struct {
+	start, end mem.VAddr
+	perm       Perm
+}
+
+// NewMondrian builds an empty protection-domain table.
+func NewMondrian(m Memory, base mem.PAddr) *Mondrian {
+	return &Mondrian{Mem: m, Base: base, plb: tlb.NewMetaCache("PLB", 64, 1)}
+}
+
+// Protect sets the permission for [start, end).
+func (md *Mondrian) Protect(start, end mem.VAddr, p Perm) {
+	md.regions = append(md.regions, mondrianRegion{start, end, p})
+	sort.Slice(md.regions, func(i, j int) bool { return md.regions[i].start < md.regions[j].start })
+	// Permission changes invalidate cached PLB state (coarse flush, as
+	// Mondrian's domain switches do).
+	md.plb = tlb.NewMetaCache("PLB", 64, 1)
+}
+
+// Check validates an access, returning (allowed, latency).
+func (md *Mondrian) Check(va mem.VAddr, write bool, now uint64) (bool, uint64) {
+	md.Checks++
+	key := uint64(va) >> 12
+	lat := md.plb.Latency()
+	var perm Perm
+	if v, ok := md.plb.Lookup(key); ok {
+		md.PLBHits++
+		perm = Perm(v)
+	} else {
+		// Walk the permission trie: two metadata accesses (root + leaf).
+		md.Walks++
+		lat += md.Mem.AccessMeta(md.Base+mem.PAddr(key>>9*64), false, now+lat)
+		lat += md.Mem.AccessMeta(md.Base+mem.PAddr(key*8), false, now+lat)
+		perm = md.lookup(va)
+		md.plb.Insert(key, uint64(perm))
+	}
+	ok := perm == PermReadWrite || (perm == PermRead && !write)
+	if !ok {
+		md.Denials++
+	}
+	return ok, lat
+}
+
+func (md *Mondrian) lookup(va mem.VAddr) Perm {
+	i := sort.Search(len(md.regions), func(i int) bool { return md.regions[i].end > va })
+	if i < len(md.regions) && va >= md.regions[i].start {
+		return md.regions[i].perm
+	}
+	return PermNone
+}
+
+// XMemAttr is one expressive-memory attribute set for a data range.
+type XMemAttr struct {
+	ReadOnly     bool
+	Streaming    bool // bypass-cache hint
+	Compressible bool
+}
+
+// XMem is the attribute table of Expressive Memory: software tags data
+// ranges with semantics; hardware consults an attribute cache keyed by
+// region.
+type XMem struct {
+	Mem  Memory
+	Base mem.PAddr
+
+	atoms map[uint64]XMemAttr // 4KB-region granularity
+	cache *tlb.MetaCache
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewXMem builds an empty attribute table.
+func NewXMem(m Memory, base mem.PAddr) *XMem {
+	return &XMem{Mem: m, Base: base, atoms: make(map[uint64]XMemAttr), cache: tlb.NewMetaCache("XMemCache", 128, 1)}
+}
+
+// Tag attaches attributes to [start, start+size).
+func (x *XMem) Tag(start mem.VAddr, size uint64, a XMemAttr) {
+	for off := uint64(0); off < size; off += 4 * mem.KB {
+		x.atoms[uint64(start+mem.VAddr(off))>>12] = a
+	}
+}
+
+// Attr returns the attributes for va plus the lookup latency.
+func (x *XMem) Attr(va mem.VAddr, now uint64) (XMemAttr, uint64) {
+	x.Lookups++
+	key := uint64(va) >> 12
+	lat := x.cache.Latency()
+	if enc, ok := x.cache.Lookup(key); ok {
+		x.Hits++
+		return decodeAttr(enc), lat
+	}
+	lat += x.Mem.AccessMeta(x.Base+mem.PAddr(key*2), false, now)
+	a := x.atoms[key]
+	x.cache.Insert(key, encodeAttr(a))
+	return a, lat
+}
+
+func encodeAttr(a XMemAttr) uint64 {
+	var v uint64
+	if a.ReadOnly {
+		v |= 1
+	}
+	if a.Streaming {
+		v |= 2
+	}
+	if a.Compressible {
+		v |= 4
+	}
+	return v
+}
+
+func decodeAttr(v uint64) XMemAttr {
+	return XMemAttr{ReadOnly: v&1 != 0, Streaming: v&2 != 0, Compressible: v&4 != 0}
+}
+
+// VBIDesign sketches the Virtual Block Interface: programs address
+// *virtual blocks*; the memory controller (not the core) translates
+// block-relative addresses, so the design resolves a block ID plus
+// offset through a flat block table — one metadata access on a block
+// -table-cache miss — instead of a page walk.
+type VBIDesign struct {
+	Inner Design // fallback for non-block addresses
+	Mem   Memory
+	Base  mem.PAddr
+
+	blocks map[uint64]mem.PAddr // block id -> base PA
+	btc    *tlb.MetaCache
+
+	BlockHits uint64
+}
+
+// NewVBIDesign builds the design; blocks are registered with AddBlock.
+func NewVBIDesign(inner Design, m Memory, base mem.PAddr) *VBIDesign {
+	return &VBIDesign{Inner: inner, Mem: m, Base: base, blocks: make(map[uint64]mem.PAddr), btc: tlb.NewMetaCache("BTC", 64, 1)}
+}
+
+// AddBlock registers virtual block id covering blockBytes at base pa.
+func (d *VBIDesign) AddBlock(id uint64, pa mem.PAddr) { d.blocks[id] = pa }
+
+// blockOf decomposes a VA into (block id, offset); blocks are 16 MB.
+func blockOf(va mem.VAddr) (uint64, uint64) { return uint64(va) >> 24, uint64(va) & 0xFFFFFF }
+
+// Name implements Design.
+func (d *VBIDesign) Name() string { return "vbi+" + d.Inner.Name() }
+
+// TranslateMiss implements Design.
+func (d *VBIDesign) TranslateMiss(va mem.VAddr, now uint64) Result {
+	id, off := blockOf(va)
+	lat := d.btc.Latency()
+	if base, ok := d.btc.Lookup(id); ok {
+		d.BlockHits++
+		return Result{PA: mem.PAddr(base) + mem.PAddr(off), Size: mem.Page2M, Lat: lat}
+	}
+	if base, ok := d.blocks[id]; ok {
+		lat += d.Mem.AccessMeta(d.Base+mem.PAddr(id*8), false, now)
+		d.btc.Insert(id, uint64(base))
+		return Result{PA: base + mem.PAddr(off), Size: mem.Page2M, Lat: lat}
+	}
+	res := d.Inner.TranslateMiss(va, now+lat)
+	res.Lat += lat
+	return res
+}
+
+// Invalidate implements Design.
+func (d *VBIDesign) Invalidate(va mem.VAddr, size mem.PageSize) {
+	id, _ := blockOf(va)
+	d.btc.Invalidate(id)
+	d.Inner.Invalidate(va, size)
+}

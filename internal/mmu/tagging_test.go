@@ -1,0 +1,91 @@
+package mmu
+
+import (
+	"testing"
+
+	"repro/internal/instrument"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+)
+
+func TestMondrianPermissions(t *testing.T) {
+	h, _ := testEnv(t)
+	md := NewMondrian(h, 0x3000_0000)
+	md.Protect(0x1000, 0x3000, PermRead)
+	md.Protect(0x3000, 0x5000, PermReadWrite)
+
+	if ok, _ := md.Check(0x1800, false, 0); !ok {
+		t.Fatal("read denied in read-only region")
+	}
+	if ok, _ := md.Check(0x1800, true, 0); ok {
+		t.Fatal("write allowed in read-only region")
+	}
+	if ok, _ := md.Check(0x3800, true, 0); !ok {
+		t.Fatal("write denied in rw region")
+	}
+	if ok, _ := md.Check(0x9000, false, 0); ok {
+		t.Fatal("access allowed outside any region")
+	}
+	if md.Denials != 2 {
+		t.Fatalf("denials = %d", md.Denials)
+	}
+}
+
+func TestMondrianPLBCaches(t *testing.T) {
+	h, _ := testEnv(t)
+	md := NewMondrian(h, 0x3000_0000)
+	md.Protect(0x1000, 0x3000, PermReadWrite)
+	_, cold := md.Check(0x1000, true, 0)
+	_, warm := md.Check(0x1040, true, 100)
+	if warm >= cold {
+		t.Fatalf("PLB hit (%d) not cheaper than walk (%d)", warm, cold)
+	}
+	if md.PLBHits != 1 || md.Walks != 1 {
+		t.Fatalf("stats: hits=%d walks=%d", md.PLBHits, md.Walks)
+	}
+}
+
+func TestXMemAttributes(t *testing.T) {
+	h, _ := testEnv(t)
+	x := NewXMem(h, 0x4000_0000)
+	x.Tag(0x10000, 8*mem.KB, XMemAttr{Streaming: true})
+	a, _ := x.Attr(0x11000, 0)
+	if !a.Streaming || a.ReadOnly {
+		t.Fatalf("attr = %+v", a)
+	}
+	// Untagged region: zero attributes.
+	b, _ := x.Attr(0x50000, 0)
+	if b != (XMemAttr{}) {
+		t.Fatalf("untagged attr = %+v", b)
+	}
+	x.Attr(0x11000, 10)
+	if x.Hits != 1 {
+		t.Fatalf("attribute cache hits = %d", x.Hits)
+	}
+}
+
+func TestVBIBlockTranslation(t *testing.T) {
+	h, alloc := testEnv(t)
+	pt := pagetable.NewRadix(alloc)
+	pt.Insert(0x7000, pagetable.Entry{Frame: 0xAAA000, Size: mem.Page4K, Present: true}, instrument.NopMem{})
+	d := NewVBIDesign(NewRadixWalker(pt, h), h, 0x5000_0000)
+	d.AddBlock(3, 0x8000_0000) // block 3 covers VA [0x3000000, 0x4000000)
+
+	r := d.TranslateMiss(0x300_1234, 0)
+	if r.Fault || r.PA != 0x8000_0000+0x1234 {
+		t.Fatalf("block translate: %+v", r)
+	}
+	// Second access: block-table cache.
+	r2 := d.TranslateMiss(0x300_2000, 100)
+	if d.BlockHits != 1 {
+		t.Fatalf("block hits = %d", d.BlockHits)
+	}
+	if r2.Lat >= r.Lat {
+		t.Fatalf("BTC hit (%d) not cheaper than miss (%d)", r2.Lat, r.Lat)
+	}
+	// Non-block address falls back to radix.
+	r3 := d.TranslateMiss(0x7000, 200)
+	if r3.Fault || mem.Page4K.FrameBase(r3.PA) != 0xAAA000 {
+		t.Fatalf("fallback: %+v", r3)
+	}
+}

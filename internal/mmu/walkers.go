@@ -1,0 +1,154 @@
+package mmu
+
+import (
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+)
+
+// RadixWalker walks a radix page table through three page-walk caches
+// (Table 4: 32-entry 4-way, 2-cycle), skipping the upper levels on PWC
+// hits (Barr et al. translation caching).
+type RadixWalker struct {
+	PT   pagetable.PageTable
+	Mem  Memory
+	pwcs [3]*tlb.PWC // depth 1 (PDPT ptr), 2 (PD ptr), 3 (PT ptr)
+}
+
+// NewRadixWalker builds the walker with the Table 4 PWC configuration
+// (32-entry, 4-way, 2-cycle).
+func NewRadixWalker(pt pagetable.PageTable, m Memory) *RadixWalker {
+	return NewRadixWalkerSized(pt, m, 32, 4)
+}
+
+// NewRadixWalkerSized builds the walker with explicit PWC geometry;
+// scaled-down experiment configurations shrink the PWCs alongside the
+// TLBs to preserve the paper's PWC-reach-to-footprint ratio.
+func NewRadixWalkerSized(pt pagetable.PageTable, m Memory, pwcEntries, pwcWays int) *RadixWalker {
+	w := &RadixWalker{PT: pt, Mem: m}
+	for i := 0; i < 3; i++ {
+		w.pwcs[i] = tlb.NewPWC(i+1, pwcEntries, pwcWays, 2)
+	}
+	return w
+}
+
+// Name implements Design.
+func (w *RadixWalker) Name() string { return "radix" }
+
+// TranslateMiss implements Design.
+func (w *RadixWalker) TranslateMiss(va mem.VAddr, now uint64) Result {
+	walk := w.PT.Walk(va)
+	// Find the deepest PWC hit to skip upper-level accesses. PWC at
+	// depth d caches the pointer read at step d (0-based step d gives
+	// the node for step d+1), so a hit at depth d skips steps 0..d-1.
+	skip := 0
+	var lat uint64
+	for d := 2; d >= 0; d-- {
+		if d+1 >= walk.NSteps {
+			continue // walk terminated above this depth
+		}
+		lat += w.pwcs[d].Latency()
+		if _, ok := w.pwcs[d].Lookup(va); ok {
+			skip = d + 1
+			break
+		}
+	}
+	for i := skip; i < walk.NSteps; i++ {
+		lat += w.Mem.AccessPTE(walk.Steps[i].PA, false, now+lat)
+	}
+	// Fill PWCs with the node pointers discovered on the way down.
+	for d := 0; d < 3 && d+1 < walk.NSteps; d++ {
+		node := walk.Steps[d+1].PA &^ 4095
+		w.pwcs[d].Insert(va, node)
+	}
+	if !walk.Found || !walk.Entry.Present {
+		return Result{Lat: lat, Fault: true}
+	}
+	return Result{PA: walk.Entry.Frame, Size: walk.Entry.Size, Lat: lat}
+}
+
+// Invalidate implements Design (PWCs cache node pointers, which remain
+// valid across leaf changes; a full flush happens on node teardown —
+// approximated by leaving them, as x86 does until INVLPG semantics
+// require otherwise).
+func (w *RadixWalker) Invalidate(va mem.VAddr, size mem.PageSize) {}
+
+// PWCStats exposes the page-walk-cache statistics (test hook).
+func (w *RadixWalker) PWCStats(depth int) *tlb.Stats { return w.pwcs[depth-1].Stats() }
+
+// HashWalker walks a hash-based page table (ECH, HDC, HT): each probe in
+// the functional walk is one memory access; ECH configurations add the
+// cuckoo-walk-cache latency.
+type HashWalker struct {
+	PT     pagetable.PageTable
+	Mem    Memory
+	CWCLat uint64 // 2 cycles for ECH's perfect cuckoo walk caches
+}
+
+// NewHashWalker builds a walker for a hashed page table.
+func NewHashWalker(pt pagetable.PageTable, m Memory) *HashWalker {
+	w := &HashWalker{PT: pt, Mem: m}
+	if pt.Kind() == "ech" {
+		w.CWCLat = 2
+	}
+	return w
+}
+
+// Name implements Design.
+func (w *HashWalker) Name() string { return w.PT.Kind() }
+
+// TranslateMiss implements Design.
+func (w *HashWalker) TranslateMiss(va mem.VAddr, now uint64) Result {
+	walk := w.PT.Walk(va)
+	lat := w.CWCLat
+	if w.CWCLat > 0 {
+		// ECH: the walker issues all nest probes in parallel; latency is
+		// the slowest probe, but every probe consumes memory bandwidth
+		// and may close DRAM rows (the Fig. 14 interference).
+		var worst uint64
+		for i := 0; i < walk.NSteps; i++ {
+			l := w.Mem.AccessPTE(walk.Steps[i].PA, false, now+lat)
+			if l > worst {
+				worst = l
+			}
+		}
+		lat += worst
+	} else {
+		// HDC/HT: open-addressing probes and chain hops are dependent
+		// accesses and serialise.
+		for i := 0; i < walk.NSteps; i++ {
+			lat += w.Mem.AccessPTE(walk.Steps[i].PA, false, now+lat)
+		}
+	}
+	if !walk.Found || !walk.Entry.Present {
+		return Result{Lat: lat, Fault: true}
+	}
+	return Result{PA: walk.Entry.Frame, Size: walk.Entry.Size, Lat: lat}
+}
+
+// Invalidate implements Design.
+func (w *HashWalker) Invalidate(va mem.VAddr, size mem.PageSize) {}
+
+// FixedWalker is the emulation-based baseline (§2.1): it resolves
+// translations functionally and charges a fixed latency — exactly what
+// baseline Sniper does with its fixed PTW latency. It performs no memory
+// accesses, so it creates none of the interference Virtuoso models.
+type FixedWalker struct {
+	PT  pagetable.PageTable
+	Lat uint64
+}
+
+// Name implements Design.
+func (w *FixedWalker) Name() string { return "fixed" }
+
+// TranslateMiss implements Design.
+func (w *FixedWalker) TranslateMiss(va mem.VAddr, now uint64) Result {
+	e, ok := w.PT.Lookup(va)
+	if !ok || !e.Present {
+		return Result{Lat: w.Lat, Fault: true}
+	}
+	return Result{PA: e.Frame, Size: e.Size, Lat: w.Lat}
+}
+
+// Invalidate implements Design.
+func (w *FixedWalker) Invalidate(va mem.VAddr, size mem.PageSize) {}

@@ -1,0 +1,185 @@
+package pagetable
+
+import (
+	"repro/internal/instrument"
+	"repro/internal/mem"
+)
+
+// Radix is the x86-64 4-level radix page table (Table 4's "Radix"
+// baseline): PML4 → PDPT → PD → PT, 512 entries of 8 B per 4 KB node,
+// with 1 GB leaves at the PDPT level and 2 MB leaves at the PD level.
+// Node frames come from the slab allocator on demand, so building deep
+// paths during page faults costs kernel memory accesses — the reason
+// radix insertion is slower than hash-table insertion in Fig. 15.
+type Radix struct {
+	alloc FrameAllocator
+	root  *radixNode
+	nodes uint64
+	pages uint64
+}
+
+type radixNode struct {
+	frame    mem.PAddr
+	children [512]*radixNode // interior
+	entries  [512]*Entry     // leaves at any level (1GB/2MB/4KB)
+}
+
+// NewRadix builds an empty radix table; the root frame is allocated
+// immediately (as the kernel does for a new mm_struct).
+func NewRadix(alloc FrameAllocator) *Radix {
+	r := &Radix{alloc: alloc}
+	frame, ok := alloc.AllocFrame()
+	if !ok {
+		panic("pagetable: cannot allocate radix root")
+	}
+	r.root = &radixNode{frame: frame}
+	r.nodes = 1
+	return r
+}
+
+// Kind implements PageTable.
+func (r *Radix) Kind() string { return "radix" }
+
+// indices returns the PML4/PDPT/PD/PT indices of va.
+func indices(va mem.VAddr) [4]int {
+	return [4]int{
+		int(uint64(va) >> 39 & 0x1ff), // level 4
+		int(uint64(va) >> 30 & 0x1ff), // level 3
+		int(uint64(va) >> 21 & 0x1ff), // level 2
+		int(uint64(va) >> 12 & 0x1ff), // level 1
+	}
+}
+
+func pteAddr(node *radixNode, idx int) mem.PAddr {
+	return node.frame + mem.PAddr(idx*8)
+}
+
+// Walk implements PageTable.
+func (r *Radix) Walk(va mem.VAddr) WalkResult {
+	var out WalkResult
+	idx := indices(va)
+	node := r.root
+	for level := 0; level < 4; level++ {
+		pa := pteAddr(node, idx[level])
+		out.push(pa, 4-level)
+		if e := node.entries[idx[level]]; e != nil {
+			out.Entry = *e
+			out.Found = true
+			return out
+		}
+		child := node.children[idx[level]]
+		if child == nil {
+			return out // not mapped: fault after this access
+		}
+		node = child
+	}
+	return out
+}
+
+// Lookup implements PageTable.
+func (r *Radix) Lookup(va mem.VAddr) (Entry, bool) {
+	idx := indices(va)
+	node := r.root
+	for level := 0; level < 4; level++ {
+		if e := node.entries[idx[level]]; e != nil {
+			return *e, true
+		}
+		node = node.children[idx[level]]
+		if node == nil {
+			return Entry{}, false
+		}
+	}
+	return Entry{}, false
+}
+
+func leafDepth(s mem.PageSize) int {
+	switch s {
+	case mem.Page1G:
+		return 1 // entry lives in the PDPT (second access)
+	case mem.Page2M:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Insert implements PageTable. Intermediate nodes are allocated from the
+// slab; each traversed or written PTE is reported to k.
+func (r *Radix) Insert(va mem.VAddr, e Entry, k instrument.KernelMem) error {
+	idx := indices(va)
+	depth := leafDepth(e.Size)
+	node := r.root
+	for level := 0; level < depth; level++ {
+		k.Load(pteAddr(node, idx[level]))
+		child := node.children[idx[level]]
+		if child == nil {
+			frame, ok := r.alloc.AllocFrame()
+			if !ok {
+				return ErrOutOfMemory{What: "radix node"}
+			}
+			child = &radixNode{frame: frame}
+			node.children[idx[level]] = child
+			r.nodes++
+			k.ALU(24) // slab fast path: freelist pop, frame init
+			k.Store(pteAddr(node, idx[level]))
+		}
+		node = child
+	}
+	if node.entries[idx[depth]] == nil {
+		r.pages++
+	}
+	ecopy := e
+	node.entries[idx[depth]] = &ecopy
+	k.Store(pteAddr(node, idx[depth]))
+	return nil
+}
+
+// Update implements PageTable.
+func (r *Radix) Update(va mem.VAddr, e Entry, k instrument.KernelMem) bool {
+	node, idx, ok := r.findLeaf(va)
+	if !ok {
+		return false
+	}
+	ecopy := e
+	node.entries[idx] = &ecopy
+	k.Store(pteAddr(node, idx))
+	return true
+}
+
+// Remove implements PageTable. Empty interior nodes are not reclaimed
+// eagerly (as in Linux, where PT reclamation is deferred).
+func (r *Radix) Remove(va mem.VAddr, k instrument.KernelMem) (Entry, bool) {
+	node, idx, ok := r.findLeaf(va)
+	if !ok {
+		return Entry{}, false
+	}
+	old := *node.entries[idx]
+	node.entries[idx] = nil
+	r.pages--
+	k.Store(pteAddr(node, idx))
+	return old, true
+}
+
+func (r *Radix) findLeaf(va mem.VAddr) (*radixNode, int, bool) {
+	idx := indices(va)
+	node := r.root
+	for level := 0; level < 4; level++ {
+		if node.entries[idx[level]] != nil {
+			return node, idx[level], true
+		}
+		node = node.children[idx[level]]
+		if node == nil {
+			return nil, 0, false
+		}
+	}
+	return nil, 0, false
+}
+
+// MappedPages implements PageTable.
+func (r *Radix) MappedPages() uint64 { return r.pages }
+
+// MemFootprintBytes implements PageTable.
+func (r *Radix) MemFootprintBytes() uint64 { return r.nodes * 4 * mem.KB }
+
+// Nodes returns the number of allocated page-table frames.
+func (r *Radix) Nodes() uint64 { return r.nodes }

@@ -1,0 +1,234 @@
+package phys
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestNewAccounting(t *testing.T) {
+	m := New(64 * mem.MB)
+	if got := m.TotalPages(); got != 16384 {
+		t.Fatalf("total pages = %d, want 16384", got)
+	}
+	if m.FreePages() != m.TotalPages() {
+		t.Fatalf("fresh memory should be all free")
+	}
+	if m.Free2MBlocks() != 32 {
+		t.Fatalf("free 2MB blocks = %d, want 32", m.Free2MBlocks())
+	}
+	if m.FragmentationLevel() != 1.0 {
+		t.Fatalf("fresh fragmentation level = %f, want 1", m.FragmentationLevel())
+	}
+}
+
+func TestAlloc4KUnique(t *testing.T) {
+	m := New(8 * mem.MB)
+	seen := map[mem.PAddr]bool{}
+	for i := 0; i < 2048; i++ {
+		pa, ok := m.Alloc4K()
+		if !ok {
+			t.Fatalf("alloc %d failed with free=%d", i, m.FreePages())
+		}
+		if pa%4096 != 0 {
+			t.Fatalf("unaligned 4K frame %x", pa)
+		}
+		if seen[pa] {
+			t.Fatalf("duplicate frame %x", pa)
+		}
+		seen[pa] = true
+	}
+	if m.FreePages() != 0 {
+		t.Fatalf("free pages = %d, want 0", m.FreePages())
+	}
+	if _, ok := m.Alloc4K(); ok {
+		t.Fatal("allocation from empty memory succeeded")
+	}
+}
+
+func TestAlloc2MAlignment(t *testing.T) {
+	m := New(16 * mem.MB)
+	for i := 0; i < 8; i++ {
+		pa, ok := m.Alloc2M()
+		if !ok {
+			t.Fatalf("2M alloc %d failed", i)
+		}
+		if uint64(pa)%(2*mem.MB) != 0 {
+			t.Fatalf("unaligned 2M frame %x", pa)
+		}
+	}
+	if _, ok := m.Alloc2M(); ok {
+		t.Fatal("2M allocation beyond capacity succeeded")
+	}
+}
+
+func TestFreeCoalesces(t *testing.T) {
+	m := New(8 * mem.MB)
+	a, _ := m.Alloc2M()
+	b, _ := m.Alloc2M()
+	c, _ := m.Alloc2M()
+	m.Free(a, 512)
+	m.Free(c, 512)
+	m.Free(b, 512) // coalesce with both neighbours
+	if m.FreePages() != m.TotalPages() {
+		t.Fatalf("free pages = %d, want %d", m.FreePages(), m.TotalPages())
+	}
+	if m.Free2MBlocks() != m.Total2MBlocks() {
+		t.Fatalf("free 2M = %d, want %d", m.Free2MBlocks(), m.Total2MBlocks())
+	}
+	// The whole range must be allocatable as one contiguous chunk again.
+	if _, ok := m.AllocContig(m.TotalPages(), 1); !ok {
+		t.Fatal("memory did not coalesce back to a single extent")
+	}
+}
+
+func TestAlloc4KPrefersBrokenBlocks(t *testing.T) {
+	m := New(16 * mem.MB)
+	before := m.Free2MBlocks()
+	// First 4K allocation necessarily breaks a block...
+	if _, ok := m.Alloc4K(); !ok {
+		t.Fatal("alloc failed")
+	}
+	if m.Free2MBlocks() != before-1 {
+		t.Fatalf("first 4K should break exactly one 2M block")
+	}
+	// ...but the next 511 must not break another.
+	for i := 0; i < 511; i++ {
+		if _, ok := m.Alloc4K(); !ok {
+			t.Fatal("alloc failed")
+		}
+	}
+	if m.Free2MBlocks() != before-1 {
+		t.Fatalf("subsequent 4K allocations broke extra blocks: %d -> %d", before-1, m.Free2MBlocks())
+	}
+}
+
+func TestFragmentReachesTarget(t *testing.T) {
+	for _, target := range []float64{0.0, 0.1, 0.5, 0.9} {
+		m := New(128 * mem.MB)
+		m.Fragment(target, 42)
+		got := m.FragmentationLevel()
+		if got > target+0.03 {
+			t.Errorf("Fragment(%.2f): level %.3f above target", target, got)
+		}
+	}
+}
+
+func TestFragmentDeterministic(t *testing.T) {
+	m1 := New(64 * mem.MB)
+	m2 := New(64 * mem.MB)
+	m1.Fragment(0.5, 7)
+	m2.Fragment(0.5, 7)
+	if m1.FreePages() != m2.FreePages() || m1.Free2MBlocks() != m2.Free2MBlocks() {
+		t.Fatal("Fragment is not deterministic in seed")
+	}
+}
+
+func TestAllocContigAlignment(t *testing.T) {
+	m := New(32 * mem.MB)
+	pa, ok := m.AllocContig(1024, 512)
+	if !ok {
+		t.Fatal("contig alloc failed")
+	}
+	if uint64(pa)%(512*4096) != 0 {
+		t.Fatalf("contig alloc not aligned: %x", pa)
+	}
+}
+
+func TestAllocLargestRange(t *testing.T) {
+	m := New(32 * mem.MB)
+	m.Fragment(0.5, 3)
+	base, got, ok := m.AllocLargestRange(1, 1<<20)
+	if !ok || got == 0 {
+		t.Fatal("largest-range alloc failed")
+	}
+	if got > m.TotalPages() {
+		t.Fatalf("range larger than memory: %d", got)
+	}
+	m.Free(base, got)
+}
+
+// TestQuickAllocFreeInvariant property-tests that any interleaving of
+// allocations and frees conserves pages and never double-allocates.
+func TestQuickAllocFreeInvariant(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(16 * mem.MB)
+		type alloc struct {
+			pa    mem.PAddr
+			pages uint64
+		}
+		var live []alloc
+		owned := map[mem.PAddr]bool{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				if pa, ok := m.Alloc4K(); ok {
+					if owned[pa] {
+						return false
+					}
+					owned[pa] = true
+					live = append(live, alloc{pa, 1})
+				}
+			case 1:
+				if pa, ok := m.Alloc2M(); ok {
+					if owned[pa] {
+						return false
+					}
+					owned[pa] = true
+					live = append(live, alloc{pa, 512})
+				}
+			case 2:
+				if len(live) > 0 {
+					a := live[len(live)-1]
+					live = live[:len(live)-1]
+					delete(owned, a.pa)
+					m.Free(a.pa, a.pages)
+				}
+			}
+		}
+		var liveTotal uint64
+		for _, a := range live {
+			liveTotal += a.pages
+		}
+		return m.FreePages()+liveTotal == m.TotalPages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlabFrames(t *testing.T) {
+	m := New(16 * mem.MB)
+	s := NewSlab(m)
+	f1, ok := s.AllocFrame()
+	if !ok {
+		t.Fatal("frame alloc failed")
+	}
+	f2, _ := s.AllocFrame()
+	if f1 == f2 {
+		t.Fatal("duplicate frames")
+	}
+	s.FreeFrame(f1)
+	f3, _ := s.AllocFrame()
+	if f3 != f1 {
+		t.Fatalf("recycled frame mismatch: %x != %x", f3, f1)
+	}
+	if s.FramesRecycled != 1 {
+		t.Fatalf("recycle stat = %d", s.FramesRecycled)
+	}
+}
+
+func TestSlabObjectsAligned(t *testing.T) {
+	m := New(16 * mem.MB)
+	s := NewSlab(m)
+	for _, size := range []uint64{1, 63, 64, 100, 4096} {
+		pa, ok := s.AllocObject(size)
+		if !ok {
+			t.Fatalf("object alloc(%d) failed", size)
+		}
+		if uint64(pa)%64 != 0 {
+			t.Fatalf("object %d not line-aligned: %x", size, pa)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package rmm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+type nop struct{}
+
+func (nop) Load(mem.PAddr)  {}
+func (nop) Store(mem.PAddr) {}
+func (nop) ALU(uint32)      {}
+
+func TestTableFindAndTranslate(t *testing.T) {
+	tb := NewTable(0x100000)
+	k := nop{}
+	tb.Insert(Range{VStart: 0x10000, VEnd: 0x30000, PBase: 0x500000}, k)
+	tb.Insert(Range{VStart: 0x40000, VEnd: 0x50000, PBase: 0x900000}, k)
+
+	var steps []mem.PAddr
+	r, ok := tb.Find(0x20000, &steps)
+	if !ok || r.PBase != 0x500000 {
+		t.Fatalf("find = %+v %v", r, ok)
+	}
+	if len(steps) == 0 {
+		t.Fatal("range walk reported no metadata accesses")
+	}
+	if pa := r.Translate(0x20080); pa != 0x500000+(0x20080-0x10000) {
+		t.Fatalf("translate = %x", pa)
+	}
+	if _, ok := tb.Find(0x38000, nil); ok {
+		t.Fatal("found a range in a hole")
+	}
+}
+
+func TestTableRemoveOverlap(t *testing.T) {
+	tb := NewTable(0x100000)
+	k := nop{}
+	tb.Insert(Range{VStart: 0x1000, VEnd: 0x2000, PBase: 0xA000}, k)
+	tb.Insert(Range{VStart: 0x3000, VEnd: 0x4000, PBase: 0xB000}, k)
+	if n := tb.Remove(0x1800, 0x1900, k); n != 1 {
+		t.Fatalf("removed %d", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if got := tb.TotalCoveredBytes(); got != 0x1000 {
+		t.Fatalf("covered = %x", got)
+	}
+}
+
+func TestTableSortedInsert(t *testing.T) {
+	tb := NewTable(0x100000)
+	k := nop{}
+	tb.Insert(Range{VStart: 0x9000, VEnd: 0xA000}, k)
+	tb.Insert(Range{VStart: 0x1000, VEnd: 0x2000}, k)
+	tb.Insert(Range{VStart: 0x5000, VEnd: 0x6000}, k)
+	rs := tb.Ranges()
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].VStart >= rs[i].VStart {
+			t.Fatal("ranges not sorted")
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package simulators provides the five simulator integrations of §5.2 /
+// Table 3: Sniper-style execution-driven simulation, ChampSim-style
+// trace-driven simulation, Ramulator-style memory-trace simulation,
+// gem5-SE-style emulation-driven simulation (plus a gem5-FS-style
+// full-system mode), and the MQSim SSD coupling. Each adapter is a thin
+// assembly over the shared substrates, mirroring the paper's claim that
+// integrating Virtuoso needs only small frontend/core/MMU hooks; the
+// per-adapter source line counts stand in for Table 3's integration LoC.
+package simulators
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/mimicos"
+)
+
+// Kind names one of the five integrated simulators.
+type Kind string
+
+// The five simulator integrations.
+const (
+	Sniper    Kind = "sniper"
+	ChampSim  Kind = "champsim"
+	Ramulator Kind = "ramulator"
+	Gem5SE    Kind = "gem5-se"
+	Gem5FS    Kind = "gem5-fs" // gem5 full-system comparison mode (§7.3)
+	MQSim     Kind = "mqsim"
+)
+
+// Kinds lists the four MimicOS-hosting simulators of Fig. 11 (MQSim is a
+// device simulator attached to the others).
+func Kinds() []Kind { return []Kind{ChampSim, Sniper, Ramulator, Gem5SE} }
+
+// Options tune an assembly beyond its simulator personality.
+type Options struct {
+	WithMimicOS bool // false = the simulator's native OS emulation
+	MaxAppInsts uint64
+	PhysBytes   uint64
+	Seed        uint64
+}
+
+// Build assembles a system with the given simulator personality.
+//
+// The personalities differ exactly where the real simulators differ:
+//   - frontend style (execution / trace / memory-trace / emulation),
+//   - how MimicOS streams are captured (online instrumentation retains
+//     translated-code buffers in Sniper/ChampSim; Ramulator replays an
+//     offline stripped trace; gem5 reuses its emulation frontend), and
+//   - the detail of the core model.
+func Build(k Kind, opt Options) (*core.System, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = opt.Seed
+	if opt.PhysBytes != 0 {
+		cfg.OSCfg.PhysBytes = opt.PhysBytes
+	}
+	cfg.MaxAppInsts = opt.MaxAppInsts
+	if !opt.WithMimicOS {
+		cfg.Mode = core.Emulation
+	}
+
+	switch k {
+	case Sniper:
+		cfg.Frontend = core.FrontendExec
+		cfg.RetainKernelStreams = 256 // online Pin-style instrumentation
+	case ChampSim:
+		cfg.Frontend = core.FrontendTrace
+		cfg.RetainKernelStreams = 256
+		// ChampSim's simpler memory path: no L3 prefetcher differences
+		// modeled; keep the shared hierarchy.
+	case Ramulator:
+		cfg.Frontend = core.FrontendMemTrace
+		cfg.RetainKernelStreams = 0 // offline instrumentation: stream not retained
+		// Ramulator has no core model: widen the "core" so non-memory
+		// work is nearly free, leaving DRAM as the bottleneck.
+		cfg.CoreCfg.Width = 16
+	case Gem5SE:
+		cfg.Frontend = core.FrontendEmu
+		cfg.RetainKernelStreams = 0 // reuses the emulation frontend
+	case Gem5FS:
+		cfg.Frontend = core.FrontendEmu
+		cfg.RetainKernelStreams = 0
+		cfg.Mode = core.Imitation
+		cfg.OSCfg.FullKernel = true // simulate the full-blown kernel
+	case MQSim:
+		// MQSim alone: an SSD-centric assembly (swap experiments attach
+		// it to another personality; standalone it is Sniper+disk).
+		cfg.Frontend = core.FrontendExec
+	default:
+		return Build(Sniper, opt)
+	}
+	return core.NewSystem(cfg)
+}
+
+// MustBuild is Build, panicking on error.
+func MustBuild(k Kind, opt Options) *core.System {
+	s, err := Build(k, opt)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Interface checks that the shared substrates satisfy what each adapter
+// needs (the Table 3 integration points).
+var (
+	_ = cache.DefaultHierarchyConfig
+	_ = dram.DDR4_2400
+	_ = mimicos.DefaultConfig
+	_ mem.PAddr
+)

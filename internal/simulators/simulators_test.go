@@ -1,0 +1,70 @@
+package simulators
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+func TestAllPersonalitiesRun(t *testing.T) {
+	prev := workloads.Scale
+	workloads.Scale = 0.02
+	defer func() { workloads.Scale = prev }()
+
+	for _, k := range append(Kinds(), Gem5FS) {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			s := MustBuild(k, Options{
+				WithMimicOS: true,
+				MaxAppInsts: 60_000,
+				PhysBytes:   512 * mem.MB,
+				Seed:        5,
+			})
+			m := s.Run(workloads.Hadamard())
+			if m.Segvs != 0 {
+				t.Fatalf("%s: segvs %d", k, m.Segvs)
+			}
+			if m.MinorFaults == 0 {
+				t.Fatalf("%s: no faults", k)
+			}
+			if m.Cycles == 0 {
+				t.Fatalf("%s: no cycles", k)
+			}
+			if m.KernelInsts == 0 {
+				t.Fatalf("%s: MimicOS injected nothing", k)
+			}
+		})
+	}
+}
+
+func TestWithoutMimicOSIsEmulation(t *testing.T) {
+	prev := workloads.Scale
+	workloads.Scale = 0.02
+	defer func() { workloads.Scale = prev }()
+
+	s := MustBuild(Sniper, Options{WithMimicOS: false, MaxAppInsts: 60_000, PhysBytes: 512 * mem.MB})
+	if s.Cfg.Mode != core.Emulation {
+		t.Fatal("baseline build not in emulation mode")
+	}
+	m := s.Run(workloads.Hadamard())
+	if m.KernelInsts != 0 {
+		t.Fatalf("baseline injected %d kernel instructions", m.KernelInsts)
+	}
+}
+
+func TestGem5FSRunsFullKernel(t *testing.T) {
+	prev := workloads.Scale
+	workloads.Scale = 0.02
+	defer func() { workloads.Scale = prev }()
+
+	se := MustBuild(Gem5SE, Options{WithMimicOS: true, MaxAppInsts: 50_000, PhysBytes: 512 * mem.MB})
+	fs := MustBuild(Gem5FS, Options{WithMimicOS: true, MaxAppInsts: 50_000, PhysBytes: 512 * mem.MB})
+	mse := se.Run(workloads.Sum2D())
+	mfs := fs.Run(workloads.Sum2D())
+	if mfs.KernelInsts <= mse.KernelInsts {
+		t.Fatalf("full-system kernel instructions (%d) not above syscall-emulation (%d)",
+			mfs.KernelInsts, mse.KernelInsts)
+	}
+}

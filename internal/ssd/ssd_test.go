@@ -1,0 +1,54 @@
+package ssd
+
+import "testing"
+
+func TestReadWriteLatencies(t *testing.T) {
+	d := New(Config{})
+	r := d.Read(0, 4096, 0)
+	w := d.Write(1<<30, 4096, 0)
+	if r < d.Config().CtrlLatency {
+		t.Fatalf("read latency %d below controller overhead", r)
+	}
+	if w <= r {
+		t.Fatalf("program (%d) should be slower than read (%d)", w, r)
+	}
+	if d.Stats().Reads != 1 || d.Stats().Writes != 1 {
+		t.Fatalf("stats: %+v", d.Stats())
+	}
+}
+
+func TestControllerCacheHit(t *testing.T) {
+	d := New(Config{})
+	cold := d.Read(0, 4096, 0)
+	warm := d.Read(0, 4096, cold)
+	if warm >= cold {
+		t.Fatalf("cached read (%d) not faster than cold (%d)", warm, cold)
+	}
+	if d.Stats().CacheHits != 1 {
+		t.Fatalf("cache hits = %d", d.Stats().CacheHits)
+	}
+}
+
+func TestChipQueueing(t *testing.T) {
+	d := New(Config{Channels: 1, ChipsPerCh: 1})
+	a := d.Read(0, 4096, 0)
+	// Second read to the same (only) chip at time 0 queues. Use a
+	// different page to avoid the controller cache.
+	b := d.Read(1<<20, 4096, 0)
+	if b <= a {
+		t.Fatalf("queued read (%d) should exceed unqueued (%d)", b, a)
+	}
+	if d.Stats().QueueCycles == 0 {
+		t.Fatal("no queueing recorded")
+	}
+}
+
+func TestMultiPageTransferParallelism(t *testing.T) {
+	d := New(Config{})
+	one := d.Read(0, 4096, 0)
+	// 8 flash pages across 8 chips: roughly one page-read of latency.
+	eight := d.Read(1<<30, 8*d.Config().PageBytes, 0)
+	if eight > one*4 {
+		t.Fatalf("parallel multi-page read too slow: %d vs %d", eight, one)
+	}
+}

@@ -1,0 +1,101 @@
+package tlb
+
+import "repro/internal/mem"
+
+// PWC is a page-walk cache for one radix level (Table 4: three 32-entry
+// 4-way PWCs): it maps the upper VA bits consumed up to a level to the
+// physical address of the next-level node, letting the walker skip the
+// upper accesses of a walk (Barr et al., "Translation Caching").
+type PWC struct {
+	level   int // the radix level whose *node pointer* this caches (3, 2, 1)
+	sets    int
+	ways    int
+	latency uint64
+	lines   []pwcLine
+	tick    uint64
+	stats   Stats
+}
+
+type pwcLine struct {
+	tag   uint64
+	node  mem.PAddr
+	valid bool
+	lru   uint64
+}
+
+// NewPWC builds a PWC caching pointers to nodes at the given depth below
+// the root (1 = PDPT pointers, 2 = PD pointers, 3 = PT pointers).
+func NewPWC(level, entries, ways int, latency uint64) *PWC {
+	return &PWC{
+		level:   level,
+		sets:    entries / ways,
+		ways:    ways,
+		latency: latency,
+		lines:   make([]pwcLine, entries),
+	}
+}
+
+// Latency returns the PWC access latency.
+func (p *PWC) Latency() uint64 { return p.latency }
+
+// Stats returns the accumulated statistics.
+func (p *PWC) Stats() *Stats { return &p.stats }
+
+// tagOf extracts the VA bits that identify a node at this PWC's depth:
+// depth 1 uses VA[47:39], depth 2 VA[47:30], depth 3 VA[47:21].
+func (p *PWC) tagOf(va mem.VAddr) uint64 {
+	shift := uint(39 - 9*(p.level-1))
+	return uint64(va) >> shift
+}
+
+// Lookup returns the cached node pointer for va's path at this depth.
+func (p *PWC) Lookup(va mem.VAddr) (mem.PAddr, bool) {
+	p.tick++
+	tag := p.tagOf(va)
+	base := int(tag%uint64(p.sets)) * p.ways
+	for w := 0; w < p.ways; w++ {
+		ln := &p.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			ln.lru = p.tick
+			p.stats.Hits++
+			return ln.node, true
+		}
+	}
+	p.stats.Misses++
+	return 0, false
+}
+
+// Insert caches the node pointer for va's path.
+func (p *PWC) Insert(va mem.VAddr, node mem.PAddr) {
+	p.tick++
+	p.stats.Fills++
+	tag := p.tagOf(va)
+	base := int(tag%uint64(p.sets)) * p.ways
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < p.ways; w++ {
+		ln := &p.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			ln.node = node
+			ln.lru = p.tick
+			return
+		}
+		if !ln.valid {
+			victim = base + w
+			oldest = 0
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victim = base + w
+		}
+	}
+	p.lines[victim] = pwcLine{tag: tag, node: node, valid: true, lru: p.tick}
+}
+
+// InvalidateAll flushes the PWC.
+func (p *PWC) InvalidateAll() {
+	for i := range p.lines {
+		p.lines[i].valid = false
+	}
+}

@@ -1,0 +1,196 @@
+// Package tlb implements the translation-caching hardware structures of
+// the MMU designs in Table 2/Table 4: multi-page-size set-associative
+// TLBs, page-walk caches, the range lookaside buffer of RMM, the VMA
+// lookaside buffers of Midgard, and small generic metadata caches (used
+// for Utopia's TAR/SF caches and ECH's cuckoo-walk caches).
+package tlb
+
+import (
+	"repro/internal/mem"
+)
+
+// Entry is one cached translation.
+type Entry struct {
+	VPN   uint64
+	Size  mem.PageSize
+	Frame mem.PAddr
+	ASID  uint16
+}
+
+// Stats counts TLB activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Fills      uint64
+	Shootdowns uint64
+}
+
+// HitRate returns the hit fraction.
+func (s *Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type tlbLine struct {
+	e     Entry
+	valid bool
+	lru   uint64
+}
+
+// TLB is a set-associative translation lookaside buffer. It may hold a
+// single page size (L1 DTLBs in Table 4 are split per size) or multiple
+// (the unified 2048-entry L2 STLB); lookups probe each supported size.
+type TLB struct {
+	name    string
+	sets    int
+	ways    int
+	latency uint64
+	sizes   []mem.PageSize
+	lines   []tlbLine
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a TLB with the given total entries and associativity
+// supporting the listed page sizes.
+func New(name string, entries, ways int, latency uint64, sizes ...mem.PageSize) *TLB {
+	if len(sizes) == 0 {
+		sizes = []mem.PageSize{mem.Page4K}
+	}
+	sets := entries / ways
+	if sets == 0 || entries%ways != 0 {
+		panic("tlb: bad geometry " + name)
+	}
+	return &TLB{
+		name:    name,
+		sets:    sets,
+		ways:    ways,
+		latency: latency,
+		sizes:   sizes,
+		lines:   make([]tlbLine, entries),
+	}
+}
+
+// Name returns the TLB's name.
+func (t *TLB) Name() string { return t.name }
+
+// Latency returns the lookup latency in cycles.
+func (t *TLB) Latency() uint64 { return t.latency }
+
+// Stats returns the accumulated statistics.
+func (t *TLB) Stats() *Stats { return &t.stats }
+
+// Entries returns the capacity.
+func (t *TLB) Entries() int { return t.sets * t.ways }
+
+func (t *TLB) setOf(vpn uint64) int { return int(vpn % uint64(t.sets)) }
+
+// Lookup probes the TLB for va and returns the matching entry.
+func (t *TLB) Lookup(va mem.VAddr, asid uint16) (Entry, bool) {
+	t.tick++
+	for _, ps := range t.sizes {
+		vpn := ps.VPN(va)
+		base := t.setOf(vpn) * t.ways
+		for w := 0; w < t.ways; w++ {
+			ln := &t.lines[base+w]
+			if ln.valid && ln.e.VPN == vpn && ln.e.Size == ps && ln.e.ASID == asid {
+				ln.lru = t.tick
+				t.stats.Hits++
+				return ln.e, true
+			}
+		}
+	}
+	t.stats.Misses++
+	return Entry{}, false
+}
+
+// Probe checks presence without updating stats or recency.
+func (t *TLB) Probe(va mem.VAddr, asid uint16) bool {
+	for _, ps := range t.sizes {
+		vpn := ps.VPN(va)
+		base := t.setOf(vpn) * t.ways
+		for w := 0; w < t.ways; w++ {
+			ln := &t.lines[base+w]
+			if ln.valid && ln.e.VPN == vpn && ln.e.Size == ps && ln.e.ASID == asid {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Supports reports whether the TLB can hold entries of page size ps.
+func (t *TLB) Supports(ps mem.PageSize) bool {
+	for _, s := range t.sizes {
+		if s == ps {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills an entry (LRU replacement within the set).
+func (t *TLB) Insert(e Entry) {
+	if !t.Supports(e.Size) {
+		return
+	}
+	t.tick++
+	t.stats.Fills++
+	base := t.setOf(e.VPN) * t.ways
+	victim := base
+	oldest := ^uint64(0)
+	for w := 0; w < t.ways; w++ {
+		ln := &t.lines[base+w]
+		if ln.valid && ln.e.VPN == e.VPN && ln.e.Size == e.Size && ln.e.ASID == e.ASID {
+			ln.e = e
+			ln.lru = t.tick
+			return
+		}
+		if !ln.valid {
+			victim = base + w
+			oldest = 0
+			break
+		}
+		if ln.lru < oldest {
+			oldest = ln.lru
+			victim = base + w
+		}
+	}
+	t.lines[victim] = tlbLine{e: e, valid: true, lru: t.tick}
+}
+
+// InvalidateVA drops any entry translating va (TLB shootdown).
+func (t *TLB) InvalidateVA(va mem.VAddr, asid uint16) {
+	for _, ps := range t.sizes {
+		vpn := ps.VPN(va)
+		base := t.setOf(vpn) * t.ways
+		for w := 0; w < t.ways; w++ {
+			ln := &t.lines[base+w]
+			if ln.valid && ln.e.VPN == vpn && ln.e.Size == ps && ln.e.ASID == asid {
+				ln.valid = false
+				t.stats.Shootdowns++
+			}
+		}
+	}
+}
+
+// InvalidateAll flushes the TLB.
+func (t *TLB) InvalidateAll() {
+	for i := range t.lines {
+		t.lines[i].valid = false
+	}
+	t.stats.Shootdowns++
+}
+
+// Occupancy returns the number of valid entries.
+func (t *TLB) Occupancy() int {
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

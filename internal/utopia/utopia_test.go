@@ -1,0 +1,97 @@
+package utopia
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/phys"
+)
+
+func seg(t *testing.T, size uint64, ways int) *RestSeg {
+	t.Helper()
+	pm := phys.New(512 * mem.MB)
+	s, err := NewRestSeg("t", size, ways, mem.Page4K, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRestSegAllocLookupRelease(t *testing.T) {
+	s := seg(t, 4*mem.MB, 8)
+	vpn := uint64(0x1234)
+	way, ok := s.Alloc(vpn)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	w2, ok := s.Lookup(vpn)
+	if !ok || w2 != way {
+		t.Fatalf("lookup = %d %v, want %d", w2, ok, way)
+	}
+	pa := s.FramePA(s.SetOf(vpn), way)
+	if uint64(pa)%4096 != 0 {
+		t.Fatalf("frame %x unaligned", pa)
+	}
+	if !s.Release(vpn) {
+		t.Fatal("release failed")
+	}
+	if _, ok := s.Lookup(vpn); ok {
+		t.Fatal("lookup after release")
+	}
+}
+
+func TestRestSegSetFull(t *testing.T) {
+	s := seg(t, 4*mem.MB, 8)
+	// Fill one set with 8 colliding VPNs.
+	target := s.SetOf(1)
+	var placed []uint64
+	for vpn := uint64(2); len(placed) < s.Ways; vpn++ {
+		if s.SetOf(vpn) == target {
+			if _, ok := s.Alloc(vpn); ok {
+				placed = append(placed, vpn)
+			}
+		}
+	}
+	if _, ok := s.Alloc(1); ok {
+		t.Fatal("allocation into a full set succeeded")
+	}
+	if s.AllocFails != 1 {
+		t.Fatalf("alloc fails = %d", s.AllocFails)
+	}
+	// Evict a victim and retry.
+	way, victim := s.VictimOf(1)
+	ev, ok := s.Evict(target, way)
+	if !ok || ev != victim {
+		t.Fatalf("evict = %d %v, want %d", ev, ok, victim)
+	}
+	if _, ok := s.Alloc(1); !ok {
+		t.Fatal("allocation after eviction failed")
+	}
+}
+
+func TestRestSegDistinctFrames(t *testing.T) {
+	s := seg(t, 4*mem.MB, 8)
+	seen := map[mem.PAddr]bool{}
+	for vpn := uint64(0); vpn < 256; vpn++ {
+		if way, ok := s.Alloc(vpn); ok {
+			pa := s.FramePA(s.SetOf(vpn), way)
+			if seen[pa] {
+				t.Fatalf("frame %x double-assigned", pa)
+			}
+			seen[pa] = true
+		}
+	}
+}
+
+func TestSystemSegFor(t *testing.T) {
+	pm := phys.New(512 * mem.MB)
+	s4, _ := NewRestSeg("4k", 4*mem.MB, 8, mem.Page4K, pm)
+	s2, _ := NewRestSeg("2m", 32*mem.MB, 8, mem.Page2M, pm)
+	sys := &System{Segs: []*RestSeg{s2, s4}}
+	if sys.SegFor(mem.Page4K) != s4 || sys.SegFor(mem.Page2M) != s2 {
+		t.Fatal("SegFor routing broken")
+	}
+	if sys.SegFor(mem.Page1G) != nil {
+		t.Fatal("SegFor invented a segment")
+	}
+}

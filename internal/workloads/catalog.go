@@ -1,0 +1,325 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/mimicos"
+)
+
+// Scale shrinks the paper's footprints (50–100 GB) to simulator-friendly
+// sizes while preserving the footprint-to-TLB-reach ratios that drive MPKI.
+// All sizes below are expressed at Scale=1; experiments may rescale.
+var Scale = 1.0
+
+// LongIters is the number of iterate passes long-running workloads make
+// over their data. Real long-running executions amortise their build
+// phase over hours; raising this approaches that regime (cmd/figures
+// uses a higher value than the quick benchmarks).
+var LongIters = 4
+
+func sz(bytes uint64) uint64 {
+	v := uint64(float64(bytes) * Scale)
+	if v < 2*mem.MB {
+		v = 2 * mem.MB
+	}
+	return mem.AlignUp(v, 2*mem.MB)
+}
+
+// graph builds a GraphBIG-style workload: a large anonymous region
+// (vertex+edge arrays) walked with a mix of sequential and irregular
+// accesses after a first-touch build phase.
+func graph(name string, footprint uint64, randFrac float64, aluPer uint32, chase bool, smallVMAs int) *Workload {
+	w := &Workload{name: name, class: LongRunning, footprint: footprint}
+	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
+		w.bases["data"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
+		// Auxiliary allocations (runtime, buffers). BC's census (Fig. 18)
+		// is modelled by its large smallVMAs count.
+		for i := 0; i < smallVMAs; i++ {
+			n := fmt.Sprintf("aux%d", i)
+			w.bases[n] = k.Mmap(pid, smallVMASize(i), mimicos.MmapFlags{Anon: true})
+		}
+	}
+	w.program = func(w *Workload) []Step {
+		data := w.Base("data")
+		randOps := uint64(float64(footprint/64) / 2)
+		steps := []Step{
+			// Build: construct the graph, writing every line (faults on
+			// first touch of each page, app-side initialisation after).
+			{Kind: StepTouch, Base: data, Size: footprint, Stride: 64, ALUPer: 2, PC: 0x400100},
+			// Iterate: sequential frontier scans + irregular neighbour
+			// accesses, repeated.
+		}
+		kind := StepRand
+		if chase {
+			kind = StepChase
+		}
+		for it := 0; it < LongIters; it++ {
+			steps = append(steps,
+				Step{Kind: StepSeq, Base: data, Size: footprint / 4, Stride: 64,
+					Count: uint64(float64(randOps) * (1 - randFrac)), ALUPer: aluPer, PC: 0x400200},
+				Step{Kind: kind, Base: data, Size: footprint,
+					Count: uint64(float64(randOps) * randFrac), ALUPer: aluPer, PC: 0x400300},
+			)
+			// Touch a few auxiliary VMAs each iteration so small-VMA
+			// workloads exercise the frontend (Fig. 17's BC effect).
+			for i := 0; i < 8 && i < len(w.bases)-1; i++ {
+				aux := w.Base(fmt.Sprintf("aux%d", (it*8+i)%max(1, len(w.bases)-1)))
+				steps = append(steps, Step{Kind: StepRand, Base: aux, Size: smallVMASize(it*8 + i),
+					Count: randOps / 64, ALUPer: aluPer, PC: 0x400400})
+			}
+		}
+		return steps
+	}
+	return w
+}
+
+// smallVMASize reproduces Fig. 18's BC size distribution: most auxiliary
+// VMAs are 4 KB, with a tail up to ~1 GB (scaled).
+func smallVMASize(i int) uint64 {
+	switch {
+	case i%3 != 0: // ~2/3 of them tiny
+		return 4 * mem.KB
+	case i%9 == 0:
+		return sz(8 * mem.MB)
+	case i%6 == 0:
+		return sz(2 * mem.MB)
+	default:
+		return 256 * mem.KB
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// hpc builds an XSBench/GUPS-style workload: random lookups over big
+// tables with little locality.
+func hpc(name string, footprint uint64, aluPer uint32, rmw bool) *Workload {
+	w := &Workload{name: name, class: LongRunning, footprint: footprint}
+	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
+		w.bases["data"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
+	}
+	w.program = func(w *Workload) []Step {
+		data := w.Base("data")
+		ops := footprint / 64 / 2
+		steps := []Step{
+			{Kind: StepTouch, Base: data, Size: footprint, Stride: 64, ALUPer: 2, PC: 0x500100},
+		}
+		for it := 0; it < LongIters; it++ {
+			steps = append(steps, Step{Kind: StepRand, Base: data, Size: footprint,
+				Count: ops, ALUPer: aluPer, Store: rmw, PC: 0x500200})
+		}
+		return steps
+	}
+	return w
+}
+
+// faas builds a short-running Function-as-a-Service workload: allocate
+// working buffers (first touch), a short compute burst, done. Allocation
+// dominates (Fig. 1's short-running profile).
+func faas(name string, footprint uint64, aluPerTouch uint32, computeOps uint64) *Workload {
+	w := &Workload{name: name, class: ShortRunning, footprint: footprint}
+	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
+		w.bases["in"] = k.Mmap(pid, footprint/2, mimicos.MmapFlags{File: true, FileID: 7})
+		w.bases["work"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
+	}
+	w.program = func(w *Workload) []Step {
+		in, work := w.Base("in"), w.Base("work")
+		return []Step{
+			// Read the (page-cached) input.
+			{Kind: StepSeq, Base: in, Size: footprint / 2, Stride: 64, Count: footprint / 2 / 64, ALUPer: 2, PC: 0x600100},
+			// Allocate and fill the working set: the dominant phase.
+			{Kind: StepTouch, Base: work, Size: footprint, Stride: 64, ALUPer: aluPerTouch / 4, PC: 0x600200},
+			// Brief compute over the warm data.
+			{Kind: StepSeq, Base: work, Size: footprint, Stride: 64, Count: computeOps, ALUPer: 6, PC: 0x600300},
+		}
+	}
+	return w
+}
+
+// llm builds an LLM-inference workload (short-input/short-output per
+// Table 5): file-backed weights streamed per token plus an anonymous KV
+// cache that grows with every generated token — the §7.5 allocation
+// stressor.
+func llm(name string, weights, kv uint64, tokens int) *Workload {
+	w := &Workload{name: name, class: ShortRunning, footprint: weights + kv}
+	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
+		w.bases["weights"] = k.Mmap(pid, weights, mimicos.MmapFlags{File: true, FileID: 11})
+		w.bases["kv"] = k.Mmap(pid, kv, mimicos.MmapFlags{Anon: true})
+		w.bases["scratch"] = k.Mmap(pid, kv/2, mimicos.MmapFlags{Anon: true})
+	}
+	w.program = func(w *Workload) []Step {
+		wts, kvb, scr := w.Base("weights"), w.Base("kv"), w.Base("scratch")
+		perTok := kv / uint64(tokens)
+		steps := []Step{
+			{Kind: StepTouch, Base: scr, Size: kv / 2, Stride: 64, ALUPer: 2, PC: 0x700050},
+		}
+		for t := 0; t < tokens; t++ {
+			steps = append(steps,
+				// Stream a slice of the weights (page-cache backed).
+				Step{Kind: StepSeq, Base: wts, Size: weights, Stride: 4 * mem.KB,
+					Count: weights / (4 * mem.KB) / uint64(tokens), ALUPer: 24, PC: 0x700100},
+				// Extend the KV cache: fresh pages → faults mid-run.
+				Step{Kind: StepTouch, Base: kvb + mem.VAddr(uint64(t)*perTok), Size: perTok,
+					Stride: 64, ALUPer: 3, PC: 0x700200},
+				// Attention over the KV cache so far.
+				Step{Kind: StepRand, Base: kvb, Size: perTok * uint64(t+1),
+					Count: 256, ALUPer: 16, PC: 0x700300},
+			)
+		}
+		return steps
+	}
+	return w
+}
+
+// image builds a short-running image/array kernel with strided traversal.
+func image(name string, footprint uint64, stride uint64, passes int) *Workload {
+	w := &Workload{name: name, class: ShortRunning, footprint: footprint}
+	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
+		w.bases["src"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
+		w.bases["dst"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
+	}
+	w.program = func(w *Workload) []Step {
+		src, dst := w.Base("src"), w.Base("dst")
+		steps := []Step{
+			{Kind: StepTouch, Base: src, Size: footprint, Stride: 64, ALUPer: 2, PC: 0x800100},
+			{Kind: StepTouch, Base: dst, Size: footprint, Stride: 64, ALUPer: 2, PC: 0x800200},
+		}
+		for p := 0; p < passes; p++ {
+			steps = append(steps,
+				Step{Kind: StepSeq, Base: src, Size: footprint, Stride: stride,
+					Count: footprint / stride, ALUPer: 4, PC: 0x800300},
+				Step{Kind: StepSeq, Base: dst, Size: footprint, Stride: 64,
+					Count: footprint / stride, ALUPer: 2, Store: true, PC: 0x800400},
+			)
+		}
+		return steps
+	}
+	return w
+}
+
+// Stress builds one point of the §2 memory-intensity sweep (Fig. 3):
+// intensity ∈ [0,1] scales both footprint and the memory-op share.
+func Stress(level int, maxLevels int) *Workload {
+	frac := float64(level+1) / float64(maxLevels)
+	footprint := sz(uint64(4*mem.MB + frac*float64(248*mem.MB)))
+	aluPer := uint32(1 + (1-frac)*40)
+	w := &Workload{name: fmt.Sprintf("stress-%02d", level), class: LongRunning, footprint: footprint}
+	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
+		w.bases["data"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
+	}
+	w.program = func(w *Workload) []Step {
+		data := w.Base("data")
+		return []Step{
+			{Kind: StepTouch, Base: data, Size: footprint, Stride: 64, ALUPer: 2, PC: 0x900100},
+			{Kind: StepRand, Base: data, Size: footprint, Count: footprint / 256, ALUPer: aluPer, PC: 0x900200},
+		}
+	}
+	return w
+}
+
+// Graph suite (GraphBIG, Table 5) -------------------------------------------
+
+// LongSuite returns the long-running suite of Table 5: the GraphBIG
+// benchmarks, XSBench, and GUPS randacc.
+func LongSuite() []*Workload {
+	return []*Workload{
+		BC(), BFS(), CC(), GC(), KC(), PR(), RND(), SP(), TC(), XS(),
+	}
+}
+
+// BC is GraphBIG betweenness centrality: one huge VMA plus ~147 small
+// auxiliary VMAs (Fig. 18), highly irregular.
+func BC() *Workload { return graph("BC", sz(384*mem.MB), 0.75, 4, false, 147) }
+
+// BFS is breadth-first search: frontier-driven, moderately irregular.
+func BFS() *Workload { return graph("BFS", sz(320*mem.MB), 0.65, 3, false, 6) }
+
+// CC is connected components.
+func CC() *Workload { return graph("CC", sz(320*mem.MB), 0.6, 4, false, 6) }
+
+// GC is graph coloring.
+func GC() *Workload { return graph("GC", sz(256*mem.MB), 0.6, 5, false, 6) }
+
+// KC is k-core decomposition.
+func KC() *Workload { return graph("KC", sz(256*mem.MB), 0.7, 4, false, 6) }
+
+// PR is PageRank: alternating sequential and random phases.
+func PR() *Workload { return graph("PR", sz(384*mem.MB), 0.55, 6, false, 6) }
+
+// SP is single-source shortest path: pointer-chase heavy (the Fig. 3
+// outlier).
+func SP() *Workload { return graph("SSSP", sz(320*mem.MB), 0.8, 3, true, 6) }
+
+// TC is triangle counting.
+func TC() *Workload { return graph("TC", sz(256*mem.MB), 0.7, 5, false, 6) }
+
+// XS is XSBench, the Monte Carlo neutron-transport kernel.
+func XS() *Workload { return hpc("XS", sz(320*mem.MB), 8, false) }
+
+// RND is GUPS randacc: random read-modify-writes, the worst-case fault
+// and TLB stressor (used for Fig. 11's worst-case overheads).
+func RND() *Workload { return hpc("RND", sz(256*mem.MB), 1, true) }
+
+// Short-running suite --------------------------------------------------------
+
+// ShortSuite returns the short-running suite of Table 5.
+func ShortSuite() []*Workload {
+	return []*Workload{
+		JSON(), AES(), IMGRES(), WCNT(), DB(),
+		Llama(), Bagel(), Mistral(),
+		Transp3D(), Hadamard(), Sum2D(),
+	}
+}
+
+// JSON is FaaS JSON deserialisation.
+func JSON() *Workload { return faas("JSON", sz(24*mem.MB), 10, 64*1024) }
+
+// AES is FaaS AES encryption.
+func AES() *Workload { return faas("AES", sz(16*mem.MB), 18, 96*1024) }
+
+// IMGRES is FaaS image resizing.
+func IMGRES() *Workload { return faas("IMG-RES", sz(32*mem.MB), 8, 128*1024) }
+
+// WCNT is FaaS word count.
+func WCNT() *Workload { return faas("WCNT", sz(24*mem.MB), 6, 96*1024) }
+
+// DB is a FaaS database filter query.
+func DB() *Workload { return faas("DB", sz(32*mem.MB), 7, 128*1024) }
+
+// Llama models Llama-2-7B short-prompt inference (llama.cpp).
+func Llama() *Workload { return llm("Llama-2-7B", sz(96*mem.MB), sz(48*mem.MB), 12) }
+
+// Bagel models Bagel-2.8B inference.
+func Bagel() *Workload { return llm("Bagel-2.8B", sz(48*mem.MB), sz(32*mem.MB), 12) }
+
+// Mistral models Mistral-7B inference.
+func Mistral() *Workload { return llm("Mistral-7B", sz(96*mem.MB), sz(48*mem.MB), 12) }
+
+// Transp3D is the 3D matrix transposition kernel.
+func Transp3D() *Workload { return image("3D-Transp", sz(24*mem.MB), 4*mem.KB+64, 2) }
+
+// Hadamard is the 3D Hadamard product.
+func Hadamard() *Workload { return image("Hadamard", sz(24*mem.MB), 64, 2) }
+
+// Sum2D is the 2D matrix sum.
+func Sum2D() *Workload { return image("2D-Sum", sz(16*mem.MB), 64, 2) }
+
+// ByName returns the named workload from either suite.
+func ByName(name string) (*Workload, bool) {
+	for _, w := range LongSuite() {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	for _, w := range ShortSuite() {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,200 @@
+// Package workloads provides synthetic generators reproducing the
+// VM-relevant memory behaviour of the paper's Table 5 benchmark suites:
+// GraphBIG graph analytics and HPC kernels (long-running, large
+// footprints, irregular access, high L2 TLB MPKI), Function-as-a-Service
+// and image-processing workloads (short-running, allocation-dominated),
+// and LLM inference (file-backed weights plus a growing KV cache). A
+// parametric stress sweep reproduces the §2 memory-intensity study
+// (Fig. 3).
+//
+// Each workload describes (i) its address-space layout, created through
+// MimicOS mmap calls, and (ii) a deterministic instruction stream over
+// that layout, expressed as a small phase program.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/mimicos"
+	"repro/internal/xrand"
+)
+
+// Class separates the paper's two workload categories (§1).
+type Class int
+
+const (
+	// LongRunning workloads (>100 s real time) amortise allocation and
+	// are dominated by address translation.
+	LongRunning Class = iota
+	// ShortRunning workloads (<1 s) are dominated by physical memory
+	// allocation.
+	ShortRunning
+)
+
+func (c Class) String() string {
+	if c == ShortRunning {
+		return "short"
+	}
+	return "long"
+}
+
+// StepKind enumerates program phases.
+type StepKind uint8
+
+const (
+	// StepTouch walks [Base, Base+Size) at Stride with stores
+	// (first-touch allocation).
+	StepTouch StepKind = iota
+	// StepSeq streams over the region with loads at Stride, Count ops.
+	StepSeq
+	// StepRand performs Count accesses at pseudo-random page-grained
+	// offsets in the region.
+	StepRand
+	// StepChase performs Count dependent pointer-chase hops across the
+	// region (page-granular, deterministic chain).
+	StepChase
+	// StepALU burns Count register-only instructions.
+	StepALU
+)
+
+// Step is one program phase.
+type Step struct {
+	Kind   StepKind
+	Base   mem.VAddr
+	Size   uint64
+	Stride uint64
+	Count  uint64
+	ALUPer uint32 // ALU instructions interleaved per memory access
+	Store  bool   // use stores instead of loads (StepRand/StepSeq)
+	PC     uint64
+}
+
+// Workload is one benchmark.
+type Workload struct {
+	name      string
+	class     Class
+	footprint uint64
+	setup     func(w *Workload, k *mimicos.Kernel, pid int)
+	program   func(w *Workload) []Step
+
+	bases map[string]mem.VAddr
+}
+
+// Name returns the benchmark name.
+func (w *Workload) Name() string { return w.name }
+
+// Class returns the workload class.
+func (w *Workload) Class() Class { return w.class }
+
+// FootprintBytes returns the primary data footprint.
+func (w *Workload) FootprintBytes() uint64 { return w.footprint }
+
+// Setup creates the workload's VMAs in the kernel for process pid.
+func (w *Workload) Setup(k *mimicos.Kernel, pid int) {
+	w.bases = make(map[string]mem.VAddr)
+	w.setup(w, k, pid)
+}
+
+// Base returns the named VMA base established during Setup.
+func (w *Workload) Base(name string) mem.VAddr {
+	va, ok := w.bases[name]
+	if !ok {
+		panic(fmt.Sprintf("workloads: %s: unknown base %q (Setup not run?)", w.name, name))
+	}
+	return va
+}
+
+// Source returns the instruction stream for one run.
+func (w *Workload) Source(seed uint64) isa.Source {
+	return newProgramSource(w.program(w), seed)
+}
+
+// programSource executes a step program.
+type programSource struct {
+	steps []Step
+	rng   *xrand.Rand
+	si    int    // current step
+	done  uint64 // ops completed in current step
+	alu   uint32 // pending ALU filler for current op
+	chase uint64 // pointer-chase cursor
+}
+
+func newProgramSource(steps []Step, seed uint64) *programSource {
+	return &programSource{steps: steps, rng: xrand.New(seed)}
+}
+
+// Next implements isa.Source.
+func (s *programSource) Next(out *isa.Inst) bool {
+	for s.si < len(s.steps) {
+		st := &s.steps[s.si]
+		if s.alu > 0 {
+			*out = isa.Inst{Op: isa.OpALU, Count: s.alu, PC: st.PC + 4}
+			s.alu = 0
+			return true
+		}
+		var total uint64
+		switch st.Kind {
+		case StepTouch:
+			total = st.Size / st.Stride
+		default:
+			total = st.Count
+		}
+		if s.done >= total {
+			s.si++
+			s.done = 0
+			s.chase = 0
+			continue
+		}
+		switch st.Kind {
+		case StepTouch:
+			addr := st.Base + mem.VAddr(s.done*st.Stride)
+			*out = isa.Store(st.PC, addr)
+		case StepSeq:
+			off := (s.done * st.Stride) % st.Size
+			addr := st.Base + mem.VAddr(off)
+			if st.Store {
+				*out = isa.Store(st.PC, addr)
+			} else {
+				*out = isa.Load(st.PC, addr)
+			}
+		case StepRand:
+			pageOff := s.rng.Uint64n(st.Size / 64)
+			addr := st.Base + mem.VAddr(pageOff*64)
+			if st.Store {
+				*out = isa.Store(st.PC+s.done%7*4, addr)
+			} else {
+				*out = isa.Load(st.PC+s.done%7*4, addr)
+			}
+		case StepChase:
+			pages := st.Size / (4 * mem.KB)
+			s.chase = xrand.Hash64(s.chase+s.done, uint64(st.Base)) % pages
+			addr := st.Base + mem.VAddr(s.chase*4*mem.KB+(s.done%64)*64)
+			*out = isa.Load(st.PC, addr)
+		case StepALU:
+			c := total - s.done
+			if c > 1<<20 {
+				c = 1 << 20
+			}
+			*out = isa.Inst{Op: isa.OpALU, Count: uint32(c), PC: st.PC}
+			s.done += c
+			return true
+		}
+		s.done++
+		s.alu = st.ALUPer
+		return true
+	}
+	return false
+}
+
+// SetBase records a named VMA base during Setup (custom workloads).
+func (w *Workload) SetBase(name string, va mem.VAddr) { w.bases[name] = va }
+
+// Custom builds a workload from explicit setup and program functions —
+// the extension point for user-defined studies and microbenchmarks.
+func Custom(name string, class Class, footprint uint64,
+	setup func(w *Workload, k *mimicos.Kernel, pid int),
+	program func(w *Workload) []Step) *Workload {
+	return &Workload{name: name, class: class, footprint: footprint, setup: setup, program: program}
+}

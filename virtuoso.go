@@ -1,0 +1,110 @@
+// Package virtuoso is the public API of this reproduction of "Virtuoso:
+// Enabling Fast and Accurate Virtual Memory Research via an
+// Imitation-based Operating System Simulation Methodology" (ASPLOS'25).
+//
+// A Virtuoso system couples an architectural simulator (core model, cache
+// hierarchy, DRAM, optional SSD) with MimicOS, a lightweight userspace
+// kernel imitating Linux memory management. OS events raised by the
+// simulated workload (page faults, mmap) cross a functional channel to
+// MimicOS; the instruction stream of the kernel routine that served each
+// event is injected back into the core model, so OS work is charged its
+// real latency and memory interference.
+//
+// Quick start:
+//
+//	sys := virtuoso.New(virtuoso.DefaultConfig())
+//	metrics := sys.Run(virtuoso.WorkloadByName("BFS"))
+//	fmt.Println(metrics.IPC, metrics.AvgPTWLat)
+//
+// Use Config.Design to study translation schemes (radix, ech, hdc, ht,
+// utopia, rmm, midgard, directseg), Config.Policy for allocation policies
+// (bd, thp, cr-thp, ar-thp, utopia, eager), and Config.Mode to compare
+// the imitation methodology against fixed-latency emulation.
+package virtuoso
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mimicos"
+	"repro/internal/workloads"
+)
+
+// Re-exported configuration types.
+type (
+	// Config assembles a simulated system (see internal/core).
+	Config = core.Config
+	// Metrics is the result of one simulation run.
+	Metrics = core.Metrics
+	// System is an assembled simulator + MimicOS pair.
+	System = core.System
+	// Workload is a benchmark from the Table 5 suites or a custom one.
+	Workload = workloads.Workload
+	// DesignName selects a translation design.
+	DesignName = core.DesignName
+	// PolicyName selects an allocation policy.
+	PolicyName = core.PolicyName
+	// MmapFlags selects the VMA type for custom workloads.
+	MmapFlags = mimicos.MmapFlags
+)
+
+// Simulation modes (Table 1's methodology axis).
+const (
+	// Imitation is Virtuoso's methodology.
+	Imitation = core.Imitation
+	// Emulation is the fixed-latency baseline methodology.
+	Emulation = core.Emulation
+)
+
+// Translation designs.
+const (
+	DesignRadix   = core.DesignRadix
+	DesignECH     = core.DesignECH
+	DesignHDC     = core.DesignHDC
+	DesignHT      = core.DesignHT
+	DesignUtopia  = core.DesignUtopia
+	DesignRMM     = core.DesignRMM
+	DesignMidgard = core.DesignMidgard
+)
+
+// Allocation policies.
+const (
+	PolicyBuddy  = core.PolicyBuddy
+	PolicyTHP    = core.PolicyTHP
+	PolicyCRTHP  = core.PolicyCRTHP
+	PolicyARTHP  = core.PolicyARTHP
+	PolicyUtopia = core.PolicyUtopia
+	PolicyEager  = core.PolicyEager
+)
+
+// DefaultConfig returns the paper's Table 4 Virtuoso+Sniper system.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// ScaledConfig returns the proportionally scaled system the experiments
+// use (see internal/experiments for the scaling methodology).
+func ScaledConfig() Config {
+	return experiments.BaseConfig(experiments.Opts{})
+}
+
+// New builds a system, panicking on configuration errors (use
+// core.NewSystem directly for error returns).
+func New(cfg Config) *System { return core.MustNewSystem(cfg) }
+
+// WorkloadByName returns a Table 5 workload ("BC", "BFS", ..., "JSON",
+// "Llama-2-7B", ...); it panics on unknown names.
+func WorkloadByName(name string) *Workload {
+	w, ok := workloads.ByName(name)
+	if !ok {
+		panic("virtuoso: unknown workload " + name)
+	}
+	return w
+}
+
+// LongRunningSuite returns the Table 5 long-running workloads.
+func LongRunningSuite() []*Workload { return workloads.LongSuite() }
+
+// ShortRunningSuite returns the Table 5 short-running workloads.
+func ShortRunningSuite() []*Workload { return workloads.ShortSuite() }
+
+// SetWorkloadScale rescales all workload footprints (1.0 = the library's
+// reference sizes; experiments use smaller values).
+func SetWorkloadScale(s float64) { workloads.Scale = s }
