@@ -1,0 +1,200 @@
+package virtuoso_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	virtuoso "repro"
+)
+
+// withTinyScale shrinks workload footprints for the duration of a test.
+func withTinyScale(t *testing.T) {
+	t.Helper()
+	virtuoso.SetWorkloadScale(0.05)
+	t.Cleanup(func() { virtuoso.SetWorkloadScale(1.0) })
+}
+
+func TestOpenErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []virtuoso.Option
+		want string
+	}{
+		{"no workload", nil, "no workload"},
+		{"unknown workload", []virtuoso.Option{virtuoso.WithWorkload("nope")}, `unknown workload "nope"`},
+		{"unknown design", []virtuoso.Option{virtuoso.WithWorkload("BFS"), virtuoso.WithDesign("bogus")}, `unknown design "bogus"`},
+		{"unknown policy", []virtuoso.Option{virtuoso.WithWorkload("BFS"), virtuoso.WithPolicy("wat")}, `unknown policy "wat"`},
+		{"fragmentation range", []virtuoso.Option{virtuoso.WithWorkload("BFS"), virtuoso.WithFragmentation(1.5)}, "out of range"},
+		{"bad scale", []virtuoso.Option{virtuoso.WithWorkload("BFS"), virtuoso.WithWorkloadScale(-1)}, "must be positive"},
+		{"nil custom workload", []virtuoso.Option{virtuoso.WithCustomWorkload(nil)}, "nil workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := virtuoso.Open(tc.opts...)
+			if err == nil {
+				t.Fatalf("Open succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFailedOpenLeavesScaleUntouched(t *testing.T) {
+	withTinyScale(t) // scale is 0.05 for the duration of this test
+	_, err := virtuoso.Open(
+		virtuoso.WithWorkloadScale(0.9),
+		virtuoso.WithWorkload("nope"),
+	)
+	if err == nil {
+		t.Fatal("Open should fail on the unknown workload")
+	}
+	// The failed Open must not have applied the 0.9 scale: a fresh BFS
+	// instance still gets the 0.05-scaled footprint.
+	w, err := virtuoso.NamedWorkload("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FootprintBytes() > 64<<20 {
+		t.Errorf("footprint %d MB suggests the failed Open leaked its workload scale", w.FootprintBytes()>>20)
+	}
+
+	// Same guarantee for the two later failure points: no workload
+	// selected, and a system-build error from an invalid full config.
+	if _, err := virtuoso.Open(virtuoso.WithWorkloadScale(0.9)); err == nil {
+		t.Fatal("Open without a workload should fail")
+	}
+	bad := virtuoso.DefaultConfig()
+	bad.Policy = "no-such-policy"
+	if _, err := virtuoso.Open(
+		virtuoso.WithConfig(bad),
+		virtuoso.WithWorkloadScale(0.9),
+		virtuoso.WithWorkload("BFS"),
+	); err == nil {
+		t.Fatal("Open with an invalid config should fail")
+	}
+	w, _ = virtuoso.NamedWorkload("BFS")
+	if w.FootprintBytes() > 64<<20 {
+		t.Errorf("late Open failure leaked the workload scale (footprint %d MB)", w.FootprintBytes()>>20)
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if _, err := virtuoso.ParseMode("emulatoin"); err == nil {
+		t.Error("ParseMode accepted a typo")
+	}
+	m, err := virtuoso.ParseMode("emulation")
+	if err != nil || m != virtuoso.Emulation {
+		t.Errorf("ParseMode(emulation) = %v, %v", m, err)
+	}
+	for _, d := range virtuoso.KnownDesigns() {
+		if _, err := virtuoso.ParseDesign(string(d)); err != nil {
+			t.Errorf("ParseDesign rejected known design %q: %v", d, err)
+		}
+	}
+	for _, p := range virtuoso.KnownPolicies() {
+		if _, err := virtuoso.ParsePolicy(string(p)); err != nil {
+			t.Errorf("ParsePolicy rejected known policy %q: %v", p, err)
+		}
+	}
+}
+
+func TestOpenRunAndSessionSingleUse(t *testing.T) {
+	withTinyScale(t)
+	sess, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("JSON"),
+		virtuoso.WithDesign(virtuoso.DesignRadix),
+		virtuoso.WithPolicy(virtuoso.PolicyTHP),
+		virtuoso.WithSeed(7),
+		virtuoso.WithMaxInstructions(100_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Config().Seed; got != 7 {
+		t.Errorf("Config().Seed = %d, want 7", got)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AppInsts == 0 || m.Cycles == 0 {
+		t.Errorf("empty metrics: app=%d cycles=%d", m.AppInsts, m.Cycles)
+	}
+	if _, err := sess.Run(); err == nil {
+		t.Error("second Run on the same session should fail")
+	}
+}
+
+func TestSessionRunContextCancelled(t *testing.T) {
+	withTinyScale(t)
+	sess, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("JSON"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.RunContext(ctx); err != context.Canceled {
+		t.Errorf("RunContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	withTinyScale(t)
+	sess, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("JSON"),
+		virtuoso.WithMaxInstructions(100_000),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sess.Result(m)
+
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back virtuoso.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workload != r.Workload || back.Design != r.Design || back.Policy != r.Policy ||
+		back.Mode != r.Mode || back.Seed != r.Seed {
+		t.Errorf("config echo changed: %+v vs %+v", back, r)
+	}
+	if back.Metrics.Cycles != m.Cycles || back.Metrics.IPC != m.IPC || back.Metrics.MinorFaults != m.MinorFaults {
+		t.Errorf("metrics changed across round trip")
+	}
+	if m.PFLatNs != nil {
+		if back.Metrics.PFLatNs == nil {
+			t.Fatal("fault latency series lost in round trip")
+		}
+		if got, want := back.Metrics.PFLatNs.Len(), m.PFLatNs.Len(); got != want {
+			t.Errorf("series length %d, want %d", got, want)
+		}
+		if got, want := back.Metrics.PFLatNs.Sum(), m.PFLatNs.Sum(); got != want {
+			t.Errorf("series sum %v, want %v", got, want)
+		}
+	}
+
+	// Re-marshalling the decoded result must reproduce the bytes.
+	data2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("round-tripped result marshals differently")
+	}
+}

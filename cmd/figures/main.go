@@ -22,10 +22,11 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced configurations (minutes instead of hours)")
-		only  = flag.String("only", "", "comma-separated experiment ids (e.g. fig13,fig21)")
-		out   = flag.String("out", "", "output file (default stdout)")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
+		quick    = flag.Bool("quick", false, "reduced configurations (minutes instead of hours)")
+		only     = flag.String("only", "", "comma-separated experiment ids (e.g. fig13,fig21)")
+		out      = flag.String("out", "", "output file (default stdout)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation points per experiment (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -46,7 +47,7 @@ func main() {
 		}
 		start := time.Now()
 		fmt.Fprintf(os.Stderr, "running %s...", id)
-		tb := f(experiments.Opts{Quick: *quick, Seed: *seed})
+		tb := f(experiments.Opts{Quick: *quick, Seed: *seed, Parallel: *parallel})
 		fmt.Fprintf(os.Stderr, " done in %v\n", time.Since(start).Round(time.Millisecond))
 		sb.WriteString(tb.Markdown())
 		sb.WriteString("\n")

@@ -1,33 +1,45 @@
-// Command virtuoso runs one simulation configuration and prints its
-// metrics — the CLI equivalent of the quickstart example.
+// Command virtuoso runs one simulation configuration — or a whole
+// design-space grid — and prints metrics, the CLI equivalent of the
+// Open/Sweep API.
 //
 // Usage:
 //
 //	virtuoso -workload BFS -design radix -policy thp -insts 2000000
 //	virtuoso -workload Llama-2-7B -design utopia -policy utopia
+//	virtuoso -workload BFS,XS -design radix,ech,ht -seeds 1,2 -parallel 8
+//	virtuoso -workload BFS -design radix,ech -json > results.json
 //	virtuoso -list
+//
+// Grid-valued flags (-workload, -design, -policy, -seeds) accept
+// comma-separated lists; when the grid has more than one point the
+// sweep runs on a bounded worker pool and prints one row per point.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	virtuoso "repro"
-	"repro/internal/core"
-	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "BFS", "workload name (-list to enumerate)")
-		design   = flag.String("design", "radix", "translation design: radix|ech|hdc|ht|utopia|rmm|midgard")
-		policy   = flag.String("policy", "thp", "allocation policy: bd|thp|cr-thp|ar-thp|utopia|eager")
+		workload = flag.String("workload", "BFS", "workload name(s), comma-separated (-list to enumerate)")
+		design   = flag.String("design", "radix", "translation design(s), comma-separated: radix|ech|hdc|ht|utopia|rmm|midgard|directseg")
+		policy   = flag.String("policy", "thp", "allocation policy(ies), comma-separated: bd|thp|cr-thp|ar-thp|utopia|eager")
 		mode     = flag.String("mode", "imitation", "OS methodology: imitation|emulation")
 		insts    = flag.Uint64("insts", 2_000_000, "max application instructions (0 = run to completion)")
 		scale    = flag.Float64("scale", 0.25, "workload footprint scale")
 		frag     = flag.Float64("frag", 0.80, "fragmentation level (fraction of 2MB blocks unavailable)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
+		seeds    = flag.String("seeds", "1", "simulation seed(s), comma-separated")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON")
 		list     = flag.Bool("list", false, "list workloads and exit")
 	)
 	flag.Parse()
@@ -44,40 +56,95 @@ func main() {
 		return
 	}
 
-	workloads.Scale = *scale
-	w, ok := workloads.ByName(*workload)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q (try -list)\n", *workload)
-		os.Exit(1)
-	}
-
-	cfg := virtuoso.ScaledConfig()
-	cfg.Design = core.DesignName(*design)
-	cfg.Policy = core.PolicyName(*policy)
-	cfg.MaxAppInsts = *insts
-	cfg.FragFree2M = 1 - *frag
-	cfg.Seed = *seed
-	if *mode == "emulation" {
-		cfg.Mode = core.Emulation
-	}
-	switch cfg.Design {
-	case core.DesignUtopia:
-		if cfg.Policy == "" || cfg.Policy == core.PolicyTHP {
-			cfg.Policy = core.PolicyUtopia
+	// Validate every name up front: unknown designs, policies, or modes
+	// are hard errors, not silently-accepted defaults.
+	designs, err := parseDesigns(*design)
+	check(err)
+	policies, err := parsePolicies(*policy)
+	check(err)
+	m, err := virtuoso.ParseMode(*mode)
+	check(err)
+	seedList, err := parseSeeds(*seeds)
+	check(err)
+	workloadList := splitList(*workload)
+	for _, w := range workloadList {
+		if _, err := virtuoso.NamedWorkload(w); err != nil {
+			check(fmt.Errorf("%w (try -list)", err))
 		}
-	case core.DesignRMM:
-		cfg.Policy = core.PolicyEager
+	}
+	if *frag < 0 || *frag > 1 {
+		check(fmt.Errorf("virtuoso: -frag %v out of range [0, 1]", *frag))
 	}
 
-	sys, err := core.NewSystem(cfg)
+	virtuoso.SetWorkloadScale(*scale)
+
+	base := virtuoso.ScaledConfig()
+	base.Mode = m
+	base.MaxAppInsts = *insts
+	base.FragFree2M = 1 - *frag
+
+	// -policy was left at its default: pair designs with their natural
+	// policies (utopia wants its own allocator, RMM eager paging).
+	policyFlagSet := false
+	flag.Visit(func(f *flag.Flag) { policyFlagSet = policyFlagSet || f.Name == "policy" })
+
+	sweep := &virtuoso.Sweep{
+		Base:      base,
+		Workloads: workloadList,
+		Designs:   designs,
+		Policies:  policies,
+		Seeds:     seedList,
+		Parallel:  *parallel,
+		Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
+			if policyFlagSet {
+				return nil
+			}
+			switch cfg.Design {
+			case virtuoso.DesignUtopia:
+				cfg.Policy = virtuoso.PolicyUtopia
+			case virtuoso.DesignRMM:
+				cfg.Policy = virtuoso.PolicyEager
+			}
+			return nil
+		},
+	}
+
+	// Ctrl-C cancels the sweep mid-simulation.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	points := sweep.Points()
+	if len(points) > 1 && !*jsonOut {
+		sweep.Progress = func(ev virtuoso.SweepEvent) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s/%s seed=%d\n",
+				ev.Done, ev.Total, ev.Point.Workload, ev.Point.Design, ev.Point.Policy, ev.Point.Seed)
+		}
+	}
+
+	report, err := sweep.Run(ctx)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "config error:", err)
-		os.Exit(1)
+		if report != nil && len(report.Results) > 0 {
+			fmt.Fprintf(os.Stderr, "sweep aborted after %d/%d points\n", len(report.Results), report.Points)
+		}
+		check(err)
 	}
-	m := sys.Run(w)
 
-	fmt.Printf("workload        %s (%s, footprint %d MB)\n", m.Workload, w.Class(), w.FootprintBytes()>>20)
-	fmt.Printf("design/policy   %s / %s\n", m.Design, m.Policy)
+	switch {
+	case *jsonOut:
+		data, err := report.JSON()
+		check(err)
+		fmt.Println(string(data))
+	case len(report.Results) == 1:
+		printSingle(report.Results[0])
+	default:
+		printGrid(report)
+	}
+}
+
+func printSingle(r virtuoso.Result) {
+	m := r.Metrics
+	fmt.Printf("workload        %s\n", m.Workload)
+	fmt.Printf("design/policy   %s / %s (%s, seed %d)\n", m.Design, m.Policy, r.Mode, r.Seed)
 	fmt.Printf("instructions    app=%d kernel=%d (%.1f%% kernel)\n", m.AppInsts, m.KernelInsts, 100*m.KernelInstFraction())
 	fmt.Printf("cycles          %d  IPC %.3f\n", m.Cycles, m.IPC)
 	fmt.Printf("translation     %.2f%% of cycles, L2 TLB MPKI %.2f, avg PTW %.1f cycles (%d walks)\n",
@@ -93,4 +160,69 @@ func main() {
 	fmt.Printf("os              THP pool/direct/fallback %d/%d/%d, collapses %d, swap in/out %d/%d\n",
 		m.OS.THPPoolHits, m.OS.THPDirectZero, m.OS.THPFallback4K, m.OS.Collapses, m.OS.SwapIns, m.OS.SwapOuts)
 	fmt.Printf("wall time       %v\n", m.WallTime)
+}
+
+func printGrid(report *virtuoso.Report) {
+	fmt.Printf("%-12s %-10s %-8s %-5s %8s %8s %8s %9s %8s\n",
+		"workload", "design", "policy", "seed", "IPC", "MPKI", "avgPTW", "minflt", "wall")
+	for _, r := range report.Results {
+		m := r.Metrics
+		fmt.Printf("%-12s %-10s %-8s %-5d %8.3f %8.2f %8.1f %9d %8s\n",
+			r.Workload, r.Design, r.Policy, r.Seed,
+			m.IPC, m.L2TLBMPKI, m.AvgPTWLat, m.MinorFaults, m.WallTime.Round(1e6).String())
+	}
+	fmt.Printf("\n%d points in %v\n", len(report.Results), report.Wall.Round(1e6))
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseDesigns(s string) ([]virtuoso.DesignName, error) {
+	var out []virtuoso.DesignName
+	for _, part := range splitList(s) {
+		d, err := virtuoso.ParseDesign(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func parsePolicies(s string) ([]virtuoso.PolicyName, error) {
+	var out []virtuoso.PolicyName
+	for _, part := range splitList(s) {
+		p, err := virtuoso.ParsePolicy(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("virtuoso: bad seed %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -9,13 +9,12 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	virtuoso "repro"
-	"repro/internal/core"
 	"repro/internal/instrument"
 	"repro/internal/mem"
 	"repro/internal/mimicos"
-	"repro/internal/workloads"
 )
 
 // bankColorPolicy allocates 4 KB frames, skipping frames until the next
@@ -62,22 +61,30 @@ func (p *bankColorPolicy) AllocAnon(k *mimicos.Kernel, proc *mimicos.Process, vm
 func main() {
 	virtuoso.SetWorkloadScale(0.08)
 
-	run := func(label string, install func(*core.System)) {
-		cfg := virtuoso.ScaledConfig()
-		cfg.Policy = virtuoso.PolicyBuddy
-		cfg.MaxAppInsts = 800_000
-		sys := virtuoso.New(cfg)
-		if install != nil {
-			install(sys)
+	run := func(label string, install func(*virtuoso.System)) {
+		sess, err := virtuoso.Open(
+			virtuoso.WithScaledConfig(),
+			virtuoso.WithPolicy(virtuoso.PolicyBuddy),
+			virtuoso.WithMaxInstructions(800_000),
+			virtuoso.WithWorkload("XS"),
+		)
+		if err != nil {
+			log.Fatal(err)
 		}
-		m := sys.Run(workloads.XS())
+		if install != nil {
+			install(sess.System())
+		}
+		m, err := sess.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-12s IPC %.3f  row-hit %.1f%%  conflicts %-8d  PF median %.0f ns\n",
 			label, m.IPC, 100*m.Dram.RowHitRate(), m.Dram.TotalConflicts(), m.PFLatNs.Median())
 	}
 
 	fmt.Println("== Developing a new OS allocation policy against MimicOS ==")
 	run("buddy (BD)", nil)
-	run("bank-color", func(s *core.System) {
+	run("bank-color", func(s *virtuoso.System) {
 		s.OS.SetPolicy(&bankColorPolicy{colors: 8})
 	})
 	fmt.Println("\nA new OS module is a single Go type implementing AllocPolicy —")

@@ -1,10 +1,14 @@
 // LLM allocation study: Use Case 2 (§7.5) — how physical memory
 // allocation policies shape page-fault tail latency during LLM inference
-// (the paper's Fig. 16).
+// (the paper's Fig. 16). The four policies run as one Sweep on a worker
+// pool; the Configure hook attaches Utopia's RestSeg geometry, which the
+// grid axes alone cannot express.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	virtuoso "repro"
 	"repro/internal/core"
@@ -14,30 +18,40 @@ import (
 func main() {
 	virtuoso.SetWorkloadScale(0.1)
 
-	type policy struct {
-		label string
-		mut   func(*core.Config)
-	}
-	policies := []policy{
-		{"BD (4K buddy)", func(c *core.Config) { c.Policy = virtuoso.PolicyBuddy }},
-		{"CR-THP", func(c *core.Config) { c.Policy = virtuoso.PolicyCRTHP }},
-		{"AR-THP", func(c *core.Config) { c.Policy = virtuoso.PolicyARTHP }},
-		{"UT-32MB/16w", func(c *core.Config) {
-			c.Design = virtuoso.DesignUtopia
-			c.Policy = virtuoso.PolicyUtopia
-			c.UtopiaSegs = []core.UtopiaSegSpec{{SizeBytes: 32 * mem.MB, Ways: 16, PageSize: mem.Page4K}}
-		}},
+	base := virtuoso.ScaledConfig()
+	base.MaxAppInsts = 0 // run inference to completion
+
+	sweep := &virtuoso.Sweep{
+		Base:      base,
+		Workloads: []string{"Llama-2-7B"},
+		Policies: []virtuoso.PolicyName{
+			virtuoso.PolicyBuddy, virtuoso.PolicyCRTHP, virtuoso.PolicyARTHP, virtuoso.PolicyUtopia,
+		},
+		Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
+			if p.Policy == virtuoso.PolicyUtopia {
+				cfg.Design = virtuoso.DesignUtopia
+				cfg.UtopiaSegs = []core.UtopiaSegSpec{{SizeBytes: 32 * mem.MB, Ways: 16, PageSize: mem.Page4K}}
+			}
+			return nil
+		},
 	}
 
+	report, err := sweep.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	labels := map[virtuoso.PolicyName]string{
+		virtuoso.PolicyBuddy:  "BD (4K buddy)",
+		virtuoso.PolicyCRTHP:  "CR-THP",
+		virtuoso.PolicyARTHP:  "AR-THP",
+		virtuoso.PolicyUtopia: "UT-32MB/16w",
+	}
 	fmt.Println("policy         median(ns)  p99(ns)    max(ns)    total(µs)")
-	for _, p := range policies {
-		cfg := virtuoso.ScaledConfig()
-		cfg.MaxAppInsts = 0
-		p.mut(&cfg)
-		m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("Llama-2-7B"))
-		s := m.PFLatNs
+	for _, r := range report.Results {
+		s := r.Metrics.PFLatNs
 		fmt.Printf("%-14s %-11.0f %-10.0f %-10.0f %.0f\n",
-			p.label, s.Median(), s.Percentile(99), s.Max(), s.Sum()/1e3)
+			labels[r.Policy], s.Median(), s.Percentile(99), s.Max(), s.Sum()/1e3)
 	}
 	fmt.Println("\nExpected shape (paper Fig. 16): reservation-based THP matches BD's")
 	fmt.Println("median but grows a huge tail; Utopia's hash placement is fastest.")

@@ -1,40 +1,51 @@
 // Pagetable study: the Use Case 1 workflow (§7.4) as a library user
 // would write it — compare the four page-table designs on one workload
 // across two fragmentation levels, reporting walk latency, fault
-// latency, and the DRAM interference each design causes.
+// latency, and the DRAM interference each design causes. Each
+// fragmentation level is one Sweep whose four design points run
+// concurrently.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	virtuoso "repro"
-	"repro/internal/core"
 )
 
 func main() {
 	virtuoso.SetWorkloadScale(0.1)
 
-	designs := []core.DesignName{
+	designs := []virtuoso.DesignName{
 		virtuoso.DesignRadix, virtuoso.DesignECH, virtuoso.DesignHDC, virtuoso.DesignHT,
 	}
 	frags := []float64{1.00, 0.90} // paper fragmentation levels
 
 	fmt.Println("design  frag   walks     avgPTW   PF-median(ns)  row-conflicts")
 	for _, frag := range frags {
-		for _, d := range designs {
-			cfg := virtuoso.ScaledConfig()
-			cfg.Design = d
-			cfg.Policy = virtuoso.PolicyTHP
-			cfg.FragFree2M = 1 - frag
-			cfg.MaxAppInsts = 0 // run the benchmark to completion
+		base := virtuoso.ScaledConfig()
+		base.Policy = virtuoso.PolicyTHP
+		base.FragFree2M = 1 - frag
+		base.MaxAppInsts = 0 // run the benchmark to completion
 
-			m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("XS"))
+		report, err := (&virtuoso.Sweep{
+			Base:      base,
+			Workloads: []string{"XS"},
+			Designs:   designs,
+		}).Run(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for _, r := range report.Results {
+			m := r.Metrics
 			med := 0.0
 			if m.PFLatNs != nil {
 				med = m.PFLatNs.Median()
 			}
 			fmt.Printf("%-7s %.0f%%   %-9d %-8.1f %-14.0f %d\n",
-				d, 100*frag, m.Walks, m.AvgPTWLat, med, m.Dram.TotalConflicts())
+				r.Design, 100*frag, m.Walks, m.AvgPTWLat, med, m.Dram.TotalConflicts())
 		}
 	}
 	fmt.Println("\nExpected shape (paper Fig. 13-15): hash tables shorten walks and")

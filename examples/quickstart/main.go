@@ -1,23 +1,29 @@
-// Quickstart: build the default Virtuoso system (Table 4), run one
-// long-running workload, and print the headline metrics. This is the
-// 30-second tour of the public API.
+// Quickstart: open the scaled Virtuoso system (Table 4, shrunk to
+// finish in seconds), run one long-running workload, and print the
+// headline metrics. This is the 30-second tour of the public API.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	virtuoso "repro"
 )
 
 func main() {
-	// Footprints scale so the example finishes in seconds.
-	virtuoso.SetWorkloadScale(0.1)
-
-	cfg := virtuoso.ScaledConfig()
-	cfg.MaxAppInsts = 1_000_000
-
-	sys := virtuoso.New(cfg)
-	m := sys.Run(virtuoso.WorkloadByName("BFS"))
+	sess, err := virtuoso.Open(
+		virtuoso.WithWorkloadScale(0.1), // footprints scale so the example finishes in seconds
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("BFS"),
+		virtuoso.WithMaxInstructions(1_000_000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("== Virtuoso quickstart: BFS under radix + Linux-like THP ==")
 	fmt.Printf("IPC                 %.3f\n", m.IPC)

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	virtuoso "repro"
 	"repro/internal/core"
@@ -20,8 +21,12 @@ func main() {
 	cfg.GuestPhysBytes = 512 * mem.MB
 	cfg.HostPhysBytes = 1 * mem.GB
 
+	w, err := virtuoso.NamedWorkload("Hadamard")
+	if err != nil {
+		log.Fatal(err)
+	}
 	v := core.NewVirtualizedSystem(cfg)
-	gf, hf, kinsts, ipc := v.Run(virtuoso.WorkloadByName("Hadamard"), 500_000)
+	gf, hf, kinsts, ipc := v.Run(w, 500_000)
 
 	fmt.Println("== Virtualized execution: guest Linux on a MimicOS hypervisor ==")
 	fmt.Printf("guest page faults     %d (guest kernel streams injected)\n", gf)

@@ -32,6 +32,14 @@ const (
 	Emulation
 )
 
+// String returns the mode's canonical CLI name.
+func (m Mode) String() string {
+	if m == Emulation {
+		return "emulation"
+	}
+	return "imitation"
+}
+
 // Frontend selects how application instructions reach the core model
 // (§6.2's three integration styles).
 type Frontend uint8
@@ -176,6 +184,25 @@ type System struct {
 
 	swapDeviceCycles uint64
 	segvs            uint64
+
+	cancelCheck func() bool
+}
+
+// cancelStride is how many frontend instructions Run retires between
+// cancellation polls: rare enough to stay off the hot path, frequent
+// enough that a cancelled context stops a simulation within microseconds
+// of simulated work.
+const cancelStride = 1 << 13
+
+// SetCancelCheck installs a cooperative cancellation poll: Run and
+// RunSteps call f periodically and stop early when it returns true.
+// Used by the sweep runner to honour context.Context cancellation
+// mid-simulation. Pass nil to remove the check.
+func (s *System) SetCancelCheck(f func() bool) { s.cancelCheck = f }
+
+// Cancelled reports whether the installed cancellation check fired.
+func (s *System) Cancelled() bool {
+	return s.cancelCheck != nil && s.cancelCheck()
 }
 
 // NewSystem wires a complete system per cfg. The kernel, one process,
@@ -437,9 +464,13 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 
 	max := s.Cfg.MaxAppInsts
 	var in isa.Inst
+	var polled uint64
 	for src.Next(&in) {
 		s.Core.Run(in)
 		if max > 0 && s.Core.Stats().AppInsts >= max {
+			break
+		}
+		if polled++; polled%cancelStride == 0 && s.Cancelled() {
 			break
 		}
 	}
@@ -546,9 +577,13 @@ func (s *System) ResetStats() {
 func (s *System) RunSteps(src isa.Source, maxApp uint64) {
 	start := s.Core.Stats().AppInsts
 	var in isa.Inst
+	var polled uint64
 	for src.Next(&in) {
 		s.Core.Run(in)
 		if maxApp > 0 && s.Core.Stats().AppInsts-start >= maxApp {
+			return
+		}
+		if polled++; polled%cancelStride == 0 && s.Cancelled() {
 			return
 		}
 	}

@@ -29,10 +29,15 @@ func Fig17(o Opts) *Table {
 	} else {
 		ws = append([]*workloads.Workload{workloads.BC()}, ws...)
 	}
+	jobs := make([]job, 0, len(ws))
 	for _, w := range ws {
 		cfg := BaseConfig(o)
 		cfg.Design = core.DesignMidgard
-		m := runOne(cfg, cloneW(w))
+		jobs = append(jobs, job{cfg, named(w)})
+	}
+	ms := runAll(o, jobs)
+	for i, w := range ws {
+		m := ms[i]
 		total := float64(m.FrontendCycles + m.BackendCycles)
 		if total == 0 {
 			t.Add(w.Name(), 0, 0)
@@ -122,9 +127,9 @@ func Fig19(o Opts) *Table {
 		Columns: labels,
 	}
 
-	var sums []float64
-	for _, w := range longSubset(o) {
-		var trans []float64
+	ws := longSubset(o)
+	var jobs []job
+	for _, w := range ws {
 		for _, sz := range sizes {
 			cfg := BaseConfig(o)
 			cfg.Design = core.DesignUtopia
@@ -132,8 +137,16 @@ func Fig19(o Opts) *Table {
 			cfg.OSCfg = mimicos.DefaultConfig()
 			cfg.OSCfg.PhysBytes = 4 * mem.GB
 			cfg.UtopiaSegs = []core.UtopiaSegSpec{{SizeBytes: sz, Ways: 16, PageSize: mem.Page4K}}
-			m := runOne(cfg, cloneW(w))
-			trans = append(trans, float64(m.TranslationCycles))
+			jobs = append(jobs, job{cfg, named(w)})
+		}
+	}
+	ms := runAll(o, jobs)
+
+	var sums []float64
+	for wi, w := range ws {
+		trans := make([]float64, 0, len(sizes))
+		for si := range sizes {
+			trans = append(trans, float64(ms[wi*len(sizes)+si].TranslationCycles))
 		}
 		cells := make([]float64, 0, len(sizes)-1)
 		for i := 1; i < len(trans); i++ {
@@ -186,12 +199,7 @@ func Fig20(o Opts) *Table {
 	base.OSCfg.PhysBytes = physBytes
 	base.Policy = core.PolicyBuddy
 	base.MaxAppInsts = 0
-	bm := runOne(base, w())
-	baseSwap := float64(bm.OS.SwapCycles)
-	if baseSwap == 0 {
-		baseSwap = 1 // Radix stays under the watermark: normalize to 1 cycle
-	}
-
+	jobs := []job{{base, w}}
 	for _, cov := range coverages {
 		cfg := BaseConfig(o)
 		cfg.OSCfg.PhysBytes = physBytes
@@ -202,8 +210,16 @@ func Fig20(o Opts) *Table {
 		cfg.UtopiaSegs = []core.UtopiaSegSpec{
 			{SizeBytes: mem.AlignUp(uint64(float64(physBytes)*cov*0.9), 2*mem.MB), Ways: 16, PageSize: mem.Page4K},
 		}
-		m := runOne(cfg, w())
-		t.Add(fmt.Sprintf("%.0f%%", 100*cov), float64(m.OS.SwapCycles)/baseSwap)
+		jobs = append(jobs, job{cfg, w})
+	}
+	ms := runAll(o, jobs)
+
+	baseSwap := float64(ms[0].OS.SwapCycles)
+	if baseSwap == 0 {
+		baseSwap = 1 // Radix stays under the watermark: normalize to 1 cycle
+	}
+	for ci, cov := range coverages {
+		t.Add(fmt.Sprintf("%.0f%%", 100*cov), float64(ms[ci+1].OS.SwapCycles)/baseSwap)
 	}
 	t.Note("Paper: swapping grows with restrictive coverage, up to 203x vs Radix at 100%%.")
 	return t
@@ -241,21 +257,32 @@ func Fig21(o Opts) *Table {
 		Columns: fragCols(frags),
 	}
 
-	var avg []float64
-	for _, w := range longSubset(o) {
-		cells := make([]float64, 0, len(frags))
+	ws := longSubset(o)
+	var jobs []job
+	for _, w := range ws {
 		for _, f := range frags {
 			rad := BaseConfig(o)
 			rad.Design = core.DesignRadix
 			rad.Policy = core.PolicyBuddy // RMM's comparison point maps 4K pages
 			rad.FragFree2M = 1 - f
-			rm := runOne(rad, cloneW(w))
+			jobs = append(jobs, job{rad, named(w)})
 
 			rmm := BaseConfig(o)
 			rmm.Design = core.DesignRMM
 			rmm.Policy = core.PolicyEager
 			rmm.FragFree2M = 1 - f
-			mm := runOne(rmm, cloneW(w))
+			jobs = append(jobs, job{rmm, named(w)})
+		}
+	}
+	ms := runAll(o, jobs)
+
+	var avg []float64
+	k := 0
+	for _, w := range ws {
+		cells := make([]float64, 0, len(frags))
+		for range frags {
+			rm, mm := ms[k], ms[k+1]
+			k += 2
 
 			radC := float64(rm.Dram.TranslationConflicts())
 			rmmC := float64(mm.Dram.TranslationConflicts())

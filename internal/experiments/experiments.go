@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mem"
 	"repro/internal/mmu"
+	"repro/internal/runner"
 	"repro/internal/workloads"
 )
 
@@ -27,6 +29,10 @@ type Opts struct {
 	// workloads, smaller footprints, tighter instruction caps.
 	Quick bool
 	Seed  uint64
+	// Parallel bounds the worker pool the harnesses run their
+	// simulation points on (<= 0 means GOMAXPROCS). Every point is an
+	// isolated system, so results are identical at any parallelism.
+	Parallel int
 }
 
 // Table is a reproduced result: rows of labelled numeric cells.
@@ -182,6 +188,51 @@ func shortSubset(o Opts) []*workloads.Workload {
 func runOne(cfg core.Config, w *workloads.Workload) core.Metrics {
 	s := core.MustNewSystem(cfg)
 	return s.Run(w)
+}
+
+// job is one simulation point of an experiment harness: a system
+// configuration plus a factory yielding a fresh workload instance.
+type job struct {
+	cfg core.Config
+	w   func() *workloads.Workload
+}
+
+// named returns a factory that rebuilds w's catalog entry per call, so
+// concurrent jobs never share a (mutable) *Workload. Workloads not in
+// the catalog are returned as-is and must appear in exactly one job.
+func named(w *workloads.Workload) func() *workloads.Workload {
+	name := w.Name()
+	return func() *workloads.Workload {
+		nw, ok := workloads.ByName(name)
+		if !ok {
+			return w
+		}
+		return nw
+	}
+}
+
+// runAll executes the jobs on a bounded worker pool (Opts.Parallel) and
+// returns their metrics in job order. Harness configurations are
+// programmatic, so configuration errors panic as MustNewSystem did when
+// the loops were sequential.
+func runAll(o Opts, jobs []job) []core.Metrics {
+	rjobs := make([]runner.Job, len(jobs))
+	for i, j := range jobs {
+		w := j.w
+		rjobs[i] = runner.Job{
+			Cfg:      j.cfg,
+			Workload: func() (*workloads.Workload, error) { return w(), nil },
+		}
+	}
+	outs, err := runner.Run(context.Background(), rjobs, o.Parallel, nil)
+	if err != nil {
+		panic(err)
+	}
+	ms := make([]core.Metrics, len(jobs))
+	for i, out := range outs {
+		ms[i] = out.Metrics
+	}
+	return ms
 }
 
 // Registry maps experiment IDs to their harnesses, for cmd/figures.

@@ -8,6 +8,15 @@ import (
 
 func quick() Opts { return Opts{Quick: true, Seed: 3} }
 
+// skipIfShort gates the full-sweep harnesses (tens of seconds each on
+// one core) so `go test -short ./...` stays fast.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("full-sweep harness; skipped with -short")
+	}
+}
+
 func TestFig01Shape(t *testing.T) {
 	tb := Fig01(quick())
 	var longTr, longAl, shortTr, shortAl float64
@@ -42,6 +51,7 @@ func TestFig02Shape(t *testing.T) {
 }
 
 func TestFig08Shape(t *testing.T) {
+	skipIfShort(t)
 	tb := Fig08(quick())
 	last := tb.Rows[len(tb.Rows)-1]
 	accV, accB := last.Cells[3], last.Cells[4]
@@ -52,6 +62,7 @@ func TestFig08Shape(t *testing.T) {
 }
 
 func TestFig13Shape(t *testing.T) {
+	skipIfShort(t)
 	tb := Fig13(quick())
 	for _, r := range tb.Rows {
 		t.Logf("%s: %v", r.Label, r.Cells)

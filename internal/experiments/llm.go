@@ -55,13 +55,20 @@ func Fig16(o Opts) *Table {
 	if o.Quick {
 		lws = lws[:1]
 	}
+	pols := llmPolicies()
+	var jobs []job
 	for _, w := range lws {
-		for _, pol := range llmPolicies() {
+		for _, pol := range pols {
 			cfg := BaseConfig(o)
 			cfg.MaxAppInsts = 0 // run inference to completion
 			pol.mut(&cfg)
-			m := runOne(cfg, cloneW(w))
-			s := m.PFLatNs
+			jobs = append(jobs, job{cfg, named(w)})
+		}
+	}
+	ms := runAll(o, jobs)
+	for i, w := range lws {
+		for pi, pol := range pols {
+			s := ms[i*len(pols)+pi].PFLatNs
 			if s == nil || s.Len() == 0 {
 				t.Add(w.Name()+" "+pol.label, 0, 0, 0, 0, 0)
 				continue

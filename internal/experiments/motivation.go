@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -21,25 +23,30 @@ func Fig01(o Opts) *Table {
 		Columns: []string{"translation %", "allocation %", "class"},
 	}
 
-	run := func(w *workloads.Workload, class float64) (float64, float64) {
+	long, short := longSubset(o), shortSubset(o)
+	var jobs []job
+	for _, w := range append(append([]*workloads.Workload{}, long...), short...) {
 		cfg := BaseConfig(o)
 		// Run every workload to completion: the long programs' iterate
 		// phases amortise their allocation cost exactly as real
 		// long-running executions do.
 		cfg.MaxAppInsts = 0
-		m := runOne(cfg, w)
+		jobs = append(jobs, job{cfg, named(w)})
+	}
+	ms := runAll(o, jobs)
+
+	add := func(w *workloads.Workload, m core.Metrics, class float64) (float64, float64) {
 		tr, al := 100*m.TranslationFraction(), 100*m.AllocationFraction()
 		t.Add(w.Name(), tr, al, class)
 		return tr, al
 	}
-
 	var ltr, lal, str, sal []float64
-	for _, w := range longSubset(o) {
-		a, b := run(w, 0)
+	for i, w := range long {
+		a, b := add(w, ms[i], 0)
 		ltr, lal = append(ltr, a), append(lal, b)
 	}
-	for _, w := range shortSubset(o) {
-		a, b := run(w, 1)
+	for i, w := range short {
+		a, b := add(w, ms[len(long)+i], 1)
 		str, sal = append(str, a), append(sal, b)
 	}
 	t.Add("MEAN-long", meanOf(ltr), meanOf(lal), 0)
@@ -72,19 +79,27 @@ func Fig02(o Opts) *Table {
 		Columns: []string{"p25", "median", "p75", "mean", "stddev", "outlier-contrib %"},
 	}
 
-	for _, pol := range []core.PolicyName{core.PolicyTHP, core.PolicyBuddy} {
+	suite := append(longSubset(o), shortSubset(o)...)
+	policies := []core.PolicyName{core.PolicyTHP, core.PolicyBuddy}
+	var jobs []job
+	for _, pol := range policies {
+		for _, w := range suite {
+			cfg := BaseConfig(o)
+			cfg.Policy = pol
+			jobs = append(jobs, job{cfg, named(w)})
+		}
+	}
+	ms := runAll(o, jobs)
+
+	for pi, pol := range policies {
 		label := "THP-enabled"
 		if pol == core.PolicyBuddy {
 			label = "THP-disabled"
 		}
 		pooled := newPooledSeries()
-		suite := append(longSubset(o), shortSubset(o)...)
-		for _, w := range suite {
-			cfg := BaseConfig(o)
-			cfg.Policy = pol
-			m := runOne(cfg, w)
-			if m.PFLatNs != nil {
-				pooled.extend(m.PFLatNs.Values())
+		for wi := range suite {
+			if pf := ms[pi*len(suite)+wi].PFLatNs; pf != nil {
+				pooled.extend(pf.Values())
 			}
 		}
 		s := pooled.series()
@@ -113,16 +128,20 @@ func Fig03(o Opts) *Table {
 		Title:   "Average PTW latency (cycles) across memory-intensity levels",
 		Columns: []string{"avg PTW latency (cycles)", "L2 TLB MPKI"},
 	}
+	var jobs []job
 	for lvl := 0; lvl < levels; lvl++ {
-		w := workloads.Stress(lvl, levels)
-		cfg := BaseConfig(o)
-		m := runOne(cfg, w)
-		t.Add(w.Name(), m.AvgPTWLat, m.L2TLBMPKI)
+		lvl := lvl
+		jobs = append(jobs, job{BaseConfig(o), func() *workloads.Workload {
+			return workloads.Stress(lvl, levels)
+		}})
 	}
 	// The paper's outlier: SSSP.
-	cfg := BaseConfig(o)
-	m := runOne(cfg, workloads.SP())
-	t.Add("SSSP", m.AvgPTWLat, m.L2TLBMPKI)
+	jobs = append(jobs, job{BaseConfig(o), named(workloads.SP())})
+	ms := runAll(o, jobs)
+	for lvl := 0; lvl < levels; lvl++ {
+		t.Add(fmt.Sprintf("stress-%02d", lvl), ms[lvl].AvgPTWLat, ms[lvl].L2TLBMPKI)
+	}
+	t.Add("SSSP", ms[levels].AvgPTWLat, ms[levels].L2TLBMPKI)
 	t.Note("Paper: PTW latency varies ~39 cycles (I/O stressor) to >180 cycles (SSSP).")
 	return t
 }

@@ -30,6 +30,9 @@ func Fig11(o Opts) *Table {
 		maxInsts = 300_000
 	}
 
+	// This harness measures host wall time and heap per point, so it
+	// stays sequential: concurrent points would contend for the host
+	// CPU and allocator and distort both quantities.
 	measure := func(k simulators.Kind, withOS bool) (secs float64, heap uint64, kshare float64) {
 		runtime.GC()
 		s := simulators.MustBuild(k, simulators.Options{
@@ -89,7 +92,10 @@ func Fig12(o Opts) *Table {
 	}
 
 	// Vary the fault rate: each point touches fresh pages with a
-	// different amount of interleaved compute.
+	// different amount of interleaved compute. Like Fig11, this harness
+	// measures host wall time per point, so it must stay sequential —
+	// concurrent simulations would contend for the host CPU and distort
+	// the very quantity being reported.
 	points := []uint32{0, 4, 16, 64, 160, 400, 1200}
 	var baseline float64
 	for i, aluPer := range points {

@@ -13,15 +13,15 @@ func ptDesigns() []core.DesignName {
 	return []core.DesignName{core.DesignRadix, core.DesignECH, core.DesignHDC, core.DesignHT}
 }
 
-// runPT runs one (workload, design, fragmentation) cell with the
-// Linux-like THP policy Use Case 1 uses.
-func runPT(o Opts, w *workloads.Workload, d core.DesignName, frag float64) core.Metrics {
+// ptCfg configures one (design, fragmentation) cell with the Linux-like
+// THP policy Use Case 1 uses.
+func ptCfg(o Opts, d core.DesignName, frag float64) core.Config {
 	cfg := BaseConfig(o)
 	cfg.Design = d
 	cfg.Policy = core.PolicyTHP
 	cfg.FragFree2M = 1 - frag
 	cfg.MaxAppInsts = 0 // total PTW latency covers the whole benchmark
-	return runOne(cfg, cloneW(w))
+	return cfg
 }
 
 // Fig13 reproduces Figure 13: reduction in total PTW latency of the
@@ -48,16 +48,27 @@ func Fig13(o Opts) *Table {
 		Columns: fragCols(frags),
 	}
 
+	var jobs []job
+	for _, w := range ws {
+		for _, f := range frags {
+			for _, d := range ptDesigns() {
+				jobs = append(jobs, job{ptCfg(o, d, f), named(w)})
+			}
+		}
+	}
+	ms := runAll(o, jobs)
+
 	// walkCycles[design][fragIdx] summed over workloads.
 	sums := map[core.DesignName][]float64{}
 	for _, d := range ptDesigns() {
 		sums[d] = make([]float64, len(frags))
 	}
-	for _, w := range ws {
-		for fi, f := range frags {
+	k := 0
+	for range ws {
+		for fi := range frags {
 			for _, d := range ptDesigns() {
-				m := runPT(o, w, d, f)
-				sums[d][fi] += float64(m.WalkCycles)
+				sums[d][fi] += float64(ms[k].WalkCycles)
+				k++
 			}
 		}
 	}
@@ -95,15 +106,19 @@ func Fig14(o Opts) *Table {
 		Title:   "DRAM row buffer conflicts normalized to Radix",
 		Columns: []string{"ECH", "HDC", "HT"},
 	}
+	ws := longSubset(o)
+	ms := runAll(o, allDesignJobs(o, ws, 0.80)) // baseline fragmentation (Table 4)
+
 	gm := map[core.DesignName][]float64{}
-	for _, w := range longSubset(o) {
-		base := runPT(o, w, core.DesignRadix, 0.80)
+	n := len(ptDesigns())
+	for i, w := range ws {
+		base := ms[i*n]
 		cells := make([]float64, 0, 3)
-		for _, d := range ptDesigns()[1:] {
-			m := runPT(o, w, d, 0.80) // baseline fragmentation (Table 4)
+		for di := range ptDesigns()[1:] {
+			m := ms[i*n+1+di]
 			r := ratio(float64(m.Dram.TotalConflicts()), float64(base.Dram.TotalConflicts()))
 			cells = append(cells, r)
-			gm[d] = append(gm[d], r)
+			gm[ptDesigns()[1+di]] = append(gm[ptDesigns()[1+di]], r)
 		}
 		t.Add(w.Name(), cells...)
 	}
@@ -124,16 +139,18 @@ func Fig15(o Opts) *Table {
 		Title:   "Reduction in total minor page fault latency over Radix (%)",
 		Columns: []string{"ECH", "HDC", "HT"},
 	}
+	ws := longSubset(o)
+	ms := runAll(o, allDesignJobs(o, ws, 0.80)) // baseline fragmentation (Table 4)
+
 	var avg = map[core.DesignName][]float64{}
-	for _, w := range longSubset(o) {
-		base := runPT(o, w, core.DesignRadix, 0.80)
-		baseTotal := pfTotal(base)
+	n := len(ptDesigns())
+	for i, w := range ws {
+		baseTotal := pfTotal(ms[i*n])
 		cells := make([]float64, 0, 3)
-		for _, d := range ptDesigns()[1:] {
-			m := runPT(o, w, d, 0.80) // baseline fragmentation (Table 4)
+		for di, d := range ptDesigns()[1:] {
 			var red float64
 			if baseTotal > 0 {
-				red = 100 * (baseTotal - pfTotal(m)) / baseTotal
+				red = 100 * (baseTotal - pfTotal(ms[i*n+1+di])) / baseTotal
 			}
 			cells = append(cells, red)
 			avg[d] = append(avg[d], red)
@@ -143,6 +160,18 @@ func Fig15(o Opts) *Table {
 	t.Add("MEAN", meanOf(avg[core.DesignECH]), meanOf(avg[core.DesignHDC]), meanOf(avg[core.DesignHT]))
 	t.Note("Paper: ECH -9%%, HDC -18%%, HT -19%% total MPF latency vs Radix on average; ECH increases it on RND.")
 	return t
+}
+
+// allDesignJobs builds one job per (workload, page-table design) pair
+// at the given fragmentation, in ptDesigns() order per workload.
+func allDesignJobs(o Opts, ws []*workloads.Workload, frag float64) []job {
+	jobs := make([]job, 0, len(ws)*len(ptDesigns()))
+	for _, w := range ws {
+		for _, d := range ptDesigns() {
+			jobs = append(jobs, job{ptCfg(o, d, frag), named(w)})
+		}
+	}
+	return jobs
 }
 
 func pfTotal(m core.Metrics) float64 {

@@ -41,15 +41,16 @@ func Fig08(o Opts) *Table {
 		Columns: []string{"IPC ref", "IPC virtuoso", "IPC baseline", "acc virtuoso %", "acc baseline %"},
 	}
 
-	var accV, accB []float64
-	for _, w := range longSubset(o) {
+	ws := longSubset(o)
+	var jobs []job
+	for _, w := range ws {
 		refCfg := refConfig(o)
 		refCfg.MaxAppInsts = 0
-		ref := runOne(refCfg, cloneW(w))
+		jobs = append(jobs, job{refCfg, named(w)})
 
 		vCfg := BaseConfig(o)
 		vCfg.MaxAppInsts = 0
-		virt := runOne(vCfg, cloneW(w))
+		jobs = append(jobs, job{vCfg, named(w)})
 
 		base := BaseConfig(o)
 		base.MaxAppInsts = 0
@@ -59,8 +60,13 @@ func Fig08(o Opts) *Table {
 		// workloads, which is exactly why it mistracks.
 		base.FixedPTWLat = 60
 		base.FixedFaultLat = 5800
-		bm := runOne(base, cloneW(w))
+		jobs = append(jobs, job{base, named(w)})
+	}
+	ms := runAll(o, jobs)
 
+	var accV, accB []float64
+	for i, w := range ws {
+		ref, virt, bm := ms[3*i], ms[3*i+1], ms[3*i+2]
 		av := 100 * stats.Accuracy(virt.IPC, ref.IPC)
 		ab := 100 * stats.Accuracy(bm.IPC, ref.IPC)
 		accV = append(accV, av)
@@ -84,16 +90,12 @@ func Fig09(o Opts) *Table {
 		Title:   "Cosine similarity of page fault latency series vs reference",
 		Columns: []string{"cosine similarity", "faults"},
 	}
+	ws := shortSubset(o)
+	ms := runAll(o, refAndVirtJobs(o, ws))
+
 	var sims []float64
-	for _, w := range shortSubset(o) {
-		refCfg := refConfig(o)
-		refCfg.MaxAppInsts = 0
-		ref := runOne(refCfg, cloneW(w))
-
-		vCfg := BaseConfig(o)
-		vCfg.MaxAppInsts = 0
-		virt := runOne(vCfg, cloneW(w))
-
+	for i, w := range ws {
+		ref, virt := ms[2*i], ms[2*i+1]
 		var sim float64
 		if ref.PFLatNs != nil && virt.PFLatNs != nil {
 			sim = stats.CosineSimilarity(virt.PFLatNs.Values(), ref.PFLatNs.Values())
@@ -118,14 +120,12 @@ func Fig10(o Opts) *Table {
 		Title:   "L2 TLB MPKI and PTW latency vs reference system",
 		Columns: []string{"MPKI ref", "MPKI virtuoso", "MPKI acc %", "PTW ref", "PTW virtuoso", "PTW acc %"},
 	}
+	ws := longSubset(o)
+	ms := runAll(o, refAndVirtJobs(o, ws))
+
 	var accM, accP []float64
-	for _, w := range longSubset(o) {
-		refCfg := refConfig(o)
-		refCfg.MaxAppInsts = 0
-		ref := runOne(refCfg, cloneW(w))
-		vCfg := BaseConfig(o)
-		vCfg.MaxAppInsts = 0
-		virt := runOne(vCfg, cloneW(w))
+	for i, w := range ws {
+		ref, virt := ms[2*i], ms[2*i+1]
 		am := 100 * stats.Accuracy(virt.L2TLBMPKI, ref.L2TLBMPKI)
 		ap := 100 * stats.Accuracy(virt.AvgPTWLat, ref.AvgPTWLat)
 		accM = append(accM, am)
@@ -137,13 +137,20 @@ func Fig10(o Opts) *Table {
 	return t
 }
 
-// cloneW rebuilds the named workload so each run gets fresh Setup state.
-func cloneW(w *workloads.Workload) *workloads.Workload {
-	nw, ok := workloads.ByName(w.Name())
-	if !ok {
-		return w
+// refAndVirtJobs pairs each workload with a reference-system run and a
+// Virtuoso run (the §7.2 validation pattern shared by Figs. 9 and 10).
+func refAndVirtJobs(o Opts, ws []*workloads.Workload) []job {
+	jobs := make([]job, 0, 2*len(ws))
+	for _, w := range ws {
+		refCfg := refConfig(o)
+		refCfg.MaxAppInsts = 0
+		jobs = append(jobs, job{refCfg, named(w)})
+
+		vCfg := BaseConfig(o)
+		vCfg.MaxAppInsts = 0
+		jobs = append(jobs, job{vCfg, named(w)})
 	}
-	return nw
+	return jobs
 }
 
 var _ = mmu.DefaultConfig

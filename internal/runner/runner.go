@@ -1,0 +1,174 @@
+// Package runner executes batches of independent simulation points on a
+// bounded worker pool. It is the shared engine beneath the public Sweep
+// API and the experiment harnesses: callers describe each point as a
+// (core.Config, workload factory) pair and get metrics back in job
+// order, regardless of the order in which workers finish.
+//
+// Every job builds its own core.System and workload instance, so jobs
+// share no mutable state and a parallel run produces bit-identical
+// metrics to a sequential run of the same jobs. Cancellation is
+// cooperative and two-level: a cancelled context stops unstarted jobs
+// before they build a system, and an in-flight simulation polls the
+// context every few thousand instructions via core.SetCancelCheck.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Job is one simulation point: a full system configuration plus a
+// factory producing a fresh workload instance. The factory is invoked
+// inside the worker, once, so a single *Workload is never shared
+// between concurrently running systems (Workload.Setup mutates it).
+type Job struct {
+	Cfg      core.Config
+	Workload func() (*workloads.Workload, error)
+}
+
+// Outcome is the result of one job.
+type Outcome struct {
+	// Index is the job's position in the input slice.
+	Index   int
+	Metrics core.Metrics
+	// Err is non-nil if the job's system could not be built, its
+	// workload factory failed, or the run was cancelled.
+	Err error
+}
+
+// Run executes jobs on at most parallel concurrent workers (<= 0 means
+// runtime.GOMAXPROCS(0)) and returns one Outcome per job, in job order.
+//
+// The first job error — or a context cancellation — stops the batch:
+// running simulations are interrupted at the next cancellation poll and
+// pending jobs are marked with the error context. The returned error is
+// that first failure; it is nil iff every job completed.
+//
+// The progress callback, if non-nil, is invoked once per finished job
+// from worker goroutines; calls are serialised, so the callback needs
+// no locking of its own.
+func Run(ctx context.Context, jobs []Job, parallel int, progress func(done, total int, out Outcome)) ([]Outcome, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	outs := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outs, ctx.Err()
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := ctx.Done()
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+
+	var (
+		mu       sync.Mutex // guards firstErr and nDone, serialises progress
+		firstErr error
+		nDone    int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	finish := func(out Outcome) {
+		mu.Lock()
+		nDone++
+		d := nDone
+		if progress != nil {
+			progress(d, len(jobs), out)
+		}
+		mu.Unlock()
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out := runJob(jobs[i], i, cancelled)
+				outs[i] = out
+				if out.Err != nil {
+					fail(out.Err)
+				}
+				finish(out)
+			}
+		}()
+	}
+
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-done:
+			// Mark jobs that never reached a worker.
+			for j := i; j < len(jobs); j++ {
+				select {
+				case idx <- j: // a worker was already waiting; let it observe ctx
+				default:
+					outs[j] = Outcome{Index: j, Err: ctx.Err()}
+				}
+			}
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err == nil {
+		err = ctx.Err()
+	}
+	return outs, err
+}
+
+// runJob builds and runs one point.
+func runJob(j Job, i int, cancelled func() bool) Outcome {
+	if cancelled() {
+		return Outcome{Index: i, Err: context.Canceled}
+	}
+	if j.Workload == nil {
+		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d has no workload", i)}
+	}
+	w, err := j.Workload()
+	if err != nil {
+		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d workload: %w", i, err)}
+	}
+	sys, err := core.NewSystem(j.Cfg)
+	if err != nil {
+		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d config: %w", i, err)}
+	}
+	sys.SetCancelCheck(cancelled)
+	m := sys.Run(w)
+	if cancelled() {
+		// The run was interrupted; its metrics cover a truncated window
+		// and must not be mistaken for a completed point.
+		return Outcome{Index: i, Err: context.Canceled}
+	}
+	return Outcome{Index: i, Metrics: m}
+}

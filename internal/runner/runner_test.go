@@ -1,0 +1,76 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func tinyJob(seed uint64) Job {
+	cfg := core.DefaultConfig()
+	cfg.MaxAppInsts = 50_000
+	cfg.Seed = seed
+	return Job{
+		Cfg: cfg,
+		Workload: func() (*workloads.Workload, error) {
+			w, _ := workloads.ByName("2D-Sum")
+			return w, nil
+		},
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	outs, err := Run(context.Background(), nil, 4, nil)
+	if err != nil || len(outs) != 0 {
+		t.Fatalf("Run(empty) = %v, %v", outs, err)
+	}
+}
+
+func TestRunOrderAndProgress(t *testing.T) {
+	prev := workloads.Scale
+	workloads.Scale = 0.05
+	defer func() { workloads.Scale = prev }()
+
+	jobs := []Job{tinyJob(1), tinyJob(2), tinyJob(3)}
+	var events int
+	outs, err := Run(context.Background(), jobs, 3, func(done, total int, out Outcome) {
+		events++
+		if total != 3 || done < 1 || done > 3 {
+			t.Errorf("progress done=%d total=%d", done, total)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 3 {
+		t.Errorf("got %d progress events, want 3", events)
+	}
+	for i, out := range outs {
+		if out.Index != i {
+			t.Errorf("outcome %d has index %d", i, out.Index)
+		}
+		if out.Err != nil || out.Metrics.AppInsts == 0 {
+			t.Errorf("outcome %d: err=%v insts=%d", i, out.Err, out.Metrics.AppInsts)
+		}
+	}
+}
+
+func TestRunBadConfigStopsBatch(t *testing.T) {
+	prev := workloads.Scale
+	workloads.Scale = 0.05
+	defer func() { workloads.Scale = prev }()
+
+	bad := tinyJob(1)
+	bad.Cfg.Policy = "no-such-policy"
+	jobs := []Job{bad, tinyJob(2)}
+	outs, err := Run(context.Background(), jobs, 1, nil)
+	if err == nil || !strings.Contains(err.Error(), "no-such-policy") {
+		t.Fatalf("Run = %v, want unknown-policy error", err)
+	}
+	if outs[0].Err == nil {
+		t.Error("bad job should carry its error")
+	}
+}

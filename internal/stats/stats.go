@@ -6,6 +6,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -131,6 +132,23 @@ func (s *Series) StdDev() float64 {
 		acc += d * d
 	}
 	return math.Sqrt(acc / float64(len(s.vals)))
+}
+
+// MarshalJSON encodes the series as a plain JSON array of observations.
+// Beware that percentile queries sort the values in place, so the
+// encoded order is insertion order only before the first such query.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	if s.vals == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.vals)
+}
+
+// UnmarshalJSON decodes a JSON array of observations.
+func (s *Series) UnmarshalJSON(b []byte) error {
+	s.sorted = false
+	s.vals = s.vals[:0]
+	return json.Unmarshal(b, &s.vals)
 }
 
 func (s *Series) ensureSorted() {

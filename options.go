@@ -1,0 +1,193 @@
+package virtuoso
+
+import (
+	"fmt"
+)
+
+// Option configures a Session being built by Open. Options are applied
+// in order; the last write to a field wins. An option that receives an
+// invalid value records an error, and Open reports the first one.
+type Option func(*openState) error
+
+// openState accumulates the configuration Open assembles. The named
+// workload is only looked up once every option has been applied, so
+// WithWorkloadScale takes effect regardless of option order.
+type openState struct {
+	cfg    Config
+	wname  string
+	custom *Workload
+	scale  float64 // 0 = leave workloads.Scale untouched
+}
+
+// KnownDesigns returns every supported translation design name.
+func KnownDesigns() []DesignName {
+	return []DesignName{
+		DesignRadix, DesignECH, DesignHDC, DesignHT,
+		DesignUtopia, DesignRMM, DesignMidgard, DesignDirectSeg,
+	}
+}
+
+// KnownPolicies returns every supported allocation policy name.
+func KnownPolicies() []PolicyName {
+	return []PolicyName{
+		PolicyBuddy, PolicyTHP, PolicyCRTHP, PolicyARTHP,
+		PolicyUtopia, PolicyEager,
+	}
+}
+
+// ParseDesign validates a translation design name ("radix", "ech",
+// "hdc", "ht", "utopia", "rmm", "midgard", "directseg").
+func ParseDesign(name string) (DesignName, error) {
+	for _, d := range KnownDesigns() {
+		if string(d) == name {
+			return d, nil
+		}
+	}
+	return "", fmt.Errorf("virtuoso: unknown design %q (known: %v)", name, KnownDesigns())
+}
+
+// ParsePolicy validates an allocation policy name ("bd", "thp",
+// "cr-thp", "ar-thp", "utopia", "eager").
+func ParsePolicy(name string) (PolicyName, error) {
+	for _, p := range KnownPolicies() {
+		if string(p) == name {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("virtuoso: unknown policy %q (known: %v)", name, KnownPolicies())
+}
+
+// ParseMode validates an OS-methodology name ("imitation" or
+// "emulation").
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "imitation":
+		return Imitation, nil
+	case "emulation":
+		return Emulation, nil
+	}
+	return Imitation, fmt.Errorf("virtuoso: unknown mode %q (known: imitation, emulation)", name)
+}
+
+// WithConfig replaces the entire base configuration (default:
+// DefaultConfig). Apply it before field-level options, which otherwise
+// get overwritten.
+func WithConfig(cfg Config) Option {
+	return func(s *openState) error {
+		s.cfg = cfg
+		return nil
+	}
+}
+
+// WithScaledConfig starts from the proportionally scaled system the
+// experiments use instead of the full Table 4 system — simulations
+// finish in seconds rather than minutes.
+func WithScaledConfig() Option {
+	return func(s *openState) error {
+		s.cfg = ScaledConfig()
+		return nil
+	}
+}
+
+// WithDesign selects the translation design under study.
+func WithDesign(d DesignName) Option {
+	return func(s *openState) error {
+		if _, err := ParseDesign(string(d)); err != nil {
+			return err
+		}
+		s.cfg.Design = d
+		return nil
+	}
+}
+
+// WithPolicy selects the physical memory allocation policy.
+func WithPolicy(p PolicyName) Option {
+	return func(s *openState) error {
+		if _, err := ParsePolicy(string(p)); err != nil {
+			return err
+		}
+		s.cfg.Policy = p
+		return nil
+	}
+}
+
+// WithMode selects the OS-simulation methodology (Imitation or
+// Emulation).
+func WithMode(m Mode) Option {
+	return func(s *openState) error {
+		if m != Imitation && m != Emulation {
+			return fmt.Errorf("virtuoso: unknown mode %d", m)
+		}
+		s.cfg.Mode = m
+		return nil
+	}
+}
+
+// WithWorkload selects the Table 5 workload the session runs, by name.
+func WithWorkload(name string) Option {
+	return func(s *openState) error {
+		if _, err := NamedWorkload(name); err != nil {
+			return err
+		}
+		s.wname, s.custom = name, nil
+		return nil
+	}
+}
+
+// WithCustomWorkload attaches a user-built workload (see
+// workloads.Custom) instead of a named one.
+func WithCustomWorkload(w *Workload) Option {
+	return func(s *openState) error {
+		if w == nil {
+			return fmt.Errorf("virtuoso: nil workload")
+		}
+		s.custom, s.wname = w, w.Name()
+		return nil
+	}
+}
+
+// WithSeed sets the simulation seed.
+func WithSeed(seed uint64) Option {
+	return func(s *openState) error {
+		s.cfg.Seed = seed
+		return nil
+	}
+}
+
+// WithMaxInstructions bounds the run to n application instructions
+// (0 = run the workload to completion).
+func WithMaxInstructions(n uint64) Option {
+	return func(s *openState) error {
+		s.cfg.MaxAppInsts = n
+		return nil
+	}
+}
+
+// WithFragmentation initialises physical memory with the given fraction
+// of 2MB blocks unavailable, the paper's fragmentation convention
+// (Table 4's baseline is 0.80). Must be in [0, 1].
+func WithFragmentation(frag float64) Option {
+	return func(s *openState) error {
+		if frag < 0 || frag > 1 {
+			return fmt.Errorf("virtuoso: fragmentation %v out of range [0, 1]", frag)
+		}
+		s.cfg.FragFree2M = 1 - frag
+		return nil
+	}
+}
+
+// WithWorkloadScale rescales all workload footprints (1.0 = the
+// library's reference sizes). This sets process-global state shared by
+// every subsequent workload construction; it is applied by Open only
+// after every option validates, so a failed Open leaves the scale
+// untouched. Set it once, before building sessions or sweeps, not
+// concurrently with running ones.
+func WithWorkloadScale(scale float64) Option {
+	return func(s *openState) error {
+		if scale <= 0 {
+			return fmt.Errorf("virtuoso: workload scale %v must be positive", scale)
+		}
+		s.scale = scale
+		return nil
+	}
+}

@@ -1,0 +1,123 @@
+package virtuoso
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Result is one sweep point's outcome: the configuration echo that
+// identifies the point plus the full metrics of its run. It marshals to
+// JSON (fault-latency series included) for downstream analysis.
+type Result struct {
+	Index    int        `json:"index"`
+	Workload string     `json:"workload"`
+	Design   DesignName `json:"design"`
+	Policy   PolicyName `json:"policy"`
+	Mode     string     `json:"mode"`
+	Seed     uint64     `json:"seed"`
+	Metrics  Metrics    `json:"metrics"`
+}
+
+// Key returns a compact "workload/design/policy/seed" identifier.
+func (r Result) Key() string {
+	return fmt.Sprintf("%s/%s/%s/%d", r.Workload, r.Design, r.Policy, r.Seed)
+}
+
+// Report aggregates a sweep's results.
+type Report struct {
+	// Results holds one entry per completed point, in point order. A
+	// cancelled or failed sweep reports only the points that finished.
+	Results []Result `json:"results"`
+	// Points is the grid size the sweep attempted.
+	Points int `json:"points"`
+	// Wall is the host time the whole sweep took.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// JSON renders the report as indented JSON.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// DecodeReport parses a report previously rendered with JSON.
+func DecodeReport(data []byte) (*Report, error) {
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Grouping keys for GroupBy / GeomeanBy.
+var (
+	// ByWorkload groups results by workload name.
+	ByWorkload = func(r Result) string { return r.Workload }
+	// ByDesign groups results by translation design.
+	ByDesign = func(r Result) string { return string(r.Design) }
+	// ByPolicy groups results by allocation policy.
+	ByPolicy = func(r Result) string { return string(r.Policy) }
+)
+
+// GroupBy partitions the results by the given key, preserving point
+// order within each group.
+func (r *Report) GroupBy(key func(Result) string) map[string][]Result {
+	groups := make(map[string][]Result)
+	for _, res := range r.Results {
+		k := key(res)
+		groups[k] = append(groups[k], res)
+	}
+	return groups
+}
+
+// Geomean returns the geometric mean of metric over all results
+// (non-positive values are ignored, matching stats.GeoMean).
+func (r *Report) Geomean(metric func(Result) float64) float64 {
+	vs := make([]float64, 0, len(r.Results))
+	for _, res := range r.Results {
+		vs = append(vs, metric(res))
+	}
+	return stats.GeoMean(vs)
+}
+
+// GeomeanBy returns the per-group geometric mean of metric, keyed as
+// GroupBy does.
+func (r *Report) GeomeanBy(key func(Result) string, metric func(Result) float64) map[string]float64 {
+	out := make(map[string]float64)
+	for k, group := range r.GroupBy(key) {
+		vs := make([]float64, 0, len(group))
+		for _, res := range group {
+			vs = append(vs, metric(res))
+		}
+		out[k] = stats.GeoMean(vs)
+	}
+	return out
+}
+
+// Filter returns a report containing only the results pred accepts
+// (Points and Wall carry over unchanged).
+func (r *Report) Filter(pred func(Result) bool) *Report {
+	out := &Report{Points: r.Points, Wall: r.Wall}
+	for _, res := range r.Results {
+		if pred(res) {
+			out.Results = append(out.Results, res)
+		}
+	}
+	return out
+}
+
+// Keys returns the sorted group keys of GroupBy(key) — convenient for
+// stable iteration when printing.
+func (r *Report) Keys(key func(Result) string) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	for _, res := range r.Results {
+		if k := key(res); !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,176 @@
+package virtuoso
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Point is one cell of a sweep's (workloads × designs × policies ×
+// seeds) grid. Index is the cell's position in Points() order and is
+// stable across runs of the same grid, so per-point seeds and results
+// are deterministic regardless of worker scheduling.
+type Point struct {
+	Index    int
+	Workload string
+	Design   DesignName
+	Policy   PolicyName
+	Seed     uint64
+}
+
+// SweepEvent reports one finished point to a progress callback.
+type SweepEvent struct {
+	Point Point
+	// Done counts finished points so far (including this one); Total is
+	// the grid size.
+	Done, Total int
+	// Metrics is nil when the point failed or was cancelled, in which
+	// case Err says why.
+	Metrics *Metrics
+	Err     error
+}
+
+// Sweep expands a design-space grid into run points and executes them
+// on a bounded worker pool. Every point runs in a fully isolated system
+// (own MimicOS, own workload instance), so a parallel sweep produces
+// bit-identical per-point metrics to a sequential run of the same grid.
+//
+// The zero value is not runnable: set Base (usually DefaultConfig or
+// ScaledConfig) and at least one workload name. Empty Designs,
+// Policies, or Seeds axes default to the corresponding Base field, so
+// the grid size is max(1,len(Workloads)) × max(1,len(Designs)) ×
+// max(1,len(Policies)) × max(1,len(Seeds)).
+type Sweep struct {
+	// Base is the configuration every point starts from.
+	Base Config
+
+	// Grid axes. Workloads is required; the others default to Base's
+	// design, policy, and seed.
+	Workloads []string
+	Designs   []DesignName
+	Policies  []PolicyName
+	Seeds     []uint64
+
+	// Parallel bounds the worker pool (<= 0 means GOMAXPROCS).
+	Parallel int
+
+	// Configure, if non-nil, mutates each point's config after the grid
+	// fields are applied — the hook for per-point state the axes cannot
+	// express (Utopia RestSeg geometry, fragmentation levels, ...).
+	Configure func(cfg *Config, p Point) error
+
+	// WorkloadFactory, if non-nil, builds each point's workload instead
+	// of the named-catalog lookup — the hook for custom workloads. It
+	// must return a fresh instance per call: workload state is mutated
+	// during a run and must not be shared between concurrent points.
+	WorkloadFactory func(p Point) (*Workload, error)
+
+	// Progress, if non-nil, is called once per finished point. Calls
+	// are serialised; the callback needs no locking.
+	Progress func(SweepEvent)
+}
+
+// Points expands the grid in deterministic order: workloads outermost,
+// then designs, policies, and seeds.
+func (s *Sweep) Points() []Point {
+	designs := s.Designs
+	if len(designs) == 0 {
+		designs = []DesignName{s.Base.Design}
+	}
+	policies := s.Policies
+	if len(policies) == 0 {
+		policies = []PolicyName{s.Base.Policy}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{s.Base.Seed}
+	}
+	pts := make([]Point, 0, len(s.Workloads)*len(designs)*len(policies)*len(seeds))
+	for _, w := range s.Workloads {
+		for _, d := range designs {
+			for _, p := range policies {
+				for _, seed := range seeds {
+					pts = append(pts, Point{
+						Index: len(pts), Workload: w,
+						Design: d, Policy: p, Seed: seed,
+					})
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Run executes the grid and returns a Report with one Result per
+// completed point, in Points() order. The first point failure — or a
+// ctx cancellation, which interrupts in-flight simulations within a few
+// thousand simulated instructions — stops the sweep; Run then returns
+// the partial report alongside the error.
+func (s *Sweep) Run(ctx context.Context) (*Report, error) {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("virtuoso: empty sweep (set Sweep.Workloads)")
+	}
+
+	jobs := make([]runner.Job, len(pts))
+	for i, p := range pts {
+		cfg := s.Base
+		cfg.Design = p.Design
+		cfg.Policy = p.Policy
+		cfg.Seed = p.Seed
+		if s.Configure != nil {
+			if err := s.Configure(&cfg, p); err != nil {
+				return nil, fmt.Errorf("virtuoso: point %d (%s/%s/%s): %w", p.Index, p.Workload, p.Design, p.Policy, err)
+			}
+		}
+		jobs[i] = runner.Job{Cfg: cfg, Workload: s.workloadFactory(p)}
+	}
+
+	var progress func(done, total int, out runner.Outcome)
+	if s.Progress != nil {
+		progress = func(done, total int, out runner.Outcome) {
+			ev := SweepEvent{Point: pts[out.Index], Done: done, Total: total, Err: out.Err}
+			if out.Err == nil {
+				m := out.Metrics
+				ev.Metrics = &m
+			}
+			s.Progress(ev)
+		}
+	}
+
+	start := time.Now()
+	outs, err := runner.Run(ctx, jobs, s.Parallel, progress)
+	rep := &Report{Points: len(pts), Wall: time.Since(start)}
+	for i, out := range outs {
+		if out.Err != nil {
+			continue
+		}
+		// Echo the executed config, not the grid point: the Configure
+		// hook may have overridden design, policy, or seed.
+		rep.Results = append(rep.Results, Result{
+			Index:    pts[i].Index,
+			Workload: pts[i].Workload,
+			Design:   jobs[i].Cfg.Design,
+			Policy:   jobs[i].Cfg.Policy,
+			Mode:     jobs[i].Cfg.Mode.String(),
+			Seed:     jobs[i].Cfg.Seed,
+			Metrics:  out.Metrics,
+		})
+	}
+	if err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// workloadFactory returns the per-point workload constructor, deferring
+// catalog lookups to run time so each point gets a fresh instance.
+func (s *Sweep) workloadFactory(p Point) func() (*Workload, error) {
+	if s.WorkloadFactory != nil {
+		return func() (*Workload, error) { return s.WorkloadFactory(p) }
+	}
+	name := p.Workload
+	return func() (*Workload, error) { return NamedWorkload(name) }
+}

@@ -1,0 +1,211 @@
+package virtuoso_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	virtuoso "repro"
+)
+
+// testSweep is a 4-point grid (2 workloads × 2 seeds) small enough to
+// finish in a couple of seconds.
+func testSweep(parallel int) *virtuoso.Sweep {
+	base := virtuoso.ScaledConfig()
+	base.MaxAppInsts = 120_000
+	return &virtuoso.Sweep{
+		Base:      base,
+		Workloads: []string{"JSON", "2D-Sum"},
+		Designs:   []virtuoso.DesignName{virtuoso.DesignRadix},
+		Policies:  []virtuoso.PolicyName{virtuoso.PolicyTHP},
+		Seeds:     []uint64{1, 2},
+		Parallel:  parallel,
+	}
+}
+
+func TestSweepPointsExpansion(t *testing.T) {
+	s := testSweep(1)
+	pts := s.Points()
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	// Workloads outermost, seeds innermost, indices sequential.
+	want := []struct {
+		w    string
+		seed uint64
+	}{
+		{"JSON", 1}, {"JSON", 2}, {"2D-Sum", 1}, {"2D-Sum", 2},
+	}
+	for i, p := range pts {
+		if p.Index != i || p.Workload != want[i].w || p.Seed != want[i].seed {
+			t.Errorf("point %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+
+	// Empty axes default to the base config's values.
+	s2 := &virtuoso.Sweep{Base: virtuoso.DefaultConfig(), Workloads: []string{"BFS"}}
+	pts2 := s2.Points()
+	if len(pts2) != 1 || pts2[0].Design != s2.Base.Design || pts2[0].Seed != s2.Base.Seed {
+		t.Errorf("default axes: %+v", pts2)
+	}
+}
+
+// canonical strips the host-dependent fields (wall time, host heap) and
+// returns the result's JSON; everything else must be bit-identical
+// between runs of the same point.
+func canonical(t *testing.T, r virtuoso.Result) string {
+	t.Helper()
+	r.Metrics.WallTime = 0
+	r.Metrics.SimHeapBytes = 0
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSweepParallelMatchesSequential is the acceptance criterion for
+// the sweep runner: >= 4 points executed with Parallel >= 4 must yield
+// byte-identical per-point metrics to a sequential run of the same grid.
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	withTinyScale(t)
+
+	seq, err := testSweep(1).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := testSweep(4).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Results) != 4 || len(par.Results) != 4 {
+		t.Fatalf("got %d sequential / %d parallel results, want 4/4", len(seq.Results), len(par.Results))
+	}
+	for i := range seq.Results {
+		s, p := canonical(t, seq.Results[i]), canonical(t, par.Results[i])
+		if s != p {
+			t.Errorf("point %d differs between sequential and parallel runs:\nseq: %.200s\npar: %.200s", i, s, p)
+		}
+	}
+
+	// And a second parallel run must reproduce the first exactly.
+	par2, err := testSweep(4).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range par.Results {
+		if canonical(t, par.Results[i]) != canonical(t, par2.Results[i]) {
+			t.Errorf("point %d differs between two parallel runs", i)
+		}
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	withTinyScale(t)
+
+	base := virtuoso.ScaledConfig()
+	base.MaxAppInsts = 400_000
+	sweep := &virtuoso.Sweep{
+		Base:      base,
+		Workloads: []string{"JSON", "2D-Sum", "Hadamard"},
+		Seeds:     []uint64{1, 2, 3, 4},
+		Parallel:  2,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sweep.Progress = func(ev virtuoso.SweepEvent) {
+		cancel() // cancel as soon as the first point finishes
+	}
+
+	report, err := sweep.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if report == nil {
+		t.Fatal("cancelled sweep should still return the partial report")
+	}
+	if len(report.Results) >= report.Points {
+		t.Errorf("all %d points completed despite cancellation", report.Points)
+	}
+	for _, r := range report.Results {
+		if r.Metrics.AppInsts == 0 {
+			t.Errorf("point %d reported empty metrics; truncated runs must be dropped", r.Index)
+		}
+	}
+}
+
+func TestSweepResultEchoesConfiguredPoint(t *testing.T) {
+	withTinyScale(t)
+	base := virtuoso.ScaledConfig()
+	base.MaxAppInsts = 50_000
+	sweep := &virtuoso.Sweep{
+		Base:      base,
+		Workloads: []string{"JSON"},
+		Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
+			cfg.Policy = virtuoso.PolicyBuddy // override the grid's policy
+			return nil
+		},
+	}
+	rep, err := sweep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Results[0].Policy; got != virtuoso.PolicyBuddy {
+		t.Errorf("Result.Policy = %q; must echo the Configure-mutated config, not the grid point", got)
+	}
+}
+
+func TestSweepUnknownWorkloadFails(t *testing.T) {
+	sweep := &virtuoso.Sweep{
+		Base:      virtuoso.ScaledConfig(),
+		Workloads: []string{"definitely-not-a-workload"},
+	}
+	if _, err := sweep.Run(context.Background()); err == nil {
+		t.Fatal("sweep over an unknown workload should fail")
+	}
+}
+
+func TestReportHelpers(t *testing.T) {
+	withTinyScale(t)
+	rep, err := testSweep(2).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	groups := rep.GroupBy(virtuoso.ByWorkload)
+	if len(groups) != 2 || len(groups["JSON"]) != 2 || len(groups["2D-Sum"]) != 2 {
+		t.Errorf("GroupBy(ByWorkload) = %d groups", len(groups))
+	}
+	if keys := rep.Keys(virtuoso.ByWorkload); len(keys) != 2 || keys[0] != "2D-Sum" {
+		t.Errorf("Keys = %v", keys)
+	}
+
+	ipc := func(r virtuoso.Result) float64 { return r.Metrics.IPC }
+	if g := rep.Geomean(ipc); g <= 0 {
+		t.Errorf("Geomean(IPC) = %v", g)
+	}
+	by := rep.GeomeanBy(virtuoso.ByWorkload, ipc)
+	if len(by) != 2 || by["JSON"] <= 0 {
+		t.Errorf("GeomeanBy = %v", by)
+	}
+
+	only := rep.Filter(func(r virtuoso.Result) bool { return r.Workload == "JSON" })
+	if len(only.Results) != 2 {
+		t.Errorf("Filter kept %d results, want 2", len(only.Results))
+	}
+
+	// Report JSON round trip.
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := virtuoso.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) || back.Points != rep.Points {
+		t.Errorf("decoded report: %d results / %d points", len(back.Results), back.Points)
+	}
+}

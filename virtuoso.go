@@ -10,19 +10,44 @@
 // event is injected back into the core model, so OS work is charged its
 // real latency and memory interference.
 //
-// Quick start:
+// Quick start — one configuration, error-returning:
 //
-//	sys := virtuoso.New(virtuoso.DefaultConfig())
-//	metrics := sys.Run(virtuoso.WorkloadByName("BFS"))
-//	fmt.Println(metrics.IPC, metrics.AvgPTWLat)
+//	sess, err := virtuoso.Open(
+//		virtuoso.WithScaledConfig(),
+//		virtuoso.WithWorkload("BFS"),
+//		virtuoso.WithDesign(virtuoso.DesignRadix),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	m, err := sess.Run()
+//	fmt.Println(m.IPC, m.AvgPTWLat)
 //
-// Use Config.Design to study translation schemes (radix, ech, hdc, ht,
-// utopia, rmm, midgard, directseg), Config.Policy for allocation policies
-// (bd, thp, cr-thp, ar-thp, utopia, eager), and Config.Mode to compare
-// the imitation methodology against fixed-latency emulation.
+// Design-space exploration — a (designs × policies × workloads × seeds)
+// grid executed on a bounded worker pool with context cancellation:
+//
+//	sweep := &virtuoso.Sweep{
+//		Base:      virtuoso.ScaledConfig(),
+//		Designs:   []virtuoso.DesignName{virtuoso.DesignRadix, virtuoso.DesignECH},
+//		Workloads: []string{"BFS", "XS"},
+//		Seeds:     []uint64{1, 2},
+//		Parallel:  8,
+//	}
+//	report, err := sweep.Run(context.Background())
+//	fmt.Println(report.GeomeanBy(virtuoso.ByDesign, func(r virtuoso.Result) float64 { return r.Metrics.IPC }))
+//
+// Use WithDesign / Sweep.Designs to study translation schemes (radix,
+// ech, hdc, ht, utopia, rmm, midgard, directseg), WithPolicy /
+// Sweep.Policies for allocation policies (bd, thp, cr-thp, ar-thp,
+// utopia, eager), and WithMode to compare the imitation methodology
+// against fixed-latency emulation. Results marshal to JSON (see Result
+// and Report) for downstream analysis.
 package virtuoso
 
 import (
+	"context"
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mimicos"
@@ -43,6 +68,8 @@ type (
 	DesignName = core.DesignName
 	// PolicyName selects an allocation policy.
 	PolicyName = core.PolicyName
+	// Mode selects the OS-simulation methodology.
+	Mode = core.Mode
 	// MmapFlags selects the VMA type for custom workloads.
 	MmapFlags = mimicos.MmapFlags
 )
@@ -57,13 +84,14 @@ const (
 
 // Translation designs.
 const (
-	DesignRadix   = core.DesignRadix
-	DesignECH     = core.DesignECH
-	DesignHDC     = core.DesignHDC
-	DesignHT      = core.DesignHT
-	DesignUtopia  = core.DesignUtopia
-	DesignRMM     = core.DesignRMM
-	DesignMidgard = core.DesignMidgard
+	DesignRadix     = core.DesignRadix
+	DesignECH       = core.DesignECH
+	DesignHDC       = core.DesignHDC
+	DesignHT        = core.DesignHT
+	DesignUtopia    = core.DesignUtopia
+	DesignRMM       = core.DesignRMM
+	DesignMidgard   = core.DesignMidgard
+	DesignDirectSeg = core.DesignDirectSeg
 )
 
 // Allocation policies.
@@ -85,18 +113,123 @@ func ScaledConfig() Config {
 	return experiments.BaseConfig(experiments.Opts{})
 }
 
-// New builds a system, panicking on configuration errors (use
-// core.NewSystem directly for error returns).
-func New(cfg Config) *System { return core.MustNewSystem(cfg) }
+// Session is one opened simulation: an assembled system plus the
+// workload it will run. Sessions are single-use — Run consumes the
+// system state — and not safe for concurrent use; open one session per
+// goroutine, or use Sweep, which does exactly that.
+type Session struct {
+	cfg Config
+	sys *core.System
+	w   *Workload
+	ran bool
+}
 
-// WorkloadByName returns a Table 5 workload ("BC", "BFS", ..., "JSON",
-// "Llama-2-7B", ...); it panics on unknown names.
-func WorkloadByName(name string) *Workload {
+// Open assembles a simulation session from the given options, starting
+// from DefaultConfig. It returns an error — instead of panicking, as
+// the deprecated New did — when an option is invalid or the system
+// cannot be built.
+func Open(opts ...Option) (*Session, error) {
+	st := openState{cfg: DefaultConfig()}
+	for _, opt := range opts {
+		if err := opt(&st); err != nil {
+			return nil, err
+		}
+	}
+	if st.custom == nil && st.wname == "" {
+		return nil, fmt.Errorf("virtuoso: no workload selected (use WithWorkload or WithCustomWorkload)")
+	}
+	// Apply the scale only now that every option validated, and roll it
+	// back if a later step fails: a failed Open must leave the
+	// process-global scale untouched.
+	prevScale := workloads.Scale
+	if st.scale > 0 {
+		workloads.Scale = st.scale
+	}
+	fail := func(err error) (*Session, error) {
+		workloads.Scale = prevScale
+		return nil, err
+	}
+	w := st.custom
+	if w == nil {
+		var err error
+		if w, err = NamedWorkload(st.wname); err != nil {
+			return fail(err)
+		}
+	}
+	sys, err := core.NewSystem(st.cfg)
+	if err != nil {
+		return fail(err)
+	}
+	return &Session{cfg: st.cfg, sys: sys, w: w}, nil
+}
+
+// Config returns the session's assembled configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// System exposes the underlying simulator for advanced use (installing
+// custom OS policies, inspecting MimicOS state, driving RunSteps).
+func (s *Session) System() *System { return s.sys }
+
+// Workload returns the workload the session runs.
+func (s *Session) Workload() *Workload { return s.w }
+
+// Run simulates the session's workload to completion (or the configured
+// instruction bound) and returns the collected metrics.
+func (s *Session) Run() (Metrics, error) { return s.RunContext(context.Background()) }
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx every few thousand instructions and aborts with ctx's error when
+// it is cancelled, discarding the truncated metrics.
+func (s *Session) RunContext(ctx context.Context) (Metrics, error) {
+	if s.ran {
+		return Metrics{}, fmt.Errorf("virtuoso: session already run (sessions are single-use; Open a new one)")
+	}
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	s.ran = true
+	done := ctx.Done()
+	s.sys.SetCancelCheck(func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+	// Uninstall the check afterwards: the system stays usable for
+	// direct driving (RunSteps) and must not poll a dead context.
+	defer s.sys.SetCancelCheck(nil)
+	m := s.sys.Run(s.w)
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	return m, nil
+}
+
+// Result packages the session's metrics with the configuration echo the
+// sweep runner produces, for uniform JSON output. Index is always zero
+// for session results — it identifies grid position only in sweep
+// reports — so key downstream tooling on Result.Key(), not Index.
+func (s *Session) Result(m Metrics) Result {
+	return Result{
+		Workload: s.w.Name(),
+		Design:   s.cfg.Design,
+		Policy:   s.cfg.Policy,
+		Mode:     s.cfg.Mode.String(),
+		Seed:     s.cfg.Seed,
+		Metrics:  m,
+	}
+}
+
+// NamedWorkload returns a Table 5 workload ("BC", "BFS", ..., "JSON",
+// "Llama-2-7B", ...) or an error if the name is unknown.
+func NamedWorkload(name string) (*Workload, error) {
 	w, ok := workloads.ByName(name)
 	if !ok {
-		panic("virtuoso: unknown workload " + name)
+		return nil, fmt.Errorf("virtuoso: unknown workload %q", name)
 	}
-	return w
+	return w, nil
 }
 
 // LongRunningSuite returns the Table 5 long-running workloads.
@@ -106,5 +239,23 @@ func LongRunningSuite() []*Workload { return workloads.LongSuite() }
 func ShortRunningSuite() []*Workload { return workloads.ShortSuite() }
 
 // SetWorkloadScale rescales all workload footprints (1.0 = the library's
-// reference sizes; experiments use smaller values).
+// reference sizes; experiments use smaller values). Process-global: set
+// it before building sessions or sweeps, never while they run.
 func SetWorkloadScale(s float64) { workloads.Scale = s }
+
+// New builds a system, panicking on configuration errors.
+//
+// Deprecated: use Open, which returns errors, or core.NewSystem for a
+// bare system without a session.
+func New(cfg Config) *System { return core.MustNewSystem(cfg) }
+
+// WorkloadByName returns a Table 5 workload; it panics on unknown names.
+//
+// Deprecated: use NamedWorkload, which returns an error instead.
+func WorkloadByName(name string) *Workload {
+	w, err := NamedWorkload(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
