@@ -13,6 +13,14 @@
 // Grid-valued flags (-workload, -design, -policy, -seeds) accept
 // comma-separated lists; when the grid has more than one point the
 // sweep runs on a bounded worker pool and prints one row per point.
+//
+// The trace subcommand records and replays instruction traces (the
+// §6.2 trace-driven frontends; see docs/trace-format.md):
+//
+//	virtuoso trace record -workload graphbig-bfs -o bfs.trc.gz
+//	virtuoso trace replay bfs.trc.gz
+//	virtuoso trace replay -memtrace -design ech bfs.trc.gz
+//	virtuoso trace info bfs.trc.gz
 package main
 
 import (
@@ -29,6 +37,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		traceCmd(os.Args[2:])
+		return
+	}
 	var (
 		workload = flag.String("workload", "BFS", "workload name(s), comma-separated (-list to enumerate)")
 		design   = flag.String("design", "radix", "translation design(s), comma-separated: radix|ech|hdc|ht|utopia|rmm|midgard|directseg")
@@ -76,8 +88,6 @@ func main() {
 		check(fmt.Errorf("virtuoso: -frag %v out of range [0, 1]", *frag))
 	}
 
-	virtuoso.SetWorkloadScale(*scale)
-
 	base := virtuoso.ScaledConfig()
 	base.Mode = m
 	base.MaxAppInsts = *insts
@@ -94,6 +104,7 @@ func main() {
 		Designs:   designs,
 		Policies:  policies,
 		Seeds:     seedList,
+		Params:    virtuoso.WorkloadParams{Scale: *scale},
 		Parallel:  *parallel,
 		Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
 			if policyFlagSet {

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	virtuoso "repro"
+)
+
+const traceUsage = `usage: virtuoso trace <verb> [flags]
+
+verbs:
+  record  -workload NAME -o FILE   record a workload's instruction stream
+  replay  FILE                     replay a recorded trace through the simulator
+  info    FILE                     print a trace file's header and counts
+
+A ".gz" output extension selects gzip compression. Run
+"virtuoso trace <verb> -h" for per-verb flags.
+`
+
+// traceCmd dispatches the `virtuoso trace` subcommand.
+func traceCmd(args []string) {
+	if len(args) == 0 {
+		fmt.Fprint(os.Stderr, traceUsage)
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "record":
+		traceRecord(args[1:])
+	case "replay":
+		traceReplay(args[1:])
+	case "info":
+		traceInfo(args[1:])
+	default:
+		fmt.Fprintf(os.Stderr, "virtuoso trace: unknown verb %q\n\n%s", args[0], traceUsage)
+		os.Exit(2)
+	}
+}
+
+// simFlags are the simulation-configuration flags record and replay
+// share; they mirror the top-level grid flags (single-valued: a trace
+// records exactly one configuration).
+type simFlags struct {
+	design, policy, mode string
+	insts                uint64
+	scale, frag          float64
+	seed                 uint64
+}
+
+func addSimFlags(fs *flag.FlagSet, f *simFlags, seedDefault uint64, seedHelp string) {
+	fs.StringVar(&f.design, "design", "radix", "translation design: radix|ech|hdc|ht|utopia|rmm|midgard|directseg")
+	fs.StringVar(&f.policy, "policy", "thp", "allocation policy: bd|thp|cr-thp|ar-thp|utopia|eager")
+	fs.StringVar(&f.mode, "mode", "imitation", "OS methodology: imitation|emulation")
+	fs.Uint64Var(&f.insts, "insts", 2_000_000, "max application instructions (0 = run to completion)")
+	fs.Float64Var(&f.scale, "scale", 0.25, "workload footprint scale (record only; a trace fixes the footprint)")
+	fs.Float64Var(&f.frag, "frag", 0.80, "fragmentation level (fraction of 2MB blocks unavailable)")
+	fs.Uint64Var(&f.seed, "seed", seedDefault, seedHelp)
+}
+
+// options converts the shared flags into session options.
+func (f *simFlags) options() ([]virtuoso.Option, error) {
+	design, err := virtuoso.ParseDesign(f.design)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := virtuoso.ParsePolicy(f.policy)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := virtuoso.ParseMode(f.mode)
+	if err != nil {
+		return nil, err
+	}
+	if f.frag < 0 || f.frag > 1 {
+		return nil, fmt.Errorf("virtuoso: -frag %v out of range [0, 1]", f.frag)
+	}
+	return []virtuoso.Option{
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithDesign(design),
+		virtuoso.WithPolicy(policy),
+		virtuoso.WithMode(mode),
+		virtuoso.WithMaxInstructions(f.insts),
+		virtuoso.WithFragmentation(f.frag),
+		virtuoso.WithSeed(f.seed),
+	}, nil
+}
+
+func traceRecord(args []string) {
+	fs := flag.NewFlagSet("virtuoso trace record", flag.ExitOnError)
+	var f simFlags
+	workload := fs.String("workload", "", "workload to record (required; see virtuoso -list)")
+	out := fs.String("o", "", "output trace file (required; .gz compresses)")
+	addSimFlags(fs, &f, 1, "simulation seed (stored in the trace header)")
+	fs.Parse(args)
+	if *workload == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "virtuoso trace record: -workload and -o are required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	opts, err := f.options()
+	check(err)
+	opts = append(opts,
+		virtuoso.WithWorkloadScale(f.scale),
+		virtuoso.WithWorkload(*workload),
+	)
+	sess, err := virtuoso.Open(opts...)
+	check(err)
+	m, info, err := sess.Record(*out)
+	check(err)
+
+	st, err := os.Stat(*out)
+	check(err)
+	fmt.Printf("recorded        %s -> %s\n", info.Workload, *out)
+	fmt.Printf("records         %d (%d insts, %d mem ops, %d segments)\n",
+		info.Records, info.Instructions, info.MemOps, info.Segments)
+	fmt.Printf("size            %d bytes (%.2f bits/inst, gzip=%v)\n",
+		st.Size(), float64(st.Size()*8)/float64(max(info.Instructions, 1)), info.Compressed)
+	fmt.Printf("recording run   IPC %.3f, %d minor faults, seed %d\n", m.IPC, m.MinorFaults, info.Seed)
+}
+
+func traceReplay(args []string) {
+	fs := flag.NewFlagSet("virtuoso trace replay", flag.ExitOnError)
+	var f simFlags
+	memtrace := fs.Bool("memtrace", false, "memory-trace-driven replay (Ramulator-style: only memory ops simulated)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	addSimFlags(fs, &f, 0, "simulation seed (0 = the seed recorded in the trace)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "virtuoso trace replay: exactly one trace file required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+
+	if f.seed == 0 {
+		// Header-only read: no point decoding the whole record section
+		// just to learn the recorded seed.
+		hdr, err := virtuoso.ReadTraceHeader(path)
+		check(err)
+		f.seed = hdr.Seed
+	}
+	opts, err := f.options()
+	check(err)
+	if *memtrace {
+		opts = append(opts, virtuoso.WithFrontend(virtuoso.FrontendMemTrace))
+	}
+	opts = append(opts, virtuoso.WithTrace(path))
+	sess, err := virtuoso.Open(opts...)
+	check(err)
+	m, err := sess.Run()
+	check(err)
+
+	r := sess.Result(m)
+	if *jsonOut {
+		rep := &virtuoso.Report{Results: []virtuoso.Result{r}, Points: 1}
+		data, err := rep.JSON()
+		check(err)
+		fmt.Println(string(data))
+		return
+	}
+	printSingle(r)
+}
+
+func traceInfo(args []string) {
+	fs := flag.NewFlagSet("virtuoso trace info", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the summary as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "virtuoso trace info: exactly one trace file required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	path := fs.Arg(0)
+	info, err := virtuoso.ReadTraceInfo(path)
+	check(err)
+	if *jsonOut {
+		data, err := json.MarshalIndent(info, "", "  ")
+		check(err)
+		fmt.Println(string(data))
+		return
+	}
+	st, err := os.Stat(path)
+	check(err)
+	fmt.Printf("trace           %s (gzip=%v, %d bytes)\n", path, info.Compressed, st.Size())
+	fmt.Printf("workload        %s (%s-running, footprint %d MB)\n", info.Workload, info.Class, info.FootprintBytes>>20)
+	fmt.Printf("seed            %d\n", info.Seed)
+	fmt.Printf("layout          %d segments\n", info.Segments)
+	fmt.Printf("records         %d (%d insts, %d mem ops, %.2f bits/inst)\n",
+		info.Records, info.Instructions, info.MemOps,
+		float64(st.Size()*8)/float64(max(info.Instructions, 1)))
+}

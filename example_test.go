@@ -1,0 +1,67 @@
+package virtuoso_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	virtuoso "repro"
+)
+
+// ExampleOpen runs one small BFS configuration end to end.
+func ExampleOpen() {
+	sess, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkloadScale(0.05), // shrink footprints so the example runs in milliseconds
+		virtuoso.WithWorkload("BFS"),
+		virtuoso.WithDesign(virtuoso.DesignRadix),
+		virtuoso.WithPolicy(virtuoso.PolicyTHP),
+		virtuoso.WithMaxInstructions(50_000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Workload, m.Cycles > 0, m.IPC > 0)
+	// Output: BFS true true
+}
+
+// ExampleSweep_Run executes a small (designs × seeds) grid on the
+// bounded worker pool and reports one Result per point.
+func ExampleSweep_Run() {
+	base := virtuoso.ScaledConfig()
+	base.MaxAppInsts = 50_000
+	sweep := &virtuoso.Sweep{
+		Base:      base,
+		Workloads: []string{"BFS"},
+		Designs:   []virtuoso.DesignName{virtuoso.DesignRadix, virtuoso.DesignECH},
+		Seeds:     []uint64{1, 2},
+		Params:    virtuoso.WorkloadParams{Scale: 0.05},
+		Parallel:  2,
+	}
+	report, err := sweep.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Points, len(report.Results))
+	// Output: 4 4
+}
+
+// ExampleReport_GroupBy partitions sweep results by translation design.
+func ExampleReport_GroupBy() {
+	report := &virtuoso.Report{Results: []virtuoso.Result{
+		{Workload: "BFS", Design: virtuoso.DesignRadix, Seed: 1},
+		{Workload: "BFS", Design: virtuoso.DesignECH, Seed: 1},
+		{Workload: "XS", Design: virtuoso.DesignRadix, Seed: 1},
+	}}
+	groups := report.GroupBy(virtuoso.ByDesign)
+	for _, key := range report.Keys(virtuoso.ByDesign) {
+		fmt.Printf("%s: %d results\n", key, len(groups[key]))
+	}
+	// Output:
+	// ech: 1 results
+	// radix: 2 results
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/mmu"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/utopia"
 	"repro/internal/workloads"
 	"repro/internal/xrand"
@@ -126,6 +128,14 @@ type Config struct {
 	// MaxAppInsts bounds the run (0 = run the workload to completion).
 	MaxAppInsts uint64
 
+	// TracePath, with Frontend set to FrontendTrace or FrontendMemTrace,
+	// streams the application instruction stream from the given trace
+	// file (see internal/trace) instead of generating it from the
+	// workload — the §6.2 ChampSim/Ramulator integration styles made
+	// concrete. The file is validated when the system is built; each run
+	// opens its own reader, so concurrent systems may replay one file.
+	TracePath string
+
 	// RefNoise adds the OS-noise components of the reference ("real")
 	// system that MimicOS deliberately omits — used as ground truth in
 	// the §7.2 validation experiments.
@@ -186,7 +196,18 @@ type System struct {
 	segvs            uint64
 
 	cancelCheck func() bool
+	frontendTap func(isa.Inst)
+	interrupted bool
 }
+
+// Text-segment constants: every run maps the workload binary's code at
+// the same fixed base so instruction fetches at the catalog's synthetic
+// PCs resolve. Trace recording skips this VMA (replay re-creates it).
+const (
+	TextSegBase   mem.VAddr = 0x400000
+	TextSegBytes            = 32 * mem.MB
+	TextSegFileID           = 0xC0DE
+)
 
 // cancelStride is how many frontend instructions Run retires between
 // cancellation polls: rare enough to stay off the hot path, frequent
@@ -200,10 +221,24 @@ const cancelStride = 1 << 13
 // mid-simulation. Pass nil to remove the check.
 func (s *System) SetCancelCheck(f func() bool) { s.cancelCheck = f }
 
+// SetFrontendTap installs an observer invoked for every application
+// instruction the frontend feeds the core, before it is simulated —
+// the hook trace recording uses (see internal/trace.Recorder). Kernel
+// streams injected by MimicOS do not pass the tap: a trace captures
+// the application, and replaying it regenerates the kernel work under
+// whatever OS configuration the replay run uses. Pass nil to remove.
+func (s *System) SetFrontendTap(f func(isa.Inst)) { s.frontendTap = f }
+
 // Cancelled reports whether the installed cancellation check fired.
 func (s *System) Cancelled() bool {
 	return s.cancelCheck != nil && s.cancelCheck()
 }
+
+// Interrupted reports whether a run on this system was actually stopped
+// early by the cancellation check — as opposed to the check's context
+// being cancelled after the simulation already completed. Callers use
+// it to tell truncated metrics from valid ones under a racing cancel.
+func (s *System) Interrupted() bool { return s.interrupted }
 
 // NewSystem wires a complete system per cfg. The kernel, one process,
 // the translation design, and the channels are all constructed; call Run
@@ -305,6 +340,17 @@ func NewSystem(cfg Config) (*System, error) {
 	})
 	if cfg.RetainKernelStreams > 0 {
 		s.streamRing = make([]isa.Stream, cfg.RetainKernelStreams)
+	}
+
+	// Fail fast on a missing or malformed trace file: the run itself
+	// cannot report errors, so the build step validates the header.
+	if cfg.TracePath != "" {
+		if cfg.Frontend != FrontendTrace && cfg.Frontend != FrontendMemTrace {
+			return nil, fmt.Errorf("core: TracePath set but frontend is not trace-driven (use FrontendTrace or FrontendMemTrace)")
+		}
+		if _, err := trace.ReadHeader(cfg.TracePath); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -450,13 +496,16 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 
 	// Address-space setup (the exec/loader phase): functional only.
 	// The text segment backs instruction fetches at the workloads' PCs.
-	s.OS.Mmap(s.Proc.PID, 32*mem.MB, mimicos.MmapFlags{
-		File: true, FileID: 0xC0DE, FixedAddr: 0x400000,
+	s.OS.Mmap(s.Proc.PID, TextSegBytes, mimicos.MmapFlags{
+		File: true, FileID: TextSegFileID, FixedAddr: TextSegBase,
 	})
 	w.Setup(s.OS, s.Proc.PID)
 	s.OS.Tracer.Begin() // drop setup streams
 
 	src := s.makeFrontend(w)
+	// Run owns the frontend it built: release sources backed by a file
+	// even when the instruction bound stops the run before EOF.
+	defer closeSource(src)
 
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
@@ -466,11 +515,15 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 	var in isa.Inst
 	var polled uint64
 	for src.Next(&in) {
+		if s.frontendTap != nil {
+			s.frontendTap(in)
+		}
 		s.Core.Run(in)
 		if max > 0 && s.Core.Stats().AppInsts >= max {
 			break
 		}
 		if polled++; polled%cancelStride == 0 && s.Cancelled() {
+			s.interrupted = true
 			break
 		}
 	}
@@ -483,7 +536,25 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 }
 
 // makeFrontend adapts the workload source per the configured frontend.
+//
+// With TracePath set, the trace-driven frontends stream records from
+// the file instead of deriving anything from the workload: this is the
+// real ChampSim/Ramulator integration style, where the trace IS the
+// application. Without TracePath, FrontendTrace falls back to
+// materialising the synthetic stream in memory first (the historical
+// behaviour), and FrontendMemTrace filters the synthetic stream on the
+// fly.
 func (s *System) makeFrontend(w *workloads.Workload) isa.Source {
+	if s.Cfg.TracePath != "" {
+		switch s.Cfg.Frontend {
+		case FrontendTrace:
+			// NewSystem validated the file; a failure here means it
+			// changed since, which MustOpenSource reports by panicking.
+			return trace.MustOpenSource(s.Cfg.TracePath)
+		case FrontendMemTrace:
+			return &memTraceSource{inner: trace.MustOpenSource(s.Cfg.TracePath)}
+		}
+	}
 	base := w.Source(s.Cfg.Seed ^ 0xF00D)
 	switch s.Cfg.Frontend {
 	case FrontendTrace:
@@ -514,6 +585,15 @@ func (s *System) makeFrontend(w *workloads.Workload) isa.Source {
 // memory-trace frontend): ALU batches collapse into token costs.
 type memTraceSource struct {
 	inner isa.Source
+}
+
+// Close forwards to the wrapped source so a file-backed inner stream
+// is released when a bounded run stops early.
+func (m *memTraceSource) Close() error {
+	if c, ok := m.inner.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Next implements isa.Source.
@@ -552,6 +632,15 @@ func (e *emuSource) Next(out *isa.Inst) bool {
 	return true
 }
 
+// closeSource releases a frontend source that holds resources (an open
+// trace file). Sources built purely in memory implement no Closer and
+// cost nothing.
+func closeSource(src isa.Source) {
+	if c, ok := src.(io.Closer); ok {
+		c.Close()
+	}
+}
+
 // ResetStats zeroes every statistics counter in the system (functional
 // and microarchitectural state persists), establishing a steady-state
 // measurement window after warm-up.
@@ -579,11 +668,15 @@ func (s *System) RunSteps(src isa.Source, maxApp uint64) {
 	var in isa.Inst
 	var polled uint64
 	for src.Next(&in) {
+		if s.frontendTap != nil {
+			s.frontendTap(in)
+		}
 		s.Core.Run(in)
 		if maxApp > 0 && s.Core.Stats().AppInsts-start >= maxApp {
 			return
 		}
 		if polled++; polled%cancelStride == 0 && s.Cancelled() {
+			s.interrupted = true
 			return
 		}
 	}
@@ -593,8 +686,8 @@ func (s *System) RunSteps(src isa.Source, maxApp uint64) {
 // returning the instruction source. Callers then drive RunSteps and
 // Collect explicitly (warm-up/steady-state experiments).
 func (s *System) Prepare(w *workloads.Workload) isa.Source {
-	s.OS.Mmap(s.Proc.PID, 32*mem.MB, mimicos.MmapFlags{
-		File: true, FileID: 0xC0DE, FixedAddr: 0x400000,
+	s.OS.Mmap(s.Proc.PID, TextSegBytes, mimicos.MmapFlags{
+		File: true, FileID: TextSegFileID, FixedAddr: TextSegBase,
 	})
 	w.Setup(s.OS, s.Proc.PID)
 	s.OS.Tracer.Begin()

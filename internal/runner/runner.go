@@ -165,9 +165,11 @@ func runJob(j Job, i int, cancelled func() bool) Outcome {
 	}
 	sys.SetCancelCheck(cancelled)
 	m := sys.Run(w)
-	if cancelled() {
-		// The run was interrupted; its metrics cover a truncated window
-		// and must not be mistaken for a completed point.
+	if sys.Interrupted() {
+		// The run itself was stopped early; its metrics cover a
+		// truncated window and must not be mistaken for a completed
+		// point. A cancellation that lands only after the simulation
+		// finished does NOT discard the point: the metrics are whole.
 		return Outcome{Index: i, Err: context.Canceled}
 	}
 	return Outcome{Index: i, Metrics: m}

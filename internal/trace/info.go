@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Info summarises a trace file: its header plus whole-file counts
+// gathered by streaming every record once.
+type Info struct {
+	Header
+	// Records is the number of instruction records in the file.
+	Records uint64
+	// Insts is the dynamic instruction count (batched ops at their
+	// batch size, delays excluded).
+	Insts uint64
+	// MemOps is the dynamic count of memory-operand instructions.
+	MemOps uint64
+	// Compressed reports whether the file uses the gzip envelope.
+	Compressed bool
+}
+
+// ReadInfo opens path, validates the header, and streams the whole
+// record section to count instructions. It holds only a buffer's worth
+// of the file at a time.
+func ReadInfo(path string) (Info, error) {
+	r, err := Open(path)
+	if err != nil {
+		return Info{}, err
+	}
+	defer r.Close()
+	var in isa.Inst
+	for {
+		err := r.Read(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Info{}, err
+		}
+	}
+	return Info{
+		Header:     r.Header(),
+		Records:    r.Records(),
+		Insts:      r.Insts(),
+		MemOps:     r.MemOps(),
+		Compressed: Compressed(path),
+	}, nil
+}
+
+// ReadHeader opens path just far enough to validate and return its
+// header — the cheap existence/format check used before a replay run
+// starts.
+func ReadHeader(path string) (Header, error) {
+	r, err := Open(path)
+	if err != nil {
+		return Header{}, err
+	}
+	defer r.Close()
+	return r.Header(), nil
+}

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/workloads"
+)
+
+// Reader streams a trace from an underlying reader: the header is
+// decoded eagerly by Open/NewReader (so a bad file fails fast, before a
+// simulation starts), then Read yields one instruction per call until a
+// clean io.EOF. Each Reader carries its own cursor and delta-decode
+// state — concurrent replays of one file open one Reader each and never
+// share anything.
+type Reader struct {
+	file *os.File
+	gz   *gzip.Reader
+	br   *bufio.Reader
+
+	hdr      Header
+	prevPC   uint64
+	prevAddr uint64
+
+	records uint64
+	insts   uint64
+	memOps  uint64
+}
+
+// Open opens path and decodes its header. A ".gz" extension selects the
+// gzip envelope, mirroring Create.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	r, err := NewReader(f, Compressed(path))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("trace: %s: %w", path, err)
+	}
+	r.file = f
+	return r, nil
+}
+
+// NewReader wraps an arbitrary io.Reader and decodes the header. The
+// caller owns the underlying reader; Close releases only what the
+// Reader itself allocated.
+func NewReader(in io.Reader, compressed bool) (*Reader, error) {
+	r := &Reader{}
+	if compressed {
+		gz, err := gzip.NewReader(in)
+		if err != nil {
+			return nil, corruptf("gzip envelope: %v", err)
+		}
+		r.gz = gz
+		r.br = bufio.NewReaderSize(gz, 1<<16)
+	} else {
+		r.br = bufio.NewReaderSize(in, 1<<16)
+	}
+	if err := r.readHeader(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Header returns the decoded file header.
+func (r *Reader) Header() Header { return r.hdr }
+
+func (r *Reader) readHeader() error {
+	var fixed [8]byte
+	if _, err := io.ReadFull(r.br, fixed[:]); err != nil {
+		return corruptf("short header: %v", err)
+	}
+	if string(fixed[:4]) != Magic {
+		return corruptf("bad magic %q (want %q)", fixed[:4], Magic)
+	}
+	if fixed[4] != Version1 {
+		return corruptf("unsupported major version %d (reader knows %d)", fixed[4], Version1)
+	}
+	// fixed[5] is the minor version: additive, ignored on read.
+	if flags := binary.LittleEndian.Uint16(fixed[6:8]); flags != 0 {
+		return corruptf("unknown flags %#x", flags)
+	}
+
+	nameLen, err := r.uvarint("name length")
+	if err != nil {
+		return err
+	}
+	if nameLen > maxNameLen {
+		return corruptf("name length %d exceeds %d", nameLen, maxNameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r.br, name); err != nil {
+		return corruptf("truncated name: %v", err)
+	}
+	r.hdr.Workload = string(name)
+
+	class, err := r.uvarint("class")
+	if err != nil {
+		return err
+	}
+	r.hdr.Class = workloads.Class(class)
+	if r.hdr.Footprint, err = r.uvarint("footprint"); err != nil {
+		return err
+	}
+	if r.hdr.Seed, err = r.uvarint("seed"); err != nil {
+		return err
+	}
+	nsegs, err := r.uvarint("segment count")
+	if err != nil {
+		return err
+	}
+	if nsegs > maxSegments {
+		return corruptf("segment count %d exceeds %d", nsegs, maxSegments)
+	}
+	r.hdr.Layout = make([]Segment, 0, nsegs)
+	for i := uint64(0); i < nsegs; i++ {
+		start, err := r.uvarint("segment start")
+		if err != nil {
+			return err
+		}
+		length, err := r.uvarint("segment length")
+		if err != nil {
+			return err
+		}
+		bits, err := r.br.ReadByte()
+		if err != nil {
+			return corruptf("truncated segment flags: %v", err)
+		}
+		seg := segmentFromBits(bits)
+		seg.Start, seg.Length = mem.VAddr(start), length
+		if seg.FileID, err = r.uvarint("segment file id"); err != nil {
+			return err
+		}
+		r.hdr.Layout = append(r.hdr.Layout, seg)
+	}
+	return nil
+}
+
+// Read decodes the next instruction record into out. It returns io.EOF
+// at a clean end of trace and an ErrCorrupt-wrapped error when the
+// stream ends mid-record or a record is malformed.
+func (r *Reader) Read(out *isa.Inst) error {
+	ctrl, err := r.br.ReadByte()
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return corruptf("record %d: %v", r.records, err)
+	}
+	if ctrl&ctrlReserved != 0 {
+		return corruptf("record %d: reserved control bit set (%#02x)", r.records, ctrl)
+	}
+	*out = isa.Inst{Op: isa.Op(ctrl & ctrlOpMask), Phys: ctrl&ctrlPhys != 0, Count: 1}
+	if ctrl&ctrlHasPC != 0 {
+		d, err := r.varint("pc delta")
+		if err != nil {
+			return err
+		}
+		r.prevPC += uint64(d)
+	}
+	out.PC = r.prevPC
+	if ctrl&ctrlHasCount != 0 {
+		c, err := r.uvarint("count")
+		if err != nil {
+			return err
+		}
+		if c < 2 || c > 1<<32-1 {
+			return corruptf("record %d: count %d out of range", r.records, c)
+		}
+		out.Count = uint32(c)
+	}
+	if ctrl&ctrlHasAddr != 0 {
+		if !out.Op.HasMemOperand() {
+			return corruptf("record %d: address on %v op", r.records, out.Op)
+		}
+		d, err := r.varint("addr delta")
+		if err != nil {
+			return err
+		}
+		r.prevAddr += uint64(d)
+		out.Addr = r.prevAddr
+	} else if out.Op.HasMemOperand() {
+		return corruptf("record %d: %v op without address", r.records, out.Op)
+	}
+	r.records++
+	if out.Op != isa.OpDelay {
+		r.insts += out.N()
+	}
+	if out.Op.HasMemOperand() {
+		r.memOps += out.N()
+	}
+	return nil
+}
+
+// Records returns the number of records decoded so far.
+func (r *Reader) Records() uint64 { return r.records }
+
+// Insts returns the dynamic instruction count decoded so far.
+func (r *Reader) Insts() uint64 { return r.insts }
+
+// MemOps returns the memory-operand instruction count decoded so far.
+func (r *Reader) MemOps() uint64 { return r.memOps }
+
+// Close releases the gzip envelope and the file, if Open opened one.
+func (r *Reader) Close() error {
+	var err error
+	if r.gz != nil {
+		err = r.gz.Close()
+	}
+	if r.file != nil {
+		if e := r.file.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (r *Reader) uvarint(what string) (uint64, error) {
+	v, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return 0, corruptf("%s: %v", what, eofErr(err))
+	}
+	return v, nil
+}
+
+func (r *Reader) varint(what string) (int64, error) {
+	v, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return 0, corruptf("%s: %v", what, eofErr(err))
+	}
+	return v, nil
+}
+
+// eofErr normalises a mid-field EOF so error text says "truncated"
+// rather than the misleading bare "EOF".
+func eofErr(err error) error {
+	if errors.Is(err, io.EOF) {
+		return fmt.Errorf("truncated (unexpected EOF)")
+	}
+	return err
+}

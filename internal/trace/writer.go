@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Writer streams a trace to an underlying writer: a fixed header first
+// (WriteHeader), then one record per instruction (WriteInst). It
+// buffers a few kilobytes and never holds more; Close flushes and
+// closes whatever Create opened.
+type Writer struct {
+	file *os.File
+	gz   *gzip.Writer
+	bw   *bufio.Writer
+
+	headerDone bool
+	prevPC     uint64
+	prevAddr   uint64
+
+	records  uint64
+	insts    uint64
+	memOps   uint64
+	segments int
+
+	buf [binary.MaxVarintLen64]byte
+}
+
+// Create opens path for writing and returns a Writer over it. A ".gz"
+// extension selects the gzip envelope; any other extension writes the
+// raw format. Call WriteHeader before the first WriteInst, and Close
+// when done.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	w := NewWriter(f, Compressed(path))
+	w.file = f
+	return w, nil
+}
+
+// Compressed reports whether path selects the gzip envelope (a ".gz"
+// extension).
+func Compressed(path string) bool { return strings.HasSuffix(path, ".gz") }
+
+// NewWriter returns a Writer over an arbitrary io.Writer, with or
+// without the gzip envelope. The caller owns the underlying writer;
+// Close flushes the envelope but does not close it.
+func NewWriter(out io.Writer, compress bool) *Writer {
+	w := &Writer{}
+	if compress {
+		w.gz = gzip.NewWriter(out)
+		w.bw = bufio.NewWriterSize(w.gz, 1<<16)
+	} else {
+		w.bw = bufio.NewWriterSize(out, 1<<16)
+	}
+	return w
+}
+
+// WriteHeader writes the magic, version, and metadata. It must be
+// called exactly once, before any WriteInst.
+func (w *Writer) WriteHeader(h Header) error {
+	if w.headerDone {
+		return fmt.Errorf("trace: header already written")
+	}
+	if len(h.Workload) > maxNameLen {
+		return fmt.Errorf("trace: workload name %d bytes exceeds %d", len(h.Workload), maxNameLen)
+	}
+	if len(h.Layout) > maxSegments {
+		return fmt.Errorf("trace: layout %d segments exceeds %d", len(h.Layout), maxSegments)
+	}
+	if _, err := w.bw.WriteString(Magic); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte(Version1); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte(VersionMinor); err != nil {
+		return err
+	}
+	// Flags: reserved, zero in v1.0.
+	if _, err := w.bw.Write([]byte{0, 0}); err != nil {
+		return err
+	}
+	w.uvarint(uint64(len(h.Workload)))
+	w.bw.WriteString(h.Workload)
+	w.uvarint(uint64(h.Class))
+	w.uvarint(h.Footprint)
+	w.uvarint(h.Seed)
+	w.uvarint(uint64(len(h.Layout)))
+	for _, seg := range h.Layout {
+		w.uvarint(uint64(seg.Start))
+		w.uvarint(seg.Length)
+		w.bw.WriteByte(seg.flagBits())
+		w.uvarint(seg.FileID)
+	}
+	w.headerDone = true
+	w.segments = len(h.Layout)
+	return w.err()
+}
+
+// WriteInst appends one instruction record. Records are canonicalised:
+// a zero Count is stored as 1 (the two are semantically identical, see
+// isa.Inst.N) and the address field is stored only for ops that carry a
+// memory operand.
+func (w *Writer) WriteInst(in isa.Inst) error {
+	if !w.headerDone {
+		return fmt.Errorf("trace: WriteInst before WriteHeader")
+	}
+	ctrl := uint8(in.Op) & ctrlOpMask
+	if in.Phys {
+		ctrl |= ctrlPhys
+	}
+	count := in.N()
+	if count > 1 {
+		ctrl |= ctrlHasCount
+	}
+	if in.PC != w.prevPC {
+		ctrl |= ctrlHasPC
+	}
+	hasAddr := in.Op.HasMemOperand()
+	if hasAddr {
+		ctrl |= ctrlHasAddr
+	}
+	if err := w.bw.WriteByte(ctrl); err != nil {
+		return err
+	}
+	if ctrl&ctrlHasPC != 0 {
+		w.varint(int64(in.PC - w.prevPC))
+		w.prevPC = in.PC
+	}
+	if ctrl&ctrlHasCount != 0 {
+		w.uvarint(count)
+	}
+	if hasAddr {
+		w.varint(int64(in.Addr - w.prevAddr))
+		w.prevAddr = in.Addr
+	}
+	w.records++
+	if in.Op != isa.OpDelay {
+		w.insts += count
+	}
+	if hasAddr {
+		w.memOps += count
+	}
+	return w.err()
+}
+
+// Records returns the number of records written so far.
+func (w *Writer) Records() uint64 { return w.records }
+
+// Insts returns the dynamic instruction count written so far (batched
+// ops at their batch size, delays excluded).
+func (w *Writer) Insts() uint64 { return w.insts }
+
+// MemOps returns the memory-operand instruction count written so far.
+func (w *Writer) MemOps() uint64 { return w.memOps }
+
+// Segments returns the number of layout segments in the written header.
+func (w *Writer) Segments() int { return w.segments }
+
+// Close flushes the stream, finishes the gzip envelope if present, and
+// closes the file if the Writer came from Create.
+func (w *Writer) Close() error {
+	err := w.bw.Flush()
+	if w.gz != nil {
+		if e := w.gz.Close(); err == nil {
+			err = e
+		}
+	}
+	if w.file != nil {
+		if e := w.file.Close(); err == nil {
+			err = e
+		}
+	}
+	return err
+}
+
+func (w *Writer) uvarint(v uint64) {
+	n := binary.PutUvarint(w.buf[:], v)
+	w.bw.Write(w.buf[:n])
+}
+
+func (w *Writer) varint(v int64) {
+	n := binary.PutVarint(w.buf[:], v)
+	w.bw.Write(w.buf[:n])
+}
+
+// err surfaces the bufio writer's sticky error, so callers see write
+// failures at the call that caused them rather than only at Close.
+func (w *Writer) err() error {
+	_, err := w.bw.Write(nil)
+	return err
+}

@@ -2,24 +2,64 @@ package workloads
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/mem"
 	"repro/internal/mimicos"
 )
 
-// Scale shrinks the paper's footprints (50–100 GB) to simulator-friendly
-// sizes while preserving the footprint-to-TLB-reach ratios that drive MPKI.
-// All sizes below are expressed at Scale=1; experiments may rescale.
+// Params configures workload construction. The zero value resolves to
+// the deprecated package globals (Scale, LongIters), which themselves
+// default to the library's reference behaviour — so Params{} built
+// workloads behave exactly like the historical catalog.
+//
+// Passing explicit Params is the race-free path: a workload built with
+// them never reads mutable package state, so concurrent constructions
+// with different parameters (e.g. two parallel sweeps at different
+// scales) are safe.
+type Params struct {
+	// Scale shrinks the paper's footprints (50–100 GB) to
+	// simulator-friendly sizes while preserving the
+	// footprint-to-TLB-reach ratios that drive MPKI. All catalog sizes
+	// are expressed at Scale=1. 0 means "use the Scale global".
+	Scale float64
+
+	// LongIters is the number of iterate passes long-running workloads
+	// make over their data. Real long-running executions amortise their
+	// build phase over hours; raising this approaches that regime.
+	// 0 means "use the LongIters global".
+	LongIters int
+}
+
+// resolve fills zero fields from the deprecated globals. Constructors
+// call it once, up front, so a workload captures its parameters at
+// construction time and never re-reads the globals later.
+func (p Params) resolve() Params {
+	if p.Scale == 0 {
+		p.Scale = Scale
+	}
+	if p.LongIters == 0 {
+		p.LongIters = LongIters
+	}
+	return p
+}
+
+// Scale is the process-global default for Params.Scale.
+//
+// Deprecated: mutating this global races with concurrent workload
+// construction (parallel sweeps build workloads inside workers). Pass
+// Params to ByNameWith / LongSuiteWith / ShortSuiteWith instead; the
+// global remains only as the default behind zero-valued Params.
 var Scale = 1.0
 
-// LongIters is the number of iterate passes long-running workloads make
-// over their data. Real long-running executions amortise their build
-// phase over hours; raising this approaches that regime (cmd/figures
-// uses a higher value than the quick benchmarks).
+// LongIters is the process-global default for Params.LongIters.
+//
+// Deprecated: mutating this global races with concurrent workload
+// construction. Pass Params instead.
 var LongIters = 4
 
-func sz(bytes uint64) uint64 {
-	v := uint64(float64(bytes) * Scale)
+func (p Params) sz(bytes uint64) uint64 {
+	v := uint64(float64(bytes) * p.Scale)
 	if v < 2*mem.MB {
 		v = 2 * mem.MB
 	}
@@ -29,7 +69,7 @@ func sz(bytes uint64) uint64 {
 // graph builds a GraphBIG-style workload: a large anonymous region
 // (vertex+edge arrays) walked with a mix of sequential and irregular
 // accesses after a first-touch build phase.
-func graph(name string, footprint uint64, randFrac float64, aluPer uint32, chase bool, smallVMAs int) *Workload {
+func graph(p Params, name string, footprint uint64, randFrac float64, aluPer uint32, chase bool, smallVMAs int) *Workload {
 	w := &Workload{name: name, class: LongRunning, footprint: footprint}
 	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
 		w.bases["data"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
@@ -37,7 +77,7 @@ func graph(name string, footprint uint64, randFrac float64, aluPer uint32, chase
 		// is modelled by its large smallVMAs count.
 		for i := 0; i < smallVMAs; i++ {
 			n := fmt.Sprintf("aux%d", i)
-			w.bases[n] = k.Mmap(pid, smallVMASize(i), mimicos.MmapFlags{Anon: true})
+			w.bases[n] = k.Mmap(pid, smallVMASize(p, i), mimicos.MmapFlags{Anon: true})
 		}
 	}
 	w.program = func(w *Workload) []Step {
@@ -54,7 +94,7 @@ func graph(name string, footprint uint64, randFrac float64, aluPer uint32, chase
 		if chase {
 			kind = StepChase
 		}
-		for it := 0; it < LongIters; it++ {
+		for it := 0; it < p.LongIters; it++ {
 			steps = append(steps,
 				Step{Kind: StepSeq, Base: data, Size: footprint / 4, Stride: 64,
 					Count: uint64(float64(randOps) * (1 - randFrac)), ALUPer: aluPer, PC: 0x400200},
@@ -65,7 +105,7 @@ func graph(name string, footprint uint64, randFrac float64, aluPer uint32, chase
 			// workloads exercise the frontend (Fig. 17's BC effect).
 			for i := 0; i < 8 && i < len(w.bases)-1; i++ {
 				aux := w.Base(fmt.Sprintf("aux%d", (it*8+i)%max(1, len(w.bases)-1)))
-				steps = append(steps, Step{Kind: StepRand, Base: aux, Size: smallVMASize(it*8 + i),
+				steps = append(steps, Step{Kind: StepRand, Base: aux, Size: smallVMASize(p, it*8+i),
 					Count: randOps / 64, ALUPer: aluPer, PC: 0x400400})
 			}
 		}
@@ -76,14 +116,14 @@ func graph(name string, footprint uint64, randFrac float64, aluPer uint32, chase
 
 // smallVMASize reproduces Fig. 18's BC size distribution: most auxiliary
 // VMAs are 4 KB, with a tail up to ~1 GB (scaled).
-func smallVMASize(i int) uint64 {
+func smallVMASize(p Params, i int) uint64 {
 	switch {
 	case i%3 != 0: // ~2/3 of them tiny
 		return 4 * mem.KB
 	case i%9 == 0:
-		return sz(8 * mem.MB)
+		return p.sz(8 * mem.MB)
 	case i%6 == 0:
-		return sz(2 * mem.MB)
+		return p.sz(2 * mem.MB)
 	default:
 		return 256 * mem.KB
 	}
@@ -98,7 +138,7 @@ func max(a, b int) int {
 
 // hpc builds an XSBench/GUPS-style workload: random lookups over big
 // tables with little locality.
-func hpc(name string, footprint uint64, aluPer uint32, rmw bool) *Workload {
+func hpc(p Params, name string, footprint uint64, aluPer uint32, rmw bool) *Workload {
 	w := &Workload{name: name, class: LongRunning, footprint: footprint}
 	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
 		w.bases["data"] = k.Mmap(pid, footprint, mimicos.MmapFlags{Anon: true})
@@ -109,7 +149,7 @@ func hpc(name string, footprint uint64, aluPer uint32, rmw bool) *Workload {
 		steps := []Step{
 			{Kind: StepTouch, Base: data, Size: footprint, Stride: 64, ALUPer: 2, PC: 0x500100},
 		}
-		for it := 0; it < LongIters; it++ {
+		for it := 0; it < p.LongIters; it++ {
 			steps = append(steps, Step{Kind: StepRand, Base: data, Size: footprint,
 				Count: ops, ALUPer: aluPer, Store: rmw, PC: 0x500200})
 		}
@@ -202,11 +242,13 @@ func image(name string, footprint uint64, stride uint64, passes int) *Workload {
 	return w
 }
 
-// Stress builds one point of the §2 memory-intensity sweep (Fig. 3):
-// intensity ∈ [0,1] scales both footprint and the memory-op share.
-func Stress(level int, maxLevels int) *Workload {
+// StressWith builds one point of the §2 memory-intensity sweep (Fig. 3)
+// with explicit construction parameters: intensity ∈ [0,1] scales both
+// footprint and the memory-op share.
+func StressWith(level int, maxLevels int, p Params) *Workload {
+	p = p.resolve()
 	frac := float64(level+1) / float64(maxLevels)
-	footprint := sz(uint64(4*mem.MB + frac*float64(248*mem.MB)))
+	footprint := p.sz(uint64(4*mem.MB + frac*float64(248*mem.MB)))
 	aluPer := uint32(1 + (1-frac)*40)
 	w := &Workload{name: fmt.Sprintf("stress-%02d", level), class: LongRunning, footprint: footprint}
 	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
@@ -222,104 +264,175 @@ func Stress(level int, maxLevels int) *Workload {
 	return w
 }
 
+// Stress is StressWith at the deprecated-global defaults.
+func Stress(level int, maxLevels int) *Workload {
+	return StressWith(level, maxLevels, Params{})
+}
+
 // Graph suite (GraphBIG, Table 5) -------------------------------------------
 
-// LongSuite returns the long-running suite of Table 5: the GraphBIG
-// benchmarks, XSBench, and GUPS randacc.
-func LongSuite() []*Workload {
+// LongSuiteWith returns the long-running suite of Table 5 — the GraphBIG
+// benchmarks, XSBench, and GUPS randacc — built with explicit parameters.
+func LongSuiteWith(p Params) []*Workload {
+	p = p.resolve()
 	return []*Workload{
-		BC(), BFS(), CC(), GC(), KC(), PR(), RND(), SP(), TC(), XS(),
+		bc(p), bfs(p), cc(p), gc(p), kc(p), pr(p), rnd(p), sp(p), tc(p), xs(p),
 	}
 }
+
+// LongSuite is LongSuiteWith at the deprecated-global defaults.
+func LongSuite() []*Workload { return LongSuiteWith(Params{}) }
+
+func bc(p Params) *Workload  { return graph(p, "BC", p.sz(384*mem.MB), 0.75, 4, false, 147) }
+func bfs(p Params) *Workload { return graph(p, "BFS", p.sz(320*mem.MB), 0.65, 3, false, 6) }
+func cc(p Params) *Workload  { return graph(p, "CC", p.sz(320*mem.MB), 0.6, 4, false, 6) }
+func gc(p Params) *Workload  { return graph(p, "GC", p.sz(256*mem.MB), 0.6, 5, false, 6) }
+func kc(p Params) *Workload  { return graph(p, "KC", p.sz(256*mem.MB), 0.7, 4, false, 6) }
+func pr(p Params) *Workload  { return graph(p, "PR", p.sz(384*mem.MB), 0.55, 6, false, 6) }
+func sp(p Params) *Workload  { return graph(p, "SSSP", p.sz(320*mem.MB), 0.8, 3, true, 6) }
+func tc(p Params) *Workload  { return graph(p, "TC", p.sz(256*mem.MB), 0.7, 5, false, 6) }
+func xs(p Params) *Workload  { return hpc(p, "XS", p.sz(320*mem.MB), 8, false) }
+func rnd(p Params) *Workload { return hpc(p, "RND", p.sz(256*mem.MB), 1, true) }
 
 // BC is GraphBIG betweenness centrality: one huge VMA plus ~147 small
 // auxiliary VMAs (Fig. 18), highly irregular.
-func BC() *Workload { return graph("BC", sz(384*mem.MB), 0.75, 4, false, 147) }
+func BC() *Workload { return bc(Params{}.resolve()) }
 
 // BFS is breadth-first search: frontier-driven, moderately irregular.
-func BFS() *Workload { return graph("BFS", sz(320*mem.MB), 0.65, 3, false, 6) }
+func BFS() *Workload { return bfs(Params{}.resolve()) }
 
 // CC is connected components.
-func CC() *Workload { return graph("CC", sz(320*mem.MB), 0.6, 4, false, 6) }
+func CC() *Workload { return cc(Params{}.resolve()) }
 
 // GC is graph coloring.
-func GC() *Workload { return graph("GC", sz(256*mem.MB), 0.6, 5, false, 6) }
+func GC() *Workload { return gc(Params{}.resolve()) }
 
 // KC is k-core decomposition.
-func KC() *Workload { return graph("KC", sz(256*mem.MB), 0.7, 4, false, 6) }
+func KC() *Workload { return kc(Params{}.resolve()) }
 
 // PR is PageRank: alternating sequential and random phases.
-func PR() *Workload { return graph("PR", sz(384*mem.MB), 0.55, 6, false, 6) }
+func PR() *Workload { return pr(Params{}.resolve()) }
 
 // SP is single-source shortest path: pointer-chase heavy (the Fig. 3
 // outlier).
-func SP() *Workload { return graph("SSSP", sz(320*mem.MB), 0.8, 3, true, 6) }
+func SP() *Workload { return sp(Params{}.resolve()) }
 
 // TC is triangle counting.
-func TC() *Workload { return graph("TC", sz(256*mem.MB), 0.7, 5, false, 6) }
+func TC() *Workload { return tc(Params{}.resolve()) }
 
 // XS is XSBench, the Monte Carlo neutron-transport kernel.
-func XS() *Workload { return hpc("XS", sz(320*mem.MB), 8, false) }
+func XS() *Workload { return xs(Params{}.resolve()) }
 
 // RND is GUPS randacc: random read-modify-writes, the worst-case fault
 // and TLB stressor (used for Fig. 11's worst-case overheads).
-func RND() *Workload { return hpc("RND", sz(256*mem.MB), 1, true) }
+func RND() *Workload { return rnd(Params{}.resolve()) }
 
 // Short-running suite --------------------------------------------------------
 
-// ShortSuite returns the short-running suite of Table 5.
-func ShortSuite() []*Workload {
+// ShortSuiteWith returns the short-running suite of Table 5, built with
+// explicit parameters.
+func ShortSuiteWith(p Params) []*Workload {
+	p = p.resolve()
 	return []*Workload{
-		JSON(), AES(), IMGRES(), WCNT(), DB(),
-		Llama(), Bagel(), Mistral(),
-		Transp3D(), Hadamard(), Sum2D(),
+		jsonW(p), aes(p), imgres(p), wcnt(p), db(p),
+		llama(p), bagel(p), mistral(p),
+		transp3D(p), hadamard(p), sum2D(p),
 	}
 }
 
+// ShortSuite is ShortSuiteWith at the deprecated-global defaults.
+func ShortSuite() []*Workload { return ShortSuiteWith(Params{}) }
+
+func jsonW(p Params) *Workload   { return faas("JSON", p.sz(24*mem.MB), 10, 64*1024) }
+func aes(p Params) *Workload     { return faas("AES", p.sz(16*mem.MB), 18, 96*1024) }
+func imgres(p Params) *Workload  { return faas("IMG-RES", p.sz(32*mem.MB), 8, 128*1024) }
+func wcnt(p Params) *Workload    { return faas("WCNT", p.sz(24*mem.MB), 6, 96*1024) }
+func db(p Params) *Workload      { return faas("DB", p.sz(32*mem.MB), 7, 128*1024) }
+func llama(p Params) *Workload   { return llm("Llama-2-7B", p.sz(96*mem.MB), p.sz(48*mem.MB), 12) }
+func bagel(p Params) *Workload   { return llm("Bagel-2.8B", p.sz(48*mem.MB), p.sz(32*mem.MB), 12) }
+func mistral(p Params) *Workload { return llm("Mistral-7B", p.sz(96*mem.MB), p.sz(48*mem.MB), 12) }
+func transp3D(p Params) *Workload {
+	return image("3D-Transp", p.sz(24*mem.MB), 4*mem.KB+64, 2)
+}
+func hadamard(p Params) *Workload { return image("Hadamard", p.sz(24*mem.MB), 64, 2) }
+func sum2D(p Params) *Workload    { return image("2D-Sum", p.sz(16*mem.MB), 64, 2) }
+
 // JSON is FaaS JSON deserialisation.
-func JSON() *Workload { return faas("JSON", sz(24*mem.MB), 10, 64*1024) }
+func JSON() *Workload { return jsonW(Params{}.resolve()) }
 
 // AES is FaaS AES encryption.
-func AES() *Workload { return faas("AES", sz(16*mem.MB), 18, 96*1024) }
+func AES() *Workload { return aes(Params{}.resolve()) }
 
 // IMGRES is FaaS image resizing.
-func IMGRES() *Workload { return faas("IMG-RES", sz(32*mem.MB), 8, 128*1024) }
+func IMGRES() *Workload { return imgres(Params{}.resolve()) }
 
 // WCNT is FaaS word count.
-func WCNT() *Workload { return faas("WCNT", sz(24*mem.MB), 6, 96*1024) }
+func WCNT() *Workload { return wcnt(Params{}.resolve()) }
 
 // DB is a FaaS database filter query.
-func DB() *Workload { return faas("DB", sz(32*mem.MB), 7, 128*1024) }
+func DB() *Workload { return db(Params{}.resolve()) }
 
 // Llama models Llama-2-7B short-prompt inference (llama.cpp).
-func Llama() *Workload { return llm("Llama-2-7B", sz(96*mem.MB), sz(48*mem.MB), 12) }
+func Llama() *Workload { return llama(Params{}.resolve()) }
 
 // Bagel models Bagel-2.8B inference.
-func Bagel() *Workload { return llm("Bagel-2.8B", sz(48*mem.MB), sz(32*mem.MB), 12) }
+func Bagel() *Workload { return bagel(Params{}.resolve()) }
 
 // Mistral models Mistral-7B inference.
-func Mistral() *Workload { return llm("Mistral-7B", sz(96*mem.MB), sz(48*mem.MB), 12) }
+func Mistral() *Workload { return mistral(Params{}.resolve()) }
 
 // Transp3D is the 3D matrix transposition kernel.
-func Transp3D() *Workload { return image("3D-Transp", sz(24*mem.MB), 4*mem.KB+64, 2) }
+func Transp3D() *Workload { return transp3D(Params{}.resolve()) }
 
 // Hadamard is the 3D Hadamard product.
-func Hadamard() *Workload { return image("Hadamard", sz(24*mem.MB), 64, 2) }
+func Hadamard() *Workload { return hadamard(Params{}.resolve()) }
 
 // Sum2D is the 2D matrix sum.
-func Sum2D() *Workload { return image("2D-Sum", sz(16*mem.MB), 64, 2) }
+func Sum2D() *Workload { return sum2D(Params{}.resolve()) }
 
-// ByName returns the named workload from either suite.
-func ByName(name string) (*Workload, bool) {
-	for _, w := range LongSuite() {
-		if w.Name() == name {
+// ByNameWith returns the named workload from either suite, built with
+// explicit parameters — the race-free lookup parallel sweeps use.
+// Lookup is forgiving: it accepts the canonical Table 5 name ("BFS"),
+// any case variant ("bfs"), and suite-prefixed spellings
+// ("graphbig-bfs").
+func ByNameWith(name string, p Params) (*Workload, bool) {
+	for _, w := range LongSuiteWith(p) {
+		if matchName(w.Name(), name) {
 			return w, true
 		}
 	}
-	for _, w := range ShortSuite() {
-		if w.Name() == name {
+	for _, w := range ShortSuiteWith(p) {
+		if matchName(w.Name(), name) {
 			return w, true
 		}
 	}
 	return nil, false
 }
+
+// suitePrefix maps each canonical workload name (lowercased) to the
+// suite-prefixed spelling it may also be requested under.
+var suitePrefix = map[string]string{
+	"bc": "graphbig-", "bfs": "graphbig-", "cc": "graphbig-",
+	"gc": "graphbig-", "kc": "graphbig-", "pr": "graphbig-",
+	"sssp": "graphbig-", "tc": "graphbig-",
+	"xs": "hpc-", "rnd": "hpc-",
+	"json": "faas-", "aes": "faas-", "img-res": "faas-",
+	"wcnt": "faas-", "db": "faas-",
+	"llama-2-7b": "llm-", "bagel-2.8b": "llm-", "mistral-7b": "llm-",
+}
+
+// matchName compares a requested workload name against a canonical one,
+// ignoring case and accepting the workload's own suite prefix (so
+// "BFS", "bfs", "graphbig-bfs", and "GraphBIG-BFS" all resolve — but a
+// wrong-suite spelling like "faas-bfs" stays an error).
+func matchName(canonical, requested string) bool {
+	can, req := strings.ToLower(canonical), strings.ToLower(requested)
+	if can == req {
+		return true
+	}
+	return suitePrefix[can]+can == req
+}
+
+// ByName returns the named workload from either suite, built at the
+// deprecated-global defaults.
+func ByName(name string) (*Workload, bool) { return ByNameWith(name, Params{}) }

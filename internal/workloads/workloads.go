@@ -78,6 +78,9 @@ type Workload struct {
 	footprint uint64
 	setup     func(w *Workload, k *mimicos.Kernel, pid int)
 	program   func(w *Workload) []Step
+	// source, when non-nil, overrides the step-program source — the hook
+	// trace-backed workloads use to stream instructions from a file.
+	source func(w *Workload, seed uint64) isa.Source
 
 	bases map[string]mem.VAddr
 }
@@ -106,8 +109,13 @@ func (w *Workload) Base(name string) mem.VAddr {
 	return va
 }
 
-// Source returns the instruction stream for one run.
+// Source returns the instruction stream for one run. Each call yields
+// an independent stream positioned at the beginning, so concurrent runs
+// of the same workload definition never share a cursor.
 func (w *Workload) Source(seed uint64) isa.Source {
+	if w.source != nil {
+		return w.source(w, seed)
+	}
 	return newProgramSource(w.program(w), seed)
 }
 
@@ -197,4 +205,14 @@ func Custom(name string, class Class, footprint uint64,
 	setup func(w *Workload, k *mimicos.Kernel, pid int),
 	program func(w *Workload) []Step) *Workload {
 	return &Workload{name: name, class: class, footprint: footprint, setup: setup, program: program}
+}
+
+// CustomSource builds a workload whose instruction stream comes from an
+// arbitrary source factory instead of a step program — the extension
+// point trace replay uses. The factory is invoked once per run and must
+// return a fresh, independently positioned source each time.
+func CustomSource(name string, class Class, footprint uint64,
+	setup func(w *Workload, k *mimicos.Kernel, pid int),
+	source func(w *Workload, seed uint64) isa.Source) *Workload {
+	return &Workload{name: name, class: class, footprint: footprint, setup: setup, source: source}
 }

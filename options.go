@@ -2,6 +2,9 @@ package virtuoso
 
 import (
 	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Option configures a Session being built by Open. Options are applied
@@ -16,7 +19,7 @@ type openState struct {
 	cfg    Config
 	wname  string
 	custom *Workload
-	scale  float64 // 0 = leave workloads.Scale untouched
+	params WorkloadParams
 }
 
 // KnownDesigns returns every supported translation design name.
@@ -130,7 +133,22 @@ func WithWorkload(name string) Option {
 			return err
 		}
 		s.wname, s.custom = name, nil
+		s.displaceTrace()
 		return nil
+	}
+}
+
+// displaceTrace undoes an earlier WithTrace when a later option selects
+// a different workload: the trace no longer drives the stream, and a
+// frontend left on the trace-driven setting would silently materialise
+// the whole synthetic stream in memory instead of executing it.
+func (s *openState) displaceTrace() {
+	if s.cfg.TracePath == "" {
+		return
+	}
+	s.cfg.TracePath = ""
+	if s.cfg.Frontend == core.FrontendTrace || s.cfg.Frontend == core.FrontendMemTrace {
+		s.cfg.Frontend = core.FrontendExec
 	}
 }
 
@@ -142,6 +160,7 @@ func WithCustomWorkload(w *Workload) Option {
 			return fmt.Errorf("virtuoso: nil workload")
 		}
 		s.custom, s.wname = w, w.Name()
+		s.displaceTrace()
 		return nil
 	}
 }
@@ -176,18 +195,75 @@ func WithFragmentation(frag float64) Option {
 	}
 }
 
-// WithWorkloadScale rescales all workload footprints (1.0 = the
-// library's reference sizes). This sets process-global state shared by
-// every subsequent workload construction; it is applied by Open only
-// after every option validates, so a failed Open leaves the scale
-// untouched. Set it once, before building sessions or sweeps, not
-// concurrently with running ones.
+// WithWorkloadScale rescales the session's workload footprint (1.0 =
+// the library's reference sizes). The scale is threaded through this
+// session's workload construction only — no process-global state is
+// touched, so sessions at different scales can be opened and run
+// concurrently.
 func WithWorkloadScale(scale float64) Option {
 	return func(s *openState) error {
 		if scale <= 0 {
 			return fmt.Errorf("virtuoso: workload scale %v must be positive", scale)
 		}
-		s.scale = scale
+		s.params.Scale = scale
+		return nil
+	}
+}
+
+// WithWorkloadParams sets all workload-construction parameters at once
+// (footprint scale, long-running iteration count). Zero-valued fields
+// keep the library defaults. Like WithWorkloadScale, the parameters
+// apply to this session only.
+func WithWorkloadParams(p WorkloadParams) Option {
+	return func(s *openState) error {
+		if err := validateParams(p); err != nil {
+			return err
+		}
+		s.params = p
+		return nil
+	}
+}
+
+// WithFrontend selects how application instructions reach the core
+// model: FrontendExec (default), FrontendTrace, FrontendMemTrace, or
+// FrontendEmu. The trace-driven frontends stream from a recorded file
+// when one is attached with WithTrace.
+func WithFrontend(f Frontend) Option {
+	return func(s *openState) error {
+		switch f {
+		case FrontendExec, FrontendTrace, FrontendMemTrace, FrontendEmu:
+			s.cfg.Frontend = f
+			return nil
+		}
+		return fmt.Errorf("virtuoso: unknown frontend %d", f)
+	}
+}
+
+// WithTrace replays a trace file recorded with Session.Record (or the
+// `virtuoso trace record` command) instead of generating a synthetic
+// workload: the session's workload becomes a trace-backed one whose
+// Setup re-creates the recorded address-space layout and whose
+// instruction stream is read from the file as the simulation advances —
+// the whole trace is never held in memory. The frontend switches to
+// FrontendTrace unless an earlier option already chose FrontendMemTrace
+// (combine with WithFrontend(FrontendMemTrace) for Ramulator-style
+// memory-only replay).
+//
+// The file is validated here, so Open reports a missing or corrupt
+// trace before any simulation starts. Replaying with the same
+// configuration and seed as the recording run reproduces that run's
+// Result exactly (modulo host-side wall time and heap fields).
+func WithTrace(path string) Option {
+	return func(s *openState) error {
+		w, err := trace.NewWorkload(path)
+		if err != nil {
+			return err
+		}
+		s.custom, s.wname = w, w.Name()
+		s.cfg.TracePath = path
+		if s.cfg.Frontend != core.FrontendMemTrace {
+			s.cfg.Frontend = core.FrontendTrace
+		}
 		return nil
 	}
 }

@@ -53,6 +53,13 @@ type Sweep struct {
 	Policies  []PolicyName
 	Seeds     []uint64
 
+	// Params configures catalog workload construction (footprint scale,
+	// long-running iteration count) for every point. It is threaded
+	// through the per-worker workload lookups, so two sweeps with
+	// different Params can run concurrently — unlike the deprecated
+	// SetWorkloadScale global. Zero-valued fields keep the defaults.
+	Params WorkloadParams
+
 	// Parallel bounds the worker pool (<= 0 means GOMAXPROCS).
 	Parallel int
 
@@ -113,6 +120,9 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("virtuoso: empty sweep (set Sweep.Workloads)")
 	}
+	if err := validateParams(s.Params); err != nil {
+		return nil, err
+	}
 
 	jobs := make([]runner.Job, len(pts))
 	for i, p := range pts {
@@ -171,6 +181,6 @@ func (s *Sweep) workloadFactory(p Point) func() (*Workload, error) {
 	if s.WorkloadFactory != nil {
 		return func() (*Workload, error) { return s.WorkloadFactory(p) }
 	}
-	name := p.Workload
-	return func() (*Workload, error) { return NamedWorkload(name) }
+	name, params := p.Workload, s.Params
+	return func() (*Workload, error) { return NamedWorkloadWith(name, params) }
 }

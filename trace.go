@@ -1,0 +1,118 @@
+package virtuoso
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+// TraceInfo summarises a recorded trace file: the metadata stored in
+// its header plus whole-file instruction counts gathered by streaming
+// the record section once.
+type TraceInfo struct {
+	// Path is the file the info was read from.
+	Path string `json:"path"`
+	// Workload is the recorded workload's name.
+	Workload string `json:"workload"`
+	// Class is the recorded workload's class ("long" or "short").
+	Class string `json:"class"`
+	// FootprintBytes is the recorded workload's primary data footprint.
+	FootprintBytes uint64 `json:"footprint_bytes"`
+	// Seed is the simulation seed of the recording run; replaying with
+	// the same seed and configuration reproduces it exactly.
+	Seed uint64 `json:"seed"`
+	// Segments is the number of recorded address-space segments replay
+	// re-creates.
+	Segments int `json:"segments"`
+	// Records is the number of instruction records in the file.
+	Records uint64 `json:"records"`
+	// Instructions is the dynamic instruction count (batched ops at
+	// their batch size).
+	Instructions uint64 `json:"instructions"`
+	// MemOps is the dynamic count of memory-operand instructions.
+	MemOps uint64 `json:"mem_ops"`
+	// Compressed reports whether the file uses the gzip envelope (a
+	// ".gz" extension).
+	Compressed bool `json:"compressed"`
+}
+
+// ReadTraceInfo opens, validates, and summarises a trace file,
+// decoding every record to count instructions. It streams: arbitrarily
+// large traces are summarised in constant memory. When only the header
+// metadata is needed, ReadTraceHeader is much cheaper.
+func ReadTraceInfo(path string) (TraceInfo, error) {
+	info, err := trace.ReadInfo(path)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	ti := headerInfo(path, info.Header)
+	ti.Records, ti.Instructions, ti.MemOps = info.Records, info.Insts, info.MemOps
+	return ti, nil
+}
+
+// ReadTraceHeader validates a trace file and returns its header
+// metadata without decoding the record section: Records, Instructions,
+// and MemOps are left zero. Use it when the workload identity or seed
+// is needed but a full-file scan (ReadTraceInfo) would be wasteful.
+func ReadTraceHeader(path string) (TraceInfo, error) {
+	hdr, err := trace.ReadHeader(path)
+	if err != nil {
+		return TraceInfo{}, err
+	}
+	return headerInfo(path, hdr), nil
+}
+
+func headerInfo(path string, hdr trace.Header) TraceInfo {
+	return TraceInfo{
+		Path:           path,
+		Workload:       hdr.Workload,
+		Class:          hdr.Class.String(),
+		FootprintBytes: hdr.Footprint,
+		Seed:           hdr.Seed,
+		Segments:       len(hdr.Layout),
+		Compressed:     trace.Compressed(path),
+	}
+}
+
+// Record simulates the session's workload exactly like Run while
+// streaming every application instruction to a trace file at path (a
+// ".gz" extension selects gzip compression). The returned metrics are
+// those of the recording run, and the returned TraceInfo summarises
+// the written file from the writer's own counters — no re-read of the
+// file. Replaying the file with WithTrace under the same configuration
+// and seed reproduces the metrics deterministically.
+//
+// Like Run, Record consumes the session. A partially written file is
+// removed on error.
+func (s *Session) Record(path string) (Metrics, TraceInfo, error) {
+	if s.ran {
+		return Metrics{}, TraceInfo{}, fmt.Errorf("virtuoso: session already run (sessions are single-use; Open a new one)")
+	}
+	s.ran = true
+	tw, err := trace.Create(path)
+	if err != nil {
+		return Metrics{}, TraceInfo{}, err
+	}
+	m, err := s.sys.RunRecording(s.w, tw)
+	if cerr := tw.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return Metrics{}, TraceInfo{}, err
+	}
+	info := TraceInfo{
+		Path:           path,
+		Workload:       s.w.Name(),
+		Class:          s.w.Class().String(),
+		FootprintBytes: s.w.FootprintBytes(),
+		Seed:           s.cfg.Seed,
+		Segments:       tw.Segments(),
+		Records:        tw.Records(),
+		Instructions:   tw.Insts(),
+		MemOps:         tw.MemOps(),
+		Compressed:     trace.Compressed(path),
+	}
+	return m, info, nil
+}

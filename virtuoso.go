@@ -42,6 +42,17 @@
 // utopia, eager), and WithMode to compare the imitation methodology
 // against fixed-latency emulation. Results marshal to JSON (see Result
 // and Report) for downstream analysis.
+//
+// Trace record/replay — any workload can be captured to a compact
+// binary trace file and replayed later through the trace-driven
+// frontends (§6.2's ChampSim/Ramulator integration styles; byte-level
+// format in docs/trace-format.md). Replaying a trace under the
+// configuration that recorded it reproduces the recording run's Result
+// exactly:
+//
+//	m, info, err := sess.Record("bfs.trc.gz") // live run, stream teed to disk
+//	rep, err := virtuoso.Open(virtuoso.WithTrace("bfs.trc.gz"))
+//	m2, err := rep.Run()                      // identical metrics, no workload needed
 package virtuoso
 
 import (
@@ -72,6 +83,31 @@ type (
 	Mode = core.Mode
 	// MmapFlags selects the VMA type for custom workloads.
 	MmapFlags = mimicos.MmapFlags
+	// Frontend selects how application instructions reach the core
+	// model (§6.2's integration styles).
+	Frontend = core.Frontend
+	// WorkloadParams configures catalog workload construction (footprint
+	// scale, long-running iteration count). The zero value means the
+	// library defaults; passing explicit params is the race-free way to
+	// build differently scaled workloads concurrently.
+	WorkloadParams = workloads.Params
+)
+
+// Frontend integration styles (§6.2).
+const (
+	// FrontendExec is execution-driven (Sniper-style): instructions are
+	// generated and simulated on the fly.
+	FrontendExec = core.FrontendExec
+	// FrontendTrace is trace-driven (ChampSim-style): the instruction
+	// stream comes from a recorded trace file (see WithTrace) or, with
+	// no trace attached, is materialised in memory before the run.
+	FrontendTrace = core.FrontendTrace
+	// FrontendMemTrace is memory-trace-driven (Ramulator-style): only
+	// memory operations are simulated; other work collapses to bubbles.
+	FrontendMemTrace = core.FrontendMemTrace
+	// FrontendEmu is emulation-driven (gem5-SE-style): a functional
+	// emulation step precedes timing for each instruction.
+	FrontendEmu = core.FrontendEmu
 )
 
 // Simulation modes (Table 1's methodology axis).
@@ -82,26 +118,50 @@ const (
 	Emulation = core.Emulation
 )
 
-// Translation designs.
+// Translation designs (§7.4's design-space axis).
 const (
-	DesignRadix     = core.DesignRadix
-	DesignECH       = core.DesignECH
-	DesignHDC       = core.DesignHDC
-	DesignHT        = core.DesignHT
-	DesignUtopia    = core.DesignUtopia
-	DesignRMM       = core.DesignRMM
-	DesignMidgard   = core.DesignMidgard
+	// DesignRadix is the x86-64 four-level radix page table with a
+	// page-walk cache — the baseline design.
+	DesignRadix = core.DesignRadix
+	// DesignECH is the elastic cuckoo hash table (single-step hashed
+	// translation).
+	DesignECH = core.DesignECH
+	// DesignHDC is hash, don't cache (hashed translation without PTE
+	// caching).
+	DesignHDC = core.DesignHDC
+	// DesignHT is a conventional open-addressing hashed page table.
+	DesignHT = core.DesignHT
+	// DesignUtopia is Utopia's hybrid of flexible (radix) and
+	// restrictive (RestSeg) address spaces.
+	DesignUtopia = core.DesignUtopia
+	// DesignRMM is redundant memory mappings: range translations backed
+	// by eager paging.
+	DesignRMM = core.DesignRMM
+	// DesignMidgard is the Midgard intermediate address space (VMA-level
+	// frontend translation, backend on demand).
+	DesignMidgard = core.DesignMidgard
+	// DesignDirectSeg is direct segments: one large segment bypasses
+	// paging, a radix table covers the rest.
 	DesignDirectSeg = core.DesignDirectSeg
 )
 
-// Allocation policies.
+// Allocation policies (§7.5's policy axis).
 const (
-	PolicyBuddy  = core.PolicyBuddy
-	PolicyTHP    = core.PolicyTHP
-	PolicyCRTHP  = core.PolicyCRTHP
-	PolicyARTHP  = core.PolicyARTHP
+	// PolicyBuddy is vanilla 4KB buddy allocation.
+	PolicyBuddy = core.PolicyBuddy
+	// PolicyTHP is Linux-style transparent huge pages (2MB when the
+	// region allows, khugepaged collapse in the background).
+	PolicyTHP = core.PolicyTHP
+	// PolicyCRTHP is conservative reservation-based THP (upgrade a
+	// region after half its 4KB pages are touched).
+	PolicyCRTHP = core.PolicyCRTHP
+	// PolicyARTHP is aggressive reservation-based THP (upgrade early).
+	PolicyARTHP = core.PolicyARTHP
+	// PolicyUtopia allocates through Utopia's RestSegs first.
 	PolicyUtopia = core.PolicyUtopia
-	PolicyEager  = core.PolicyEager
+	// PolicyEager is eager paging: allocate whole ranges at mmap time
+	// (the RMM design's companion policy).
+	PolicyEager = core.PolicyEager
 )
 
 // DefaultConfig returns the paper's Table 4 Virtuoso+Sniper system.
@@ -136,29 +196,18 @@ func Open(opts ...Option) (*Session, error) {
 		}
 	}
 	if st.custom == nil && st.wname == "" {
-		return nil, fmt.Errorf("virtuoso: no workload selected (use WithWorkload or WithCustomWorkload)")
-	}
-	// Apply the scale only now that every option validated, and roll it
-	// back if a later step fails: a failed Open must leave the
-	// process-global scale untouched.
-	prevScale := workloads.Scale
-	if st.scale > 0 {
-		workloads.Scale = st.scale
-	}
-	fail := func(err error) (*Session, error) {
-		workloads.Scale = prevScale
-		return nil, err
+		return nil, fmt.Errorf("virtuoso: no workload selected (use WithWorkload, WithCustomWorkload, or WithTrace)")
 	}
 	w := st.custom
 	if w == nil {
 		var err error
-		if w, err = NamedWorkload(st.wname); err != nil {
-			return fail(err)
+		if w, err = NamedWorkloadWith(st.wname, st.params); err != nil {
+			return nil, err
 		}
 	}
 	sys, err := core.NewSystem(st.cfg)
 	if err != nil {
-		return fail(err)
+		return nil, err
 	}
 	return &Session{cfg: st.cfg, sys: sys, w: w}, nil
 }
@@ -201,8 +250,10 @@ func (s *Session) RunContext(ctx context.Context) (Metrics, error) {
 	// direct driving (RunSteps) and must not poll a dead context.
 	defer s.sys.SetCancelCheck(nil)
 	m := s.sys.Run(s.w)
-	if err := ctx.Err(); err != nil {
-		return Metrics{}, err
+	if s.sys.Interrupted() {
+		// Only a run the cancellation actually stopped is discarded; a
+		// cancel that lands after completion leaves the metrics whole.
+		return Metrics{}, ctx.Err()
 	}
 	return m, nil
 }
@@ -223,13 +274,38 @@ func (s *Session) Result(m Metrics) Result {
 }
 
 // NamedWorkload returns a Table 5 workload ("BC", "BFS", ..., "JSON",
-// "Llama-2-7B", ...) or an error if the name is unknown.
+// "Llama-2-7B", ...) built with the default parameters, or an error if
+// the name is unknown.
 func NamedWorkload(name string) (*Workload, error) {
-	w, ok := workloads.ByName(name)
+	return NamedWorkloadWith(name, WorkloadParams{})
+}
+
+// NamedWorkloadWith returns a Table 5 workload built with explicit
+// construction parameters. Unlike the deprecated SetWorkloadScale
+// global, explicit parameters are safe to vary across concurrent
+// constructions (parallel sweeps build workloads inside their workers).
+func NamedWorkloadWith(name string, p WorkloadParams) (*Workload, error) {
+	if err := validateParams(p); err != nil {
+		return nil, err
+	}
+	w, ok := workloads.ByNameWith(name, p)
 	if !ok {
 		return nil, fmt.Errorf("virtuoso: unknown workload %q", name)
 	}
 	return w, nil
+}
+
+// validateParams rejects parameter values that would silently build a
+// nonsensical workload (a negative scale wraps the footprint conversion
+// into exabytes).
+func validateParams(p WorkloadParams) error {
+	if p.Scale < 0 {
+		return fmt.Errorf("virtuoso: workload scale %v must not be negative", p.Scale)
+	}
+	if p.LongIters < 0 {
+		return fmt.Errorf("virtuoso: workload iterations %d must not be negative", p.LongIters)
+	}
+	return nil
 }
 
 // LongRunningSuite returns the Table 5 long-running workloads.
@@ -239,8 +315,14 @@ func LongRunningSuite() []*Workload { return workloads.LongSuite() }
 func ShortRunningSuite() []*Workload { return workloads.ShortSuite() }
 
 // SetWorkloadScale rescales all workload footprints (1.0 = the library's
-// reference sizes; experiments use smaller values). Process-global: set
-// it before building sessions or sweeps, never while they run.
+// reference sizes; experiments use smaller values).
+//
+// Deprecated: this mutates process-global state and races with any
+// concurrent workload construction (parallel sweeps build workloads
+// inside their workers). Use WithWorkloadScale on Open, or set
+// Sweep.Params, both of which thread the scale through construction
+// without shared state. The global remains as the default behind
+// zero-valued parameters.
 func SetWorkloadScale(s float64) { workloads.Scale = s }
 
 // New builds a system, panicking on configuration errors.
