@@ -9,12 +9,8 @@ import (
 	virtuoso "repro"
 )
 
-// withTinyScale shrinks workload footprints for the duration of a test.
-func withTinyScale(t *testing.T) {
-	t.Helper()
-	virtuoso.SetWorkloadScale(0.05)
-	t.Cleanup(func() { virtuoso.SetWorkloadScale(1.0) })
-}
+// tinyScale shrinks workload footprints for one session.
+func tinyScale() virtuoso.Option { return virtuoso.WithWorkloadScale(0.05) }
 
 func TestOpenErrors(t *testing.T) {
 	cases := []struct {
@@ -43,27 +39,7 @@ func TestOpenErrors(t *testing.T) {
 	}
 }
 
-func TestFailedOpenLeavesScaleUntouched(t *testing.T) {
-	withTinyScale(t) // scale is 0.05 for the duration of this test
-	_, err := virtuoso.Open(
-		virtuoso.WithWorkloadScale(0.9),
-		virtuoso.WithWorkload("nope"),
-	)
-	if err == nil {
-		t.Fatal("Open should fail on the unknown workload")
-	}
-	// The failed Open must not have applied the 0.9 scale: a fresh BFS
-	// instance still gets the 0.05-scaled footprint.
-	w, err := virtuoso.NamedWorkload("BFS")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if w.FootprintBytes() > 64<<20 {
-		t.Errorf("footprint %d MB suggests the failed Open leaked its workload scale", w.FootprintBytes()>>20)
-	}
-
-	// Same guarantee for the two later failure points: no workload
-	// selected, and a system-build error from an invalid full config.
+func TestOpenFailurePaths(t *testing.T) {
 	if _, err := virtuoso.Open(virtuoso.WithWorkloadScale(0.9)); err == nil {
 		t.Fatal("Open without a workload should fail")
 	}
@@ -76,9 +52,14 @@ func TestFailedOpenLeavesScaleUntouched(t *testing.T) {
 	); err == nil {
 		t.Fatal("Open with an invalid config should fail")
 	}
-	w, _ = virtuoso.NamedWorkload("BFS")
-	if w.FootprintBytes() > 64<<20 {
-		t.Errorf("late Open failure leaked the workload scale (footprint %d MB)", w.FootprintBytes()>>20)
+	// Explicit construction parameters are per-session: a session at a
+	// custom scale never affects a later default-parameter lookup.
+	w, err := virtuoso.NamedWorkload("BFS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.FootprintBytes() < 64<<20 {
+		t.Errorf("default BFS footprint %d MB implausibly small", w.FootprintBytes()>>20)
 	}
 }
 
@@ -103,9 +84,9 @@ func TestParseHelpers(t *testing.T) {
 }
 
 func TestOpenRunAndSessionSingleUse(t *testing.T) {
-	withTinyScale(t)
 	sess, err := virtuoso.Open(
 		virtuoso.WithScaledConfig(),
+		tinyScale(),
 		virtuoso.WithWorkload("JSON"),
 		virtuoso.WithDesign(virtuoso.DesignRadix),
 		virtuoso.WithPolicy(virtuoso.PolicyTHP),
@@ -131,9 +112,9 @@ func TestOpenRunAndSessionSingleUse(t *testing.T) {
 }
 
 func TestSessionRunContextCancelled(t *testing.T) {
-	withTinyScale(t)
 	sess, err := virtuoso.Open(
 		virtuoso.WithScaledConfig(),
+		tinyScale(),
 		virtuoso.WithWorkload("JSON"),
 	)
 	if err != nil {
@@ -147,9 +128,9 @@ func TestSessionRunContextCancelled(t *testing.T) {
 }
 
 func TestResultJSONRoundTrip(t *testing.T) {
-	withTinyScale(t)
 	sess, err := virtuoso.Open(
 		virtuoso.WithScaledConfig(),
+		tinyScale(),
 		virtuoso.WithWorkload("JSON"),
 		virtuoso.WithMaxInstructions(100_000),
 	)

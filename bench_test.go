@@ -165,6 +165,22 @@ func BenchmarkTable3IntegrationLoC(b *testing.B) {
 	runExperiment(b, "table3", nil)
 }
 
+// benchRun builds a system for cfg and runs one catalog workload at the
+// given footprint scale, panicking on configuration errors (benchmark
+// configurations are programmatic).
+func benchRun(b *testing.B, cfg virtuoso.Config, name string, scale float64) virtuoso.Metrics {
+	b.Helper()
+	w, ok := workloads.ByNameWith(name, workloads.Params{Scale: scale})
+	if !ok {
+		b.Fatalf("unknown workload %s", name)
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys.Run(w)
+}
+
 // --- Ablations (DESIGN.md) --------------------------------------------
 
 // BenchmarkAblationImitationVsEmulation quantifies the methodology axis
@@ -177,15 +193,12 @@ func BenchmarkAblationImitationVsEmulation(b *testing.B) {
 			name = "emulation"
 		}
 		b.Run(name, func(b *testing.B) {
-			prev := workloads.Scale
-			workloads.Scale = 0.05
-			defer func() { workloads.Scale = prev }()
 			var ipc float64
 			for i := 0; i < b.N; i++ {
 				cfg := virtuoso.ScaledConfig()
 				cfg.Mode = mode
 				cfg.MaxAppInsts = 300_000
-				m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("JSON"))
+				m := benchRun(b, cfg, "JSON", 0.05)
 				ipc = m.IPC
 			}
 			b.ReportMetric(ipc, "ipc")
@@ -199,16 +212,13 @@ func BenchmarkAblationImitationVsEmulation(b *testing.B) {
 func BenchmarkAblationZeroPool(b *testing.B) {
 	for _, pool := range []int{0, 16} {
 		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
-			prev := workloads.Scale
-			workloads.Scale = 0.05
-			defer func() { workloads.Scale = prev }()
 			var p99 float64
 			for i := 0; i < b.N; i++ {
 				cfg := virtuoso.ScaledConfig()
 				cfg.OSCfg.ZeroPoolCap = pool
 				cfg.OSCfg.ZeroPoolRefill = 2
 				cfg.MaxAppInsts = 0
-				m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("JSON"))
+				m := benchRun(b, cfg, "JSON", 0.05)
 				if m.PFLatNs != nil {
 					p99 = m.PFLatNs.Percentile(99)
 				}
@@ -222,15 +232,12 @@ func BenchmarkAblationZeroPool(b *testing.B) {
 func BenchmarkAblationPrefetchers(b *testing.B) {
 	for _, pf := range []bool{true, false} {
 		b.Run(fmt.Sprintf("prefetch=%v", pf), func(b *testing.B) {
-			prev := workloads.Scale
-			workloads.Scale = 0.05
-			defer func() { workloads.Scale = prev }()
 			var ipc float64
 			for i := 0; i < b.N; i++ {
 				cfg := virtuoso.ScaledConfig()
 				cfg.CacheCfg.EnablePrefetch = pf
 				cfg.MaxAppInsts = 300_000
-				m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("Hadamard"))
+				m := benchRun(b, cfg, "Hadamard", 0.05)
 				ipc = m.IPC
 			}
 			b.ReportMetric(ipc, "ipc")
@@ -238,16 +245,54 @@ func BenchmarkAblationPrefetchers(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiProcess tracks the multiprogrammed scheduler's overhead
+// from day one: 2- and 4-process mixes through the round-robin
+// engine, reporting simulation speed and scheduler activity.
+func BenchmarkMultiProcess(b *testing.B) {
+	mixes := map[string][]string{
+		"2proc": {"RND", "SEQ"},
+		"4proc": {"RND", "SEQ", "BFS", "XS"},
+	}
+	for _, label := range []string{"2proc", "4proc"} {
+		names := mixes[label]
+		b.Run(label, func(b *testing.B) {
+			var mm virtuoso.MultiMetrics
+			for i := 0; i < b.N; i++ {
+				ws := make([]*virtuoso.Workload, len(names))
+				for j, n := range names {
+					w, ok := workloads.ByNameWith(n, workloads.Params{Scale: 0.05})
+					if !ok {
+						b.Fatalf("unknown workload %s", n)
+					}
+					ws[j] = w
+				}
+				cfg := virtuoso.ScaledConfig()
+				cfg.MaxAppInsts = 150_000
+				cfg.QuantumCycles = 25_000
+				sys, err := core.NewSystem(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mm, err = sys.RunMulti(ws)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			total := mm.Aggregate.AppInsts + mm.Aggregate.KernelInsts
+			b.ReportMetric(float64(total)/mm.Aggregate.WallTime.Seconds(), "sim-inst/s")
+			b.ReportMetric(float64(mm.ContextSwitches), "ctx-switches")
+			b.ReportMetric(float64(mm.Aggregate.CtxSwitchCycles), "ctx-switch-cycles")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput reports raw simulation speed (host
 // instructions per second) of the execution-driven assembly.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	prev := workloads.Scale
-	workloads.Scale = 0.1
-	defer func() { workloads.Scale = prev }()
 	for i := 0; i < b.N; i++ {
 		cfg := virtuoso.ScaledConfig()
 		cfg.MaxAppInsts = 500_000
-		m := virtuoso.New(cfg).Run(virtuoso.WorkloadByName("XS"))
+		m := benchRun(b, cfg, "XS", 0.1)
 		b.ReportMetric(float64(m.AppInsts+m.KernelInsts)/m.WallTime.Seconds(), "sim-inst/s")
 	}
 }

@@ -14,6 +14,17 @@
 // comma-separated lists; when the grid has more than one point the
 // sweep runs on a bounded worker pool and prints one row per point.
 //
+// With -multi the -workload list becomes one multiprogrammed run
+// instead of a grid axis: every named workload is a concurrent process
+// in its own address space, interleaved by the MimicOS round-robin
+// scheduler. -quantum sets the time slice in simulated cycles and
+// -asid-retention keeps TLB entries across context switches (isolated
+// by ASID tags) instead of flushing:
+//
+//	virtuoso -multi -workload rnd,seq
+//	virtuoso -multi -workload rnd,seq,bfs -quantum 50000 -asid-retention
+//	virtuoso -multi -workload rnd,seq -design radix,ech -json
+//
 // The trace subcommand records and replays instruction traces (the
 // §6.2 trace-driven frontends; see docs/trace-format.md):
 //
@@ -53,6 +64,9 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
 		list     = flag.Bool("list", false, "list workloads and exit")
+		multi    = flag.Bool("multi", false, "run the -workload list as one multiprogrammed mix (concurrent processes)")
+		quantum  = flag.Uint64("quantum", 0, "scheduler time slice in simulated cycles (0 = default; -multi only)")
+		asidRet  = flag.Bool("asid-retention", false, "retain TLB entries across context switches by ASID tag instead of flushing (-multi only)")
 	)
 	flag.Parse()
 
@@ -63,6 +77,10 @@ func main() {
 		}
 		fmt.Println("short-running:")
 		for _, w := range virtuoso.ShortRunningSuite() {
+			fmt.Printf("  %-12s footprint=%dMB\n", w.Name(), w.FootprintBytes()>>20)
+		}
+		fmt.Println("mix extras:")
+		for _, w := range virtuoso.ExtraWorkloads() {
 			fmt.Printf("  %-12s footprint=%dMB\n", w.Name(), w.FootprintBytes()>>20)
 		}
 		return
@@ -92,15 +110,27 @@ func main() {
 	base.Mode = m
 	base.MaxAppInsts = *insts
 	base.FragFree2M = 1 - *frag
+	base.QuantumCycles = *quantum
+	base.ASIDRetention = *asidRet
 
 	// -policy was left at its default: pair designs with their natural
 	// policies (utopia wants its own allocator, RMM eager paging).
 	policyFlagSet := false
 	flag.Visit(func(f *flag.Flag) { policyFlagSet = policyFlagSet || f.Name == "policy" })
 
+	// -multi turns the workload list into one multiprogrammed mix; the
+	// other axes (designs, policies, seeds) still expand the grid.
+	gridWorkloads := workloadList
+	var mixes [][]string
+	if *multi {
+		gridWorkloads = nil
+		mixes = [][]string{workloadList}
+	}
+
 	sweep := &virtuoso.Sweep{
 		Base:      base,
-		Workloads: workloadList,
+		Workloads: gridWorkloads,
+		Mixes:     mixes,
 		Designs:   designs,
 		Policies:  policies,
 		Seeds:     seedList,
@@ -145,11 +175,41 @@ func main() {
 		data, err := report.JSON()
 		check(err)
 		fmt.Println(string(data))
+	case len(report.Results) == 1 && report.Results[0].Multi != nil:
+		printMulti(report.Results[0])
 	case len(report.Results) == 1:
 		printSingle(report.Results[0])
 	default:
 		printGrid(report)
 	}
+}
+
+// printMulti renders one multiprogrammed run: the scheduler summary, a
+// per-process table, and the aggregate metrics.
+func printMulti(r virtuoso.Result) {
+	mm := r.Multi
+	mode := "flush-on-switch"
+	if mm.ASIDRetention {
+		mode = "ASID retention"
+	}
+	fmt.Printf("mix             %s\n", r.Workload)
+	fmt.Printf("design/policy   %s / %s (%s, seed %d)\n", r.Design, r.Metrics.Policy, r.Mode, r.Seed)
+	fmt.Printf("scheduler       quantum=%d cycles, %s, %d switches (%d cycles), %d TLB flushes\n",
+		mm.Quantum, mode, mm.ContextSwitches, r.Metrics.CtxSwitchCycles, mm.TLBFlushes)
+	fmt.Printf("\n%-4s %-12s %8s %8s %10s %8s %8s %9s %8s %8s\n",
+		"pid", "workload", "slices", "IPC", "insts", "MPKI", "walks", "minflt", "swapout", "collapse")
+	for _, pm := range mm.Procs {
+		fmt.Printf("%-4d %-12s %8d %8.3f %10d %8.2f %8d %9d %8d %8d\n",
+			pm.PID, pm.Workload, pm.Slices, pm.IPC, pm.AppInsts,
+			pm.L2TLBMPKI, pm.Walks, pm.OS.MinorFaults, pm.OS.SwapOuts, pm.OS.Collapses)
+	}
+	m := r.Metrics
+	fmt.Printf("\naggregate       app=%d kernel=%d cycles=%d IPC %.3f\n", m.AppInsts, m.KernelInsts, m.Cycles, m.IPC)
+	fmt.Printf("translation     %.2f%% of cycles, L2 TLB MPKI %.2f, avg PTW %.1f cycles (%d walks)\n",
+		100*m.TranslationFraction(), m.L2TLBMPKI, m.AvgPTWLat, m.Walks)
+	fmt.Printf("memory          %d minor / %d major faults, swap in/out %d/%d, reclaim runs %d\n",
+		m.MinorFaults, m.MajorFaults, m.OS.SwapIns, m.OS.SwapOuts, m.OS.ReclaimRuns)
+	fmt.Printf("wall time       %v\n", m.WallTime)
 }
 
 func printSingle(r virtuoso.Result) {

@@ -59,13 +59,12 @@ func (p *bankColorPolicy) AllocAnon(k *mimicos.Kernel, proc *mimicos.Process, vm
 }
 
 func main() {
-	virtuoso.SetWorkloadScale(0.08)
-
 	run := func(label string, install func(*virtuoso.System)) {
 		sess, err := virtuoso.Open(
 			virtuoso.WithScaledConfig(),
 			virtuoso.WithPolicy(virtuoso.PolicyBuddy),
 			virtuoso.WithMaxInstructions(800_000),
+			virtuoso.WithWorkloadScale(0.08),
 			virtuoso.WithWorkload("XS"),
 		)
 		if err != nil {

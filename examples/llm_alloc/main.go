@@ -16,14 +16,13 @@ import (
 )
 
 func main() {
-	virtuoso.SetWorkloadScale(0.1)
-
 	base := virtuoso.ScaledConfig()
 	base.MaxAppInsts = 0 // run inference to completion
 
 	sweep := &virtuoso.Sweep{
 		Base:      base,
 		Workloads: []string{"Llama-2-7B"},
+		Params:    virtuoso.WorkloadParams{Scale: 0.1},
 		Policies: []virtuoso.PolicyName{
 			virtuoso.PolicyBuddy, virtuoso.PolicyCRTHP, virtuoso.PolicyARTHP, virtuoso.PolicyUtopia,
 		},

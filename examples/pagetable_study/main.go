@@ -15,8 +15,6 @@ import (
 )
 
 func main() {
-	virtuoso.SetWorkloadScale(0.1)
-
 	designs := []virtuoso.DesignName{
 		virtuoso.DesignRadix, virtuoso.DesignECH, virtuoso.DesignHDC, virtuoso.DesignHT,
 	}
@@ -33,6 +31,7 @@ func main() {
 			Base:      base,
 			Workloads: []string{"XS"},
 			Designs:   designs,
+			Params:    virtuoso.WorkloadParams{Scale: 0.1},
 		}).Run(context.Background())
 		if err != nil {
 			log.Fatal(err)

@@ -15,13 +15,11 @@ import (
 )
 
 func main() {
-	virtuoso.SetWorkloadScale(0.05)
-
 	cfg := core.DefaultVirtualizedConfig()
 	cfg.GuestPhysBytes = 512 * mem.MB
 	cfg.HostPhysBytes = 1 * mem.GB
 
-	w, err := virtuoso.NamedWorkload("Hadamard")
+	w, err := virtuoso.NamedWorkloadWith("Hadamard", virtuoso.WorkloadParams{Scale: 0.05})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -149,8 +149,28 @@ type Config struct {
 	// Sniper/ChampSim vs Ramulator/gem5).
 	RetainKernelStreams int
 
+	// Multiprogramming (RunMulti). QuantumCycles is the round-robin
+	// scheduler's time slice in simulated cycles (0 = DefaultQuantum);
+	// CtxSwitchCycles is the cost charged per context switch
+	// (0 = DefaultCtxSwitchCost). With ASIDRetention the TLB hierarchy
+	// keeps entries across switches, isolated by ASID tags; without it
+	// every switch flushes the TLBs (untagged-TLB behaviour), so the
+	// retention benefit is directly measurable.
+	QuantumCycles   uint64
+	CtxSwitchCycles uint64
+	ASIDRetention   bool
+
 	Seed uint64
 }
+
+// Multiprogramming defaults: a ~34 µs time slice at the Table 4 clock —
+// short relative to real CFS slices, proportional to the experiments'
+// ~100× scaled-down footprints — and a ~1.5 µs switch cost
+// (state save/restore plus scheduler work).
+const (
+	DefaultQuantum       = 100_000
+	DefaultCtxSwitchCost = 4_350
+)
 
 // DefaultConfig returns the Table 4 baseline Virtuoso+Sniper system.
 func DefaultConfig() Config {
@@ -180,10 +200,20 @@ type System struct {
 	Core *cpu.Core
 	OS   *mimicos.Kernel
 	Disk *ssd.Device
+	// Proc is the mm state of the process currently installed on the
+	// core: the only process in single-workload runs, the scheduled one
+	// during RunMulti.
 	Proc *mimicos.Process
 
 	FuncChan   *FunctionalChannel
 	StreamChan *StreamChannel
+
+	// design is PID 1's translation design (the one the MMU starts on);
+	// procs/cur track the multiprogrammed process table during RunMulti
+	// (nil/idle in single-workload runs).
+	design mmu.Design
+	procs  []*Process
+	cur    *Process
 
 	PFLatNs      *stats.Series // minor (non-device) fault latencies, ns
 	MajorPFLatNs *stats.Series // major (device-backed) fault latencies, ns
@@ -324,10 +354,11 @@ func NewSystem(cfg Config) (*System, error) {
 	s.Hier = cache.NewHierarchy(cfg.CacheCfg, s.Dram)
 
 	// Translation design.
-	design, err := s.buildDesign()
+	design, err := s.buildDesignFor(s.Proc)
 	if err != nil {
 		return nil, err
 	}
+	s.design = design
 	s.MMU = mmu.New(cfg.MMUCfg, design, s.Proc.ASID)
 	s.Core = cpu.New(cfg.CoreCfg, s.Hier, s.MMU)
 
@@ -336,7 +367,21 @@ func NewSystem(cfg Config) (*System, error) {
 	s.StreamChan = &StreamChannel{}
 	s.Core.SetFaultHandler(s.handleFault)
 	s.OS.SetUnmapNotifier(func(pid int, va mem.VAddr, size mem.PageSize) {
+		// A kernel daemon may unmap pages of a process other than the
+		// one on the core (khugepaged collapse, reclaim of a descheduled
+		// process): the shootdown must then target that process's ASID
+		// and its own design, not the current context's.
+		if p := s.procByPID(pid); p != nil && p != s.cur {
+			s.MMU.InvalidateASIDVA(p.ASID, va, size)
+			p.Design.Invalidate(va, size)
+			return
+		}
 		s.MMU.Invalidate(va, size)
+	})
+	s.OS.SetExitNotifier(func(pid int, asid uint16) {
+		// ASID-wide shootdown on exit: the ASID is about to be recycled
+		// and must not hit the dead process's stale translations.
+		s.MMU.FlushASID(asid)
 	})
 	if cfg.RetainKernelStreams > 0 {
 		s.streamRing = make([]isa.Stream, cfg.RetainKernelStreams)
@@ -355,7 +400,8 @@ func NewSystem(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// MustNewSystem is NewSystem, panicking on configuration errors.
+// MustNewSystem is NewSystem, panicking on configuration errors. It is
+// kept for internal tests only; production callers use NewSystem.
 func MustNewSystem(cfg Config) *System {
 	s, err := NewSystem(cfg)
 	if err != nil {
@@ -364,33 +410,37 @@ func MustNewSystem(cfg Config) *System {
 	return s
 }
 
-func (s *System) buildDesign() (mmu.Design, error) {
+// buildDesignFor constructs the configured translation design bound to
+// one process's page table and design state. Every process owns its own
+// design instance (its page-table root, walk caches, range/VMA tables),
+// which is what a CR3 write switches between in RunMulti.
+func (s *System) buildDesignFor(proc *mimicos.Process) (mmu.Design, error) {
 	cfg := s.Cfg
 	pwcE, pwcW := cfg.MMUCfg.PWCEntries, cfg.MMUCfg.PWCWays
 	if pwcE == 0 {
 		pwcE, pwcW = 32, 4
 	}
 	newRadix := func() *mmu.RadixWalker {
-		return mmu.NewRadixWalkerSized(s.Proc.PT, s.Hier, pwcE, pwcW)
+		return mmu.NewRadixWalkerSized(proc.PT, s.Hier, pwcE, pwcW)
 	}
 	if cfg.Mode == Emulation {
 		lat := cfg.FixedPTWLat
 		if lat == 0 {
 			lat = 60 // the average real-system PTW latency baseline Sniper uses
 		}
-		return &mmu.FixedWalker{PT: s.Proc.PT, Lat: lat}, nil
+		return &mmu.FixedWalker{PT: proc.PT, Lat: lat}, nil
 	}
 	switch cfg.Design {
 	case DesignRadix, "":
 		return newRadix(), nil
 	case DesignECH, DesignHDC, DesignHT:
-		return mmu.NewHashWalker(s.Proc.PT, s.Hier), nil
+		return mmu.NewHashWalker(proc.PT, s.Hier), nil
 	case DesignUtopia:
 		return mmu.NewUtopiaDesign(s.OS.Utopia, newRadix(), s.Hier), nil
 	case DesignRMM:
-		return mmu.NewRMMDesign(s.Proc.RMM, newRadix(), s.Hier, s.Proc.ASID), nil
+		return mmu.NewRMMDesign(proc.RMM, newRadix(), s.Hier, proc.ASID), nil
 	case DesignMidgard:
-		return mmu.NewMidgardDesign(s.Proc.Midgard, newRadix(), s.Hier, s.Proc.ASID), nil
+		return mmu.NewMidgardDesign(proc.Midgard, newRadix(), s.Hier, proc.ASID), nil
 	case DesignDirectSeg:
 		return &mmu.DirectSegDesign{Radix: newRadix()}, nil
 	default:
@@ -532,7 +582,7 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 	var msAfter runtime.MemStats
 	runtime.ReadMemStats(&msAfter)
 
-	return s.collect(w, wall, msBefore, msAfter)
+	return s.collect(w.Name(), wall, msBefore, msAfter)
 }
 
 // makeFrontend adapts the workload source per the configured frontend.
@@ -545,6 +595,15 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 // behaviour), and FrontendMemTrace filters the synthetic stream on the
 // fly.
 func (s *System) makeFrontend(w *workloads.Workload) isa.Source {
+	return s.makeFrontendSeeded(w, 0)
+}
+
+// makeFrontendSeeded is makeFrontend with a per-process seed salt:
+// multiprogrammed runs salt each process's source with its PID so two
+// instances of the same workload do not execute identical streams. The
+// zero salt preserves the historical single-process stream bit-for-bit
+// (recorded traces replay unchanged).
+func (s *System) makeFrontendSeeded(w *workloads.Workload, salt uint64) isa.Source {
 	if s.Cfg.TracePath != "" {
 		switch s.Cfg.Frontend {
 		case FrontendTrace:
@@ -555,7 +614,7 @@ func (s *System) makeFrontend(w *workloads.Workload) isa.Source {
 			return &memTraceSource{inner: trace.MustOpenSource(s.Cfg.TracePath)}
 		}
 	}
-	base := w.Source(s.Cfg.Seed ^ 0xF00D)
+	base := w.Source(s.Cfg.Seed ^ 0xF00D ^ salt)
 	switch s.Cfg.Frontend {
 	case FrontendTrace:
 		// Materialise the trace first (ChampSim-style trace file in
@@ -702,5 +761,5 @@ func (s *System) Prepare(w *workloads.Workload) isa.Source {
 func (s *System) Collect(w *workloads.Workload) Metrics {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	return s.collect(w, 0, ms, ms)
+	return s.collect(w.Name(), 0, ms, ms)
 }

@@ -23,13 +23,21 @@ func smallSystem(t testing.TB, mut func(*Config)) *System {
 	return s
 }
 
+// byName builds a catalog workload with explicit parameters.
+func byName(t testing.TB, name string, p workloads.Params) *workloads.Workload {
+	t.Helper()
+	w, ok := workloads.ByNameWith(name, p)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	return w
+}
+
 func TestRunQuickstartWorkload(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.05
-	defer func() { workloads.Scale = prev }()
+	tiny := workloads.Params{Scale: 0.05}
 
 	s := smallSystem(t, nil)
-	m := s.Run(workloads.Sum2D())
+	m := s.Run(byName(t, "2D-Sum", tiny))
 
 	if m.AppInsts == 0 {
 		t.Fatal("no application instructions executed")
@@ -54,16 +62,14 @@ func TestRunQuickstartWorkload(t *testing.T) {
 }
 
 func TestEmulationModeInjectsNothing(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.05
-	defer func() { workloads.Scale = prev }()
+	tiny := workloads.Params{Scale: 0.05}
 
 	s := smallSystem(t, func(c *Config) {
 		c.Mode = Emulation
 		c.FixedPTWLat = 60
 		c.FixedFaultLat = 5800
 	})
-	m := s.Run(workloads.Sum2D())
+	m := s.Run(byName(t, "2D-Sum", tiny))
 	if m.KernelInsts != 0 {
 		t.Fatalf("emulation mode injected %d kernel instructions", m.KernelInsts)
 	}
@@ -76,9 +82,7 @@ func TestEmulationModeInjectsNothing(t *testing.T) {
 }
 
 func TestAllDesignsRun(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.03
-	defer func() { workloads.Scale = prev }()
+	tiny := workloads.Params{Scale: 0.03}
 
 	designs := []DesignName{DesignRadix, DesignECH, DesignHDC, DesignHT, DesignUtopia, DesignRMM, DesignMidgard}
 	for _, d := range designs {
@@ -97,7 +101,7 @@ func TestAllDesignsRun(t *testing.T) {
 					c.Policy = PolicyBuddy
 				}
 			})
-			m := s.Run(workloads.Hadamard())
+			m := s.Run(byName(t, "Hadamard", tiny))
 			if m.Segvs != 0 {
 				t.Fatalf("%s: %d segvs", d, m.Segvs)
 			}
@@ -113,9 +117,7 @@ func TestAllDesignsRun(t *testing.T) {
 }
 
 func TestAllPoliciesRun(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.03
-	defer func() { workloads.Scale = prev }()
+	tiny := workloads.Params{Scale: 0.03}
 
 	pols := []PolicyName{PolicyBuddy, PolicyTHP, PolicyCRTHP, PolicyARTHP}
 	for _, p := range pols {
@@ -125,7 +127,7 @@ func TestAllPoliciesRun(t *testing.T) {
 				c.Policy = p
 				c.MaxAppInsts = 100_000
 			})
-			m := s.Run(workloads.JSON())
+			m := s.Run(byName(t, "JSON", tiny))
 			if m.Segvs != 0 {
 				t.Fatalf("%s: %d segvs", p, m.Segvs)
 			}

@@ -7,7 +7,6 @@ import (
 	"repro/internal/dram"
 	"repro/internal/mimicos"
 	"repro/internal/stats"
-	"repro/internal/workloads"
 )
 
 // Metrics is the result of one simulation run — the raw material of
@@ -27,6 +26,7 @@ type Metrics struct {
 	MemoryCycles      uint64
 	FaultCycles       uint64
 	DelayCycles       uint64
+	CtxSwitchCycles   uint64 // scheduler switch cost (multiprogrammed runs)
 
 	L2TLBMisses uint64
 	L2TLBMPKI   float64
@@ -84,14 +84,14 @@ func (m *Metrics) KernelInstFraction() float64 {
 	return float64(m.KernelInsts) / float64(t)
 }
 
-func (s *System) collect(w *workloads.Workload, wall time.Duration, before, after runtime.MemStats) Metrics {
+func (s *System) collect(name string, wall time.Duration, before, after runtime.MemStats) Metrics {
 	cs := s.Core.Stats()
 	ms := s.MMU.Stats()
 	os := *s.OS.Stats()
 	ds := *s.Dram.Stats()
 
 	m := Metrics{
-		Workload: w.Name(),
+		Workload: name,
 		Design:   string(s.Cfg.Design),
 		Policy:   s.OS.Policy().Name(),
 		Mode:     s.Cfg.Mode,
@@ -105,6 +105,7 @@ func (s *System) collect(w *workloads.Workload, wall time.Duration, before, afte
 		MemoryCycles:      cs.MemoryCycles,
 		FaultCycles:       cs.FaultCycles,
 		DelayCycles:       cs.DelayCycles,
+		CtxSwitchCycles:   cs.CtxSwitchCycles,
 
 		L2TLBMisses: ms.L2TLBMisses,
 		Walks:       ms.Walks,

@@ -13,15 +13,11 @@ func TestThroughputProbe(t *testing.T) {
 	if testing.Short() {
 		t.Skip("throughput probe")
 	}
-	prev := workloads.Scale
-	workloads.Scale = 0.25
-	defer func() { workloads.Scale = prev }()
-
 	cfg := DefaultConfig()
 	cfg.OSCfg.PhysBytes = 2 * mem.GB
 	cfg.MaxAppInsts = 2_000_000
 	s := MustNewSystem(cfg)
-	m := s.Run(workloads.BFS())
+	m := s.Run(byName(t, "BFS", workloads.Params{Scale: 0.25}))
 
 	total := m.AppInsts + m.KernelInsts
 	ips := float64(total) / m.WallTime.Seconds()

@@ -8,16 +8,14 @@ import (
 )
 
 func TestVirtualizedSystemRuns(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.02
-	defer func() { workloads.Scale = prev }()
+	tiny := workloads.Params{Scale: 0.02}
 
 	cfg := DefaultVirtualizedConfig()
 	cfg.GuestPhysBytes = 256 * mem.MB
 	cfg.HostPhysBytes = 512 * mem.MB
 	v := NewVirtualizedSystem(cfg)
 
-	gf, hf, kinsts, ipc := v.Run(workloads.Sum2D(), 150_000)
+	gf, hf, kinsts, ipc := v.Run(byName(t, "2D-Sum", tiny), 150_000)
 	if gf == 0 {
 		t.Fatal("no guest faults")
 	}
@@ -41,15 +39,13 @@ func TestVirtualizedSystemRuns(t *testing.T) {
 }
 
 func TestVirtualizedNestedTLBEffect(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.02
-	defer func() { workloads.Scale = prev }()
+	tiny := workloads.Params{Scale: 0.02}
 
 	cfg := DefaultVirtualizedConfig()
 	cfg.GuestPhysBytes = 256 * mem.MB
 	cfg.HostPhysBytes = 512 * mem.MB
 	v := NewVirtualizedSystem(cfg)
-	v.Run(workloads.Sum2D(), 150_000)
+	v.Run(byName(t, "2D-Sum", tiny), 150_000)
 	// Nested 2D walks must cost more than native ones: with 4K pages a
 	// radix-radix walk touches up to 4 guest steps × host translations.
 	if avg := v.MMU.Stats().AvgWalkLatency(); avg < 10 {

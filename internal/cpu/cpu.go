@@ -55,6 +55,7 @@ type Stats struct {
 	FaultCycles       uint64 // cycles spent executing injected OS streams
 	DelayCycles       uint64 // device delays inside kernel streams
 	FetchCycles       uint64
+	CtxSwitchCycles   uint64 // scheduler context-switch cost (multi-process)
 
 	Loads, Stores uint64
 	SegvFaults    uint64
@@ -278,6 +279,15 @@ func (c *Core) memOp(in isa.Inst) {
 func (c *Core) StallFault(cycles uint64) {
 	c.cycles += float64(cycles)
 	c.stats.FaultCycles += cycles
+}
+
+// ContextSwitch advances the pipeline by the scheduler's switch cost
+// (state save/restore, run-queue work, pipeline drain), attributed to
+// its own counter so multiprogrammed runs can report scheduling
+// overhead separately from OS fault work.
+func (c *Core) ContextSwitch(cycles uint64) {
+	c.cycles += float64(cycles)
+	c.stats.CtxSwitchCycles += cycles
 }
 
 // resolveFault invokes the engine's fault handler.

@@ -14,8 +14,6 @@ import (
 // tree) and backend (MA→PA). Paper: most workloads spend <20% in the
 // frontend; BC — with its 147 small VMAs — spends >50%.
 func Fig17(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig17",
@@ -25,15 +23,15 @@ func Fig17(o Opts) *Table {
 	ws := longSubset(o)
 	if !o.Quick {
 		// BC is the interesting outlier; make sure it is present.
-		ws = workloads.LongSuite()
+		ws = workloads.LongSuiteWith(paramsFor(o))
 	} else {
-		ws = append([]*workloads.Workload{workloads.BC()}, ws...)
+		ws = append([]*workloads.Workload{byName(o, "BC")}, ws...)
 	}
 	jobs := make([]job, 0, len(ws))
 	for _, w := range ws {
 		cfg := BaseConfig(o)
 		cfg.Design = core.DesignMidgard
-		jobs = append(jobs, job{cfg, named(w)})
+		jobs = append(jobs, job{cfg, named(o, w)})
 	}
 	ms := runAll(o, jobs)
 	for i, w := range ws {
@@ -53,8 +51,6 @@ func Fig17(o Opts) *Table {
 // Fig18 reproduces Figure 18: the census of VMA sizes in BC — one huge
 // VMA plus ~147 small ones.
 func Fig18(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig18",
@@ -63,7 +59,7 @@ func Fig18(o Opts) *Table {
 	}
 	k := mimicos.New(mimicos.DefaultConfig(), nil)
 	k.CreateProcess(1)
-	w := workloads.BC()
+	w := byName(o, "BC")
 	w.Setup(k, 1)
 
 	buckets := []struct {
@@ -111,8 +107,6 @@ func Fig18(o Opts) *Table {
 // up to 10% because the virtual tag array loses cache locality).
 // RestSeg sizes are scaled with the rest of the system (8 GB → 128 MB).
 func Fig19(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	sizes := []uint64{128 * mem.MB, 256 * mem.MB, 512 * mem.MB, 1024 * mem.MB}
 	labels := []string{"16GB-equiv", "32GB-equiv", "64GB-equiv"}
@@ -137,7 +131,7 @@ func Fig19(o Opts) *Table {
 			cfg.OSCfg = mimicos.DefaultConfig()
 			cfg.OSCfg.PhysBytes = 4 * mem.GB
 			cfg.UtopiaSegs = []core.UtopiaSegSpec{{SizeBytes: sz, Ways: 16, PageSize: mem.Page4K}}
-			jobs = append(jobs, job{cfg, named(w)})
+			jobs = append(jobs, job{cfg, named(o, w)})
 		}
 	}
 	ms := runAll(o, jobs)
@@ -177,8 +171,6 @@ func Fig19(o Opts) *Table {
 // (paper: up to 203× at full coverage — set-conflict evictions swap even
 // though free memory exists).
 func Fig20(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	coverages := []float64{0.50, 0.60, 0.70, 0.80, 0.90, 1.0}
 	if o.Quick {
@@ -244,8 +236,6 @@ func swapPressure(foot uint64) *workloads.Workload {
 // caused by address-translation metadata, RMM over Radix, across
 // fragmentation levels (paper: ~90% even at 94% fragmentation).
 func Fig21(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	frags := []float64{0.94, 0.92, 0.90, 0.80, 0.70, 0.60, 0.50, 0.40}
 	if o.Quick {
@@ -265,13 +255,13 @@ func Fig21(o Opts) *Table {
 			rad.Design = core.DesignRadix
 			rad.Policy = core.PolicyBuddy // RMM's comparison point maps 4K pages
 			rad.FragFree2M = 1 - f
-			jobs = append(jobs, job{rad, named(w)})
+			jobs = append(jobs, job{rad, named(o, w)})
 
 			rmm := BaseConfig(o)
 			rmm.Design = core.DesignRMM
 			rmm.Policy = core.PolicyEager
 			rmm.FragFree2M = 1 - f
-			jobs = append(jobs, job{rmm, named(w)})
+			jobs = append(jobs, job{rmm, named(o, w)})
 		}
 	}
 	ms := runAll(o, jobs)

@@ -151,42 +151,49 @@ func BaseConfig(o Opts) core.Config {
 	return cfg
 }
 
-// scaleFor sets the global workload scale for the experiment size and
-// returns a restore function.
-func scaleFor(o Opts) func() {
-	prev := workloads.Scale
-	prevIters := workloads.LongIters
+// paramsFor returns the workload construction parameters of the
+// experiment size — threaded explicitly through every construction, so
+// experiments never touch shared catalog state.
+func paramsFor(o Opts) workloads.Params {
 	if o.Quick {
-		workloads.Scale = 0.08
-		workloads.LongIters = 4
-	} else {
-		workloads.Scale = 0.5
-		workloads.LongIters = 10
+		return workloads.Params{Scale: 0.08, LongIters: 4}
 	}
-	return func() { workloads.Scale = prev; workloads.LongIters = prevIters }
+	return workloads.Params{Scale: 0.5, LongIters: 10}
+}
+
+// byName builds one catalog workload at the experiment parameters;
+// harness workload sets are programmatic, so unknown names panic.
+func byName(o Opts, name string) *workloads.Workload {
+	w, ok := workloads.ByNameWith(name, paramsFor(o))
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown workload %q", name))
+	}
+	return w
 }
 
 // longSubset returns the long-running workloads used by an experiment.
 func longSubset(o Opts) []*workloads.Workload {
-	all := workloads.LongSuite()
 	if o.Quick {
-		return []*workloads.Workload{workloads.BFS(), workloads.RND(), workloads.XS()}
+		return []*workloads.Workload{byName(o, "BFS"), byName(o, "RND"), byName(o, "XS")}
 	}
-	return all
+	return workloads.LongSuiteWith(paramsFor(o))
 }
 
 // shortSubset returns the short-running workloads used by an experiment.
 func shortSubset(o Opts) []*workloads.Workload {
-	all := workloads.ShortSuite()
 	if o.Quick {
-		return []*workloads.Workload{workloads.JSON(), workloads.Llama(), workloads.Sum2D()}
+		return []*workloads.Workload{byName(o, "JSON"), byName(o, "Llama-2-7B"), byName(o, "2D-Sum")}
 	}
-	return all
+	return workloads.ShortSuiteWith(paramsFor(o))
 }
 
-// runOne builds a system and runs w under it.
+// runOne builds a system and runs w under it. Harness configurations
+// are programmatic, so configuration errors panic.
 func runOne(cfg core.Config, w *workloads.Workload) core.Metrics {
-	s := core.MustNewSystem(cfg)
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		panic(err)
+	}
 	return s.Run(w)
 }
 
@@ -197,13 +204,14 @@ type job struct {
 	w   func() *workloads.Workload
 }
 
-// named returns a factory that rebuilds w's catalog entry per call, so
-// concurrent jobs never share a (mutable) *Workload. Workloads not in
-// the catalog are returned as-is and must appear in exactly one job.
-func named(w *workloads.Workload) func() *workloads.Workload {
-	name := w.Name()
+// named returns a factory that rebuilds w's catalog entry per call at
+// the experiment parameters, so concurrent jobs never share a (mutable)
+// *Workload. Workloads not in the catalog are returned as-is and must
+// appear in exactly one job.
+func named(o Opts, w *workloads.Workload) func() *workloads.Workload {
+	name, params := w.Name(), paramsFor(o)
 	return func() *workloads.Workload {
-		nw, ok := workloads.ByName(name)
+		nw, ok := workloads.ByNameWith(name, params)
 		if !ok {
 			return w
 		}
@@ -237,25 +245,26 @@ func runAll(o Opts, jobs []job) []core.Metrics {
 
 // Registry maps experiment IDs to their harnesses, for cmd/figures.
 var Registry = map[string]func(Opts) *Table{
-	"fig01":  Fig01,
-	"fig02":  Fig02,
-	"fig03":  Fig03,
-	"fig08":  Fig08,
-	"fig09":  Fig09,
-	"fig10":  Fig10,
-	"fig11":  Fig11,
-	"fig12":  Fig12,
-	"fig13":  Fig13,
-	"fig14":  Fig14,
-	"fig15":  Fig15,
-	"fig16":  Fig16,
-	"fig17":  Fig17,
-	"fig18":  Fig18,
-	"fig19":  Fig19,
-	"fig20":  Fig20,
-	"fig21":  Fig21,
-	"table2": func(Opts) *Table { return Table2() },
-	"table3": func(Opts) *Table { return Table3() },
+	"fig01":     Fig01,
+	"fig02":     Fig02,
+	"fig03":     Fig03,
+	"fig08":     Fig08,
+	"fig09":     Fig09,
+	"fig10":     Fig10,
+	"fig11":     Fig11,
+	"fig12":     Fig12,
+	"fig13":     Fig13,
+	"fig14":     Fig14,
+	"fig15":     Fig15,
+	"fig16":     Fig16,
+	"fig17":     Fig17,
+	"fig18":     Fig18,
+	"fig19":     Fig19,
+	"fig20":     Fig20,
+	"fig21":     Fig21,
+	"table2":    func(Opts) *Table { return Table2() },
+	"table3":    func(Opts) *Table { return Table3() },
+	"multiprog": Multiprog,
 }
 
 // IDs returns the experiment identifiers in presentation order.
@@ -264,6 +273,6 @@ func IDs() []string {
 		"fig01", "fig02", "fig03", "table2", "table3",
 		"fig08", "fig09", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17",
-		"fig18", "fig19", "fig20", "fig21",
+		"fig18", "fig19", "fig20", "fig21", "multiprog",
 	}
 }

@@ -104,4 +104,32 @@ func TestFig21Shape(t *testing.T) {
 	}
 }
 
+// TestMultiprogShape is the multiprogramming acceptance criterion:
+// ASID retention must be measurably distinct from flush-on-switch, with
+// strictly fewer L2 TLB misses on at least one mix.
+func TestMultiprogShape(t *testing.T) {
+	tb := Multiprog(quick())
+	if len(tb.Rows) == 0 {
+		t.Fatal("no multiprogramming rows")
+	}
+	strict := false
+	for _, r := range tb.Rows {
+		flush, retain := r.Cells[0], r.Cells[1]
+		t.Logf("%s: L2 misses flush=%.0f retain=%.0f (%.1f%% fewer), IPC %.3f vs %.3f, %.0f switches",
+			r.Label, flush, retain, r.Cells[2], r.Cells[3], r.Cells[4], r.Cells[5])
+		if retain > flush {
+			t.Errorf("%s: retention increased TLB misses (%.0f > %.0f)", r.Label, retain, flush)
+		}
+		if retain < flush {
+			strict = true
+		}
+		if r.Cells[5] == 0 {
+			t.Errorf("%s: no context switches recorded", r.Label)
+		}
+	}
+	if !strict {
+		t.Error("retention mode never showed strictly fewer TLB misses than flush mode")
+	}
+}
+
 var _ = core.DefaultConfig

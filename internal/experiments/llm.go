@@ -42,8 +42,6 @@ func llmPolicies() []llmPolicy {
 // >1000× tails; UT-32MB/16w achieves the lowest total PF latency; the
 // 512MB RestSeg regresses (tag locality).
 func Fig16(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig16",
@@ -51,7 +49,7 @@ func Fig16(o Opts) *Table {
 		Columns: []string{"median", "p90", "p99", "max", "total(µs)"},
 	}
 
-	lws := []*workloads.Workload{workloads.Bagel(), workloads.Llama(), workloads.Mistral()}
+	lws := []*workloads.Workload{byName(o, "Bagel-2.8B"), byName(o, "Llama-2-7B"), byName(o, "Mistral-7B")}
 	if o.Quick {
 		lws = lws[:1]
 	}
@@ -62,7 +60,7 @@ func Fig16(o Opts) *Table {
 			cfg := BaseConfig(o)
 			cfg.MaxAppInsts = 0 // run inference to completion
 			pol.mut(&cfg)
-			jobs = append(jobs, job{cfg, named(w)})
+			jobs = append(jobs, job{cfg, named(o, w)})
 		}
 	}
 	ms := runAll(o, jobs)

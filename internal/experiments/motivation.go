@@ -14,8 +14,6 @@ import (
 // shape: long-running ≈ 25% translation / ~5% allocation; short-running
 // < 1% translation / ~32% allocation.
 func Fig01(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig01",
@@ -31,7 +29,7 @@ func Fig01(o Opts) *Table {
 		// phases amortise their allocation cost exactly as real
 		// long-running executions do.
 		cfg.MaxAppInsts = 0
-		jobs = append(jobs, job{cfg, named(w)})
+		jobs = append(jobs, job{cfg, named(o, w)})
 	}
 	ms := runAll(o, jobs)
 
@@ -70,8 +68,6 @@ func meanOf(vs []float64) float64 {
 // with THP enabled vs disabled, including the outlier (>10 µs)
 // contribution to total MPF latency (paper: 67% THP-on, 25.5% THP-off).
 func Fig02(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig02",
@@ -86,7 +82,7 @@ func Fig02(o Opts) *Table {
 		for _, w := range suite {
 			cfg := BaseConfig(o)
 			cfg.Policy = pol
-			jobs = append(jobs, job{cfg, named(w)})
+			jobs = append(jobs, job{cfg, named(o, w)})
 		}
 	}
 	ms := runAll(o, jobs)
@@ -116,8 +112,6 @@ func Fig02(o Opts) *Table {
 // sweep of applications with increasing memory intensity (the paper
 // spans ~39 cycles for an I/O stressor to >180 for SSSP).
 func Fig03(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	levels := 53
 	if o.Quick {
@@ -132,11 +126,11 @@ func Fig03(o Opts) *Table {
 	for lvl := 0; lvl < levels; lvl++ {
 		lvl := lvl
 		jobs = append(jobs, job{BaseConfig(o), func() *workloads.Workload {
-			return workloads.Stress(lvl, levels)
+			return workloads.StressWith(lvl, levels, paramsFor(o))
 		}})
 	}
 	// The paper's outlier: SSSP.
-	jobs = append(jobs, job{BaseConfig(o), named(workloads.SP())})
+	jobs = append(jobs, job{BaseConfig(o), named(o, byName(o, "SSSP"))})
 	ms := runAll(o, jobs)
 	for lvl := 0; lvl < levels; lvl++ {
 		t.Add(fmt.Sprintf("stress-%02d", lvl), ms[lvl].AvgPTWLat, ms[lvl].L2TLBMPKI)

@@ -16,8 +16,6 @@ import (
 // kernel) over gem5-SE. The workload is randacc (RND), the paper's
 // worst case (highest page faults per kilo-instruction).
 func Fig11(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig11",
@@ -41,7 +39,7 @@ func Fig11(o Opts) *Table {
 			PhysBytes:   1 * mem.GB,
 			Seed:        o.Seed + 11,
 		})
-		m := s.Run(workloads.RND())
+		m := s.Run(byName(o, "RND"))
 		runtime.GC()
 		var ms runtime.MemStats
 		runtime.ReadMemStats(&ms)
@@ -77,8 +75,6 @@ func Fig11(o Opts) *Table {
 // microbenchmark that holds total instructions constant while varying
 // the kernel share (paper: slope ≈ 1.5×).
 func Fig12(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig12",

@@ -29,8 +29,6 @@ func ptCfg(o Opts, d core.DesignName, frag float64) core.Config {
 // (fraction of free 2MB blocks, 100%→90%). Paper: all hash designs
 // reduce PTW latency, and the reduction grows as fragmentation worsens.
 func Fig13(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	// Paper fragmentation levels (fraction of 2MB blocks *unavailable*).
 	frags := []float64{1.0, 0.98, 0.96, 0.94, 0.92, 0.90}
@@ -52,7 +50,7 @@ func Fig13(o Opts) *Table {
 	for _, w := range ws {
 		for _, f := range frags {
 			for _, d := range ptDesigns() {
-				jobs = append(jobs, job{ptCfg(o, d, f), named(w)})
+				jobs = append(jobs, job{ptCfg(o, d, f), named(o, w)})
 			}
 		}
 	}
@@ -98,8 +96,6 @@ func fragCols(frags []float64) []string {
 // hash designs normalized to Radix (paper: ECH 1.52x, HDC 0.95x, HT
 // 0.93x on average — ECH's parallel nest probes interfere).
 func Fig14(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig14",
@@ -131,8 +127,6 @@ func Fig14(o Opts) *Table {
 // latency over Radix (paper: ECH 9%, HDC 18%, HT 19% on average; ECH
 // regresses on RND due to hash-collision relocations).
 func Fig15(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig15",
@@ -168,7 +162,7 @@ func allDesignJobs(o Opts, ws []*workloads.Workload, frag float64) []job {
 	jobs := make([]job, 0, len(ws)*len(ptDesigns()))
 	for _, w := range ws {
 		for _, d := range ptDesigns() {
-			jobs = append(jobs, job{ptCfg(o, d, frag), named(w)})
+			jobs = append(jobs, job{ptCfg(o, d, frag), named(o, w)})
 		}
 	}
 	return jobs

@@ -32,8 +32,6 @@ func refConfig(o Opts) core.Config {
 // and baseline Sniper (fixed PTW latency) against the reference system.
 // Paper: Virtuoso 80% vs baseline 66% average accuracy.
 func Fig08(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig08",
@@ -46,11 +44,11 @@ func Fig08(o Opts) *Table {
 	for _, w := range ws {
 		refCfg := refConfig(o)
 		refCfg.MaxAppInsts = 0
-		jobs = append(jobs, job{refCfg, named(w)})
+		jobs = append(jobs, job{refCfg, named(o, w)})
 
 		vCfg := BaseConfig(o)
 		vCfg.MaxAppInsts = 0
-		jobs = append(jobs, job{vCfg, named(w)})
+		jobs = append(jobs, job{vCfg, named(o, w)})
 
 		base := BaseConfig(o)
 		base.MaxAppInsts = 0
@@ -60,7 +58,7 @@ func Fig08(o Opts) *Table {
 		// workloads, which is exactly why it mistracks.
 		base.FixedPTWLat = 60
 		base.FixedFaultLat = 5800
-		jobs = append(jobs, job{base, named(w)})
+		jobs = append(jobs, job{base, named(o, w)})
 	}
 	ms := runAll(o, jobs)
 
@@ -82,8 +80,6 @@ func Fig08(o Opts) *Table {
 // latency series of Virtuoso and the reference system across the
 // short-running suite (paper: 0.60–0.79, mean 0.66).
 func Fig09(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig09",
@@ -112,8 +108,6 @@ func Fig09(o Opts) *Table {
 // Virtuoso+Sniper against the reference system (paper: 82% and 85%
 // accuracy respectively).
 func Fig10(o Opts) *Table {
-	restore := scaleFor(o)
-	defer restore()
 
 	t := &Table{
 		ID:      "fig10",
@@ -144,11 +138,11 @@ func refAndVirtJobs(o Opts, ws []*workloads.Workload) []job {
 	for _, w := range ws {
 		refCfg := refConfig(o)
 		refCfg.MaxAppInsts = 0
-		jobs = append(jobs, job{refCfg, named(w)})
+		jobs = append(jobs, job{refCfg, named(o, w)})
 
 		vCfg := BaseConfig(o)
 		vCfg.MaxAppInsts = 0
-		jobs = append(jobs, job{vCfg, named(w)})
+		jobs = append(jobs, job{vCfg, named(o, w)})
 	}
 	return jobs
 }

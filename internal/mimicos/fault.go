@@ -43,6 +43,7 @@ func (k *Kernel) HandlePageFault(pid int, va mem.VAddr, write bool, now uint64) 
 	if vma == nil {
 		tr.ALU(120) // bad-area path, signal delivery setup
 		k.stats.SegvFaults++
+		p.Stat.SegvFaults++
 		exit()
 		return FaultOutcome{OK: false}
 	}
@@ -130,6 +131,7 @@ func (k *Kernel) anonFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, wr
 		frame, size, prezeroed, restseg, ok = k.policy.AllocAnon(k, p, vma, va, tr, now)
 		if !ok {
 			k.stats.SegvFaults++
+			p.Stat.SegvFaults++
 			return FaultOutcome{OK: false}
 		}
 	}
@@ -154,6 +156,7 @@ func (k *Kernel) anonFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, wr
 			Frame: frame, Size: size, Present: true, Writable: true, Dirty: write, Accessed: true,
 		}, tr); err != nil {
 			k.stats.SegvFaults++
+			p.Stat.SegvFaults++
 			return FaultOutcome{OK: false}
 		}
 	}
@@ -163,7 +166,9 @@ func (k *Kernel) anonFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, wr
 	p.RSS += size.Bytes()
 	p.addResident(residentPage{VA: base, Size: size, Frame: frame, RestSeg: restseg})
 	k.stats.MinorFaults++
+	p.Stat.MinorFaults++
 	k.stats.FaultsBySize[size]++
+	p.Stat.FaultsBySize[size]++
 	return FaultOutcome{OK: true, Frame: frame, Size: size}
 }
 
@@ -184,7 +189,7 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 		frame, ok := k.Phys.Alloc1G()
 		gexit()
 		if ok {
-			dev := k.fetchFromPageCache(vma, va, frame, mem.Page1G, tr, now)
+			dev := k.fetchFromPageCache(p, vma, va, frame, mem.Page1G, tr, now)
 			base := mem.Page1G.PageBase(va)
 			keyBase := key - (va - base)
 			tr.Atomic(k.lk.pt)
@@ -194,8 +199,11 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 				p.RSS += mem.Page1G.Bytes()
 				p.addResident(residentPage{VA: base, Size: mem.Page1G, Frame: frame})
 				k.stats.MinorFaults++
+				p.Stat.MinorFaults++
 				k.stats.OneGigFaults++
+				p.Stat.OneGigFaults++
 				k.stats.FaultsBySize[mem.Page1G]++
+				p.Stat.FaultsBySize[mem.Page1G]++
 				return FaultOutcome{OK: true, Frame: frame, Size: mem.Page1G, Major: dev > 0, DeviceCycles: dev}
 			}
 			k.Phys.Free(frame, mem.Page1G.Bytes()/(4*mem.KB))
@@ -209,10 +217,11 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 		frame, ok = k.allocBuddy4K(tr)
 		if !ok {
 			k.stats.SegvFaults++
+			p.Stat.SegvFaults++
 			return FaultOutcome{OK: false}
 		}
 	}
-	dev := k.fetchFromPageCache(vma, va, frame, mem.Page4K, tr, now)
+	dev := k.fetchFromPageCache(p, vma, va, frame, mem.Page4K, tr, now)
 
 	base := mem.Page4K.PageBase(va)
 	keyBase := key - (va - base)
@@ -221,6 +230,7 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 		Frame: frame, Size: mem.Page4K, Present: true, Writable: true, Accessed: true,
 	}, tr); err != nil {
 		k.stats.SegvFaults++
+		p.Stat.SegvFaults++
 		return FaultOutcome{OK: false}
 	}
 	vma.region4K[uint64(mem.Page2M.PageBase(va))]++
@@ -228,17 +238,20 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 	p.addResident(residentPage{VA: base, Size: mem.Page4K, Frame: frame})
 	if dev > 0 {
 		k.stats.MajorFaults++
+		p.Stat.MajorFaults++
 	} else {
 		k.stats.MinorFaults++
+		p.Stat.MinorFaults++
 	}
 	k.stats.FaultsBySize[mem.Page4K]++
+	p.Stat.FaultsBySize[mem.Page4K]++
 	return FaultOutcome{OK: true, Frame: frame, Size: mem.Page4K, Major: dev > 0, DeviceCycles: dev}
 }
 
 // fetchFromPageCache resolves file data for [va, va+size): a page-cache
 // hit costs an index lookup; a miss reads the disk (MQSim latency) and
 // inserts the page. Returns the device cycles charged.
-func (k *Kernel) fetchFromPageCache(vma *VMA, va mem.VAddr, frame mem.PAddr, size mem.PageSize, tr *instrument.Tracer, now uint64) uint64 {
+func (k *Kernel) fetchFromPageCache(p *Process, vma *VMA, va mem.VAddr, frame mem.PAddr, size mem.PageSize, tr *instrument.Tracer, now uint64) uint64 {
 	exit := tr.Enter("page_cache_lookup")
 	defer exit()
 	filePage := uint64(va-vma.Start) >> 12
@@ -248,6 +261,7 @@ func (k *Kernel) fetchFromPageCache(vma *VMA, va mem.VAddr, frame mem.PAddr, siz
 
 	if _, hit := k.pageCache[keyObj]; hit || k.Cfg.PrepopulatePageCache {
 		k.stats.PageCacheHits++
+		p.Stat.PageCacheHits++
 		k.pageCache[keyObj] = frame
 		// Mapping a cached page: no copy for DAX; copy a page otherwise
 		// is avoided by mapping the cache page itself (we model the
@@ -256,6 +270,7 @@ func (k *Kernel) fetchFromPageCache(vma *VMA, va mem.VAddr, frame mem.PAddr, siz
 		return 0
 	}
 	k.stats.PageCacheMisses++
+	p.Stat.PageCacheMisses++
 	var dev uint64 = 174_000 // stand-in when no disk is attached (~60µs)
 	if k.Disk != nil {
 		dev = k.Disk.Read(uint64(vma.FileID)<<32+filePage*4096, size.Bytes(), now)
@@ -276,6 +291,7 @@ func (k *Kernel) hugetlbFault(p *Process, vma *VMA, va mem.VAddr, tr *instrument
 	frame, ok := k.hugetlbPop()
 	if !ok {
 		k.stats.SegvFaults++
+		p.Stat.SegvFaults++
 		return FaultOutcome{OK: false}
 	}
 	zexit := tr.Enter("clear_huge_page")
@@ -287,13 +303,17 @@ func (k *Kernel) hugetlbFault(p *Process, vma *VMA, va mem.VAddr, tr *instrument
 		Frame: frame, Size: mem.Page2M, Present: true, Writable: true, Accessed: true,
 	}, tr); err != nil {
 		k.stats.SegvFaults++
+		p.Stat.SegvFaults++
 		return FaultOutcome{OK: false}
 	}
 	p.RSS += mem.Page2M.Bytes()
 	p.addResident(residentPage{VA: base, Size: mem.Page2M, Frame: frame})
 	k.stats.MinorFaults++
+	p.Stat.MinorFaults++
 	k.stats.HugeTLBFaults++
+	p.Stat.HugeTLBFaults++
 	k.stats.FaultsBySize[mem.Page2M]++
+	p.Stat.FaultsBySize[mem.Page2M]++
 	return FaultOutcome{OK: true, Frame: frame, Size: mem.Page2M}
 }
 
@@ -304,7 +324,7 @@ func (k *Kernel) postFault(p *Process, tr *instrument.Tracer, now uint64) {
 		k.directReclaim(p, tr, now)
 	}
 	if n := k.Cfg.KhugeEveryNFaults; n > 0 && k.faultCount%n == 0 {
-		k.khuge.scan(p, tr, now)
+		k.khuge.scan(tr, now)
 	}
 	k.refillZeroPool(tr)
 	if k.Cfg.FullKernel {

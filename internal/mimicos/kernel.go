@@ -153,12 +153,32 @@ type Process struct {
 	RMM     *rmm.Table     // eager-paging range table (RMM design)
 	Midgard *midgard.Space // intermediate address space (Midgard design)
 
+	// Stat accumulates this process's share of the kernel event counts.
+	// Daemon work done on another process's fault clock (a khugepaged
+	// collapse, a reclaim pass) is attributed to the process that owns
+	// the affected pages, which is what makes per-process accounting in
+	// multiprogrammed runs meaningful.
+	Stat Stats
+
 	RSS         uint64 // resident bytes
 	resident    []residentPage
 	residentIdx map[mem.VAddr]int
 	clockHand   int
 	nextMmap    mem.VAddr
+	// swapSlots tracks the swap slots currently holding this process's
+	// swapped-out pages, so exit can return them to the shared swap
+	// file (they are otherwise only freed on swap-in).
+	swapSlots map[uint64]struct{}
 }
+
+func (p *Process) noteSwapSlot(slot uint64) {
+	if p.swapSlots == nil {
+		p.swapSlots = make(map[uint64]struct{})
+	}
+	p.swapSlots[slot] = struct{}{}
+}
+
+func (p *Process) dropSwapSlot(slot uint64) { delete(p.swapSlots, slot) }
 
 // locks holds the kernel lock addresses touched by instrumented atomics.
 type locks struct {
@@ -197,6 +217,7 @@ type Stats struct {
 
 	MmapCalls   uint64
 	MunmapCalls uint64
+	Exits       uint64
 }
 
 // Kernel is one MimicOS instance.
@@ -207,8 +228,9 @@ type Kernel struct {
 	Disk   *ssd.Device
 	Tracer *instrument.Tracer
 
-	procs    map[int]*Process
-	nextASID uint16
+	procs     map[int]*Process
+	nextASID  uint16
+	freeASIDs []uint16 // released by exited processes, recycled LIFO
 
 	policy AllocPolicy
 
@@ -224,6 +246,7 @@ type Kernel struct {
 	noiseTicks  uint64
 	noiseObjs   []mem.PAddr
 	unmapNotify func(pid int, va mem.VAddr, size mem.PageSize)
+	exitNotify  func(pid int, asid uint16)
 
 	// Utopia is set when the utopia design is active; allocation and
 	// eviction consult the RestSegs.
@@ -295,6 +318,13 @@ func (k *Kernel) SetUnmapNotifier(f func(pid int, va mem.VAddr, size mem.PageSiz
 	k.unmapNotify = f
 }
 
+// SetExitNotifier installs the engine callback invoked after a process
+// exits, before its ASID becomes recyclable — the hook the engine uses
+// to issue the ASID-wide TLB flush.
+func (k *Kernel) SetExitNotifier(f func(pid int, asid uint16)) {
+	k.exitNotify = f
+}
+
 func (k *Kernel) notifyUnmap(pid int, va mem.VAddr, size mem.PageSize) {
 	if k.unmapNotify != nil {
 		k.unmapNotify(pid, va, size)
@@ -337,23 +367,99 @@ func tableBytesFor(physBytes uint64) uint64 {
 	return t
 }
 
-// CreateProcess registers a new address space.
+// CreateProcess registers a new address space. ASIDs released by exited
+// processes are recycled before the counter grows — real kernels do the
+// same (the ASID space is 12-16 bits), which is why exit must flush the
+// TLB hierarchy ASID-wide (see ExitProcess).
 func (k *Kernel) CreateProcess(pid int) *Process {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	if _, dup := k.procs[pid]; dup {
 		panic(fmt.Sprintf("mimicos: duplicate pid %d", pid))
 	}
-	k.nextASID++
+	var asid uint16
+	if n := len(k.freeASIDs); n > 0 {
+		asid = k.freeASIDs[n-1]
+		k.freeASIDs = k.freeASIDs[:n-1]
+	} else {
+		k.nextASID++
+		asid = k.nextASID
+	}
 	p := &Process{
 		PID:         pid,
-		ASID:        k.nextASID,
+		ASID:        asid,
 		PT:          k.newPageTable(),
 		residentIdx: make(map[mem.VAddr]int),
 		nextMmap:    0x0000_1000_0000_0000,
 	}
 	k.procs[pid] = p
 	return p
+}
+
+// ExitProcess tears down a process: every resident page is unmapped
+// (releasing frames and notifying per-page shootdowns), swap slots
+// still holding its swapped-out pages are returned to the shared swap
+// file, the process is reaped from the table, and its ASID is released
+// for recycling. The exit notifier fires before the ASID becomes
+// reusable so the engine can flush the TLB hierarchy ASID-wide —
+// without that flush a recycled ASID would hit the dead process's
+// stale translations.
+func (k *Kernel) ExitProcess(pid int) {
+	k.mu.Lock()
+	p := k.procs[pid]
+	if p == nil {
+		k.mu.Unlock()
+		return
+	}
+	tr := k.Tracer
+	exit := tr.Enter("do_exit")
+	tr.Atomic(k.lk.mmap)
+	tr.ALU(420) // exit_mm, mm counter teardown, task reaping
+	// One pass over the resident list: at exit every VMA dies, so the
+	// per-VMA filtering Munmap's teardownVMA does would rescan the list
+	// once per VMA for nothing. No per-page unmap notifications either:
+	// the exit notifier's ASID-wide flush covers the TLBs in one sweep,
+	// and the per-process design state dies with the process.
+	for i := range p.resident {
+		rp := &p.resident[i]
+		if rp.Dead {
+			continue
+		}
+		if e, ok := p.PT.Remove(k.keyForNoCharge(p, rp.VA), tr); ok && e.Present {
+			k.releaseFrame(rp, tr)
+			p.RSS -= rp.Size.Bytes()
+		}
+		delete(p.residentIdx, rp.VA)
+		rp.Dead = true
+	}
+	p.VMAs = nil
+	// Free the swap slots of pages that stayed swapped out (sorted so
+	// the shared free list — and therefore later slot reuse — is
+	// deterministic regardless of map iteration order).
+	if len(p.swapSlots) > 0 {
+		slots := make([]uint64, 0, len(p.swapSlots))
+		for slot := range p.swapSlots {
+			slots = append(slots, slot)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		for _, slot := range slots {
+			k.swap.freeSlot(slot)
+		}
+		p.swapSlots = nil
+		tr.Atomic(k.lk.swap)
+		tr.ALU(uint32(40 * len(slots))) // swap_entry_free per slot
+	}
+	k.khuge.dropPID(pid)
+	delete(k.procs, pid)
+	k.freeASIDs = append(k.freeASIDs, p.ASID)
+	k.stats.Exits++
+	p.Stat.Exits++
+	exit()
+	notify := k.exitNotify
+	k.mu.Unlock()
+	if notify != nil {
+		notify(pid, p.ASID)
+	}
 }
 
 // EnableRMM attaches an eager-paging range table to the process.
@@ -411,6 +517,7 @@ func (k *Kernel) Mmap(pid int, length uint64, flags MmapFlags) mem.VAddr {
 	p.VMAs[i] = v
 	tr.TouchObject(v.KAddr, 1, 2)
 	k.stats.MmapCalls++
+	p.Stat.MmapCalls++
 
 	if p.Midgard != nil {
 		p.Midgard.AddVMA(v.Start, v.End, tr)
@@ -450,17 +557,20 @@ func (k *Kernel) Munmap(pid int, va mem.VAddr, length uint64) {
 		p.RMM.Remove(va, end, tr)
 	}
 	k.stats.MunmapCalls++
+	p.Stat.MunmapCalls++
 	exit()
 }
 
-// teardownVMA unmaps every resident page of v.
+// teardownVMA unmaps every resident page of v. The page table is keyed
+// by the translation key (the Midgard intermediate address when an
+// intermediate address space is active), not the virtual address.
 func (k *Kernel) teardownVMA(p *Process, v *VMA, tr *instrument.Tracer) {
 	for i := range p.resident {
 		rp := &p.resident[i]
 		if rp.Dead || !v.Contains(rp.VA) {
 			continue
 		}
-		if e, ok := p.PT.Remove(rp.VA, tr); ok && e.Present {
+		if e, ok := p.PT.Remove(k.keyForNoCharge(p, rp.VA), tr); ok && e.Present {
 			k.releaseFrame(rp, tr)
 			p.RSS -= rp.Size.Bytes()
 			k.notifyUnmap(p.PID, rp.VA, rp.Size)
@@ -541,6 +651,12 @@ func (p *Process) dropResident(va mem.VAddr) {
 // operation (valid until the next operation).
 func (k *Kernel) TakeStream() isa.Stream { return k.Tracer.Take() }
 
-// ResetStats zeroes the kernel statistics (functional state persists) so
-// steady-state windows can be measured after warm-up.
-func (k *Kernel) ResetStats() { k.stats = Stats{} }
+// ResetStats zeroes the kernel statistics — global and per-process —
+// so steady-state windows can be measured after warm-up (functional
+// state persists).
+func (k *Kernel) ResetStats() {
+	k.stats = Stats{}
+	for _, p := range k.procs {
+		p.Stat = Stats{}
+	}
+}

@@ -50,8 +50,13 @@ func (kh *khugepaged) noteCandidate(pid int, vma *VMA, va mem.VAddr) {
 
 // scan examines up to Cfg.KhugeScanRegions queued candidates and
 // collapses the eligible ones. Work is charged to the current injected
-// stream (the daemon contends with the faulting core).
-func (kh *khugepaged) scan(p *Process, tr *instrument.Tracer, now uint64) {
+// stream (the daemon contends with the faulting core), but — like the
+// real khugepaged, which walks every mm on its scan list — candidates
+// of *any* live process are examined, so one process's pages can be
+// promoted while another is the one faulting. Collapse statistics are
+// attributed to the process that owns the region, not the one whose
+// fault drove the scan clock.
+func (kh *khugepaged) scan(tr *instrument.Tracer, now uint64) {
 	k := kh.k
 	n := k.Cfg.KhugeScanRegions
 	if n == 0 || len(kh.queue) == 0 {
@@ -71,10 +76,11 @@ func (kh *khugepaged) scan(p *Process, tr *instrument.Tracer, now uint64) {
 		cand := kh.queue[0]
 		kh.queue = kh.queue[1:]
 		delete(kh.queued, cand.key)
-		if cand.key.pid != p.PID {
-			continue
+		owner := k.procs[cand.key.pid]
+		if owner == nil {
+			continue // process exited; drop its candidate
 		}
-		if kh.tryCollapse(p, cand, tr, now) {
+		if kh.tryCollapse(owner, cand, tr, now) {
 			continue
 		}
 		// Transient failure (few pages yet, no 2MB block free): keep the
@@ -85,6 +91,19 @@ func (kh *khugepaged) scan(p *Process, tr *instrument.Tracer, now uint64) {
 			kh.queue = append(kh.queue, cand)
 		}
 	}
+}
+
+// dropPID discards queued candidates of an exiting process.
+func (kh *khugepaged) dropPID(pid int) {
+	kept := kh.queue[:0]
+	for _, cand := range kh.queue {
+		if cand.key.pid == pid {
+			delete(kh.queued, cand.key)
+			continue
+		}
+		kept = append(kept, cand)
+	}
+	kh.queue = kept
 }
 
 // tryCollapse performs the Fig. 6 checks and the collapse copy; it
@@ -116,6 +135,7 @@ func (kh *khugepaged) tryCollapse(p *Process, cand khugeCand, tr *instrument.Tra
 		}
 		if e.Swapped || e.Size != mem.Page4K {
 			k.stats.CollapseAborts++
+			p.Stat.CollapseAborts++
 			return true // permanently ineligible in this state
 		}
 		if e.Present {
@@ -129,6 +149,7 @@ func (kh *khugepaged) tryCollapse(p *Process, cand khugeCand, tr *instrument.Tra
 	// worthwhile, mirroring common tuning).
 	if present < 64 {
 		k.stats.CollapseAborts++
+		p.Stat.CollapseAborts++
 		return false // too sparse for now; rescan later
 	}
 
@@ -136,6 +157,7 @@ func (kh *khugepaged) tryCollapse(p *Process, cand khugeCand, tr *instrument.Tra
 	huge, ok := k.Phys.Alloc2M()
 	if !ok {
 		k.stats.CollapseAborts++
+		p.Stat.CollapseAborts++
 		return false // retry once contiguity reappears
 	}
 
@@ -176,6 +198,7 @@ func (kh *khugepaged) tryCollapse(p *Process, cand khugeCand, tr *instrument.Tra
 	p.addResident(residentPage{VA: regionBase, Size: mem.Page2M, Frame: huge})
 	tr.ALU(160) // mmu_notifier, deferred split queue, stats
 	k.stats.Collapses++
+	p.Stat.Collapses++
 	_ = now
 	return true
 }

@@ -49,6 +49,7 @@ func (*LinuxTHPPolicy) AllocAnon(k *Kernel, p *Process, vma *VMA, va mem.VAddr, 
 			tr.ALU(40)
 			exit()
 			k.stats.THPPoolHits++
+			p.Stat.THPPoolHits++
 			return frame, mem.Page2M, true, false, true
 		}
 		tr.Atomic(k.lk.buddy)
@@ -56,11 +57,13 @@ func (*LinuxTHPPolicy) AllocAnon(k *Kernel, p *Process, vma *VMA, va mem.VAddr, 
 		if frame, ok := k.Phys.Alloc2M(); ok {
 			exit()
 			k.stats.THPDirectZero++
+			p.Stat.THPDirectZero++
 			return frame, mem.Page2M, false, false, true
 		}
 		tr.ALU(220) // failed compaction probe
 		exit()
 		k.stats.THPFallback4K++
+		p.Stat.THPFallback4K++
 		k.khuge.noteCandidate(p.PID, vma, va)
 	}
 	frame, ok := k.allocBuddy4K(tr)
@@ -100,6 +103,7 @@ func (rp *ReservationTHPPolicy) AllocAnon(k *Kernel, p *Process, vma *VMA, va me
 			res = &reservation{base: base}
 			vma.reservations[region] = res
 			k.stats.Reservations++
+			p.Stat.Reservations++
 		}
 		exit()
 	}
@@ -159,6 +163,7 @@ func (rp *ReservationTHPPolicy) upgrade(k *Kernel, p *Process, vma *VMA, regionB
 	res.upgraded = true
 	res.count = 512
 	k.stats.Upgrades++
+	p.Stat.Upgrades++
 	// The caller installs the 2MB PTE and resident entry.
 }
 

@@ -69,7 +69,9 @@ func (k *Kernel) swapOutPage(p *Process, va mem.VAddr, size mem.PageSize, tr *in
 	}
 	tr.Delay(dev)
 	k.stats.SwapCycles += dev
+	p.Stat.SwapCycles += dev
 	k.stats.SwapOuts++
+	p.Stat.SwapOuts++
 
 	if ok {
 		p.PT.Update(key, pagetable.Entry{
@@ -85,6 +87,7 @@ func (k *Kernel) swapOutPage(p *Process, va mem.VAddr, size mem.PageSize, tr *in
 			return false
 		}
 	}
+	p.noteSwapSlot(slot)
 	k.notifyUnmap(p.PID, va, size)
 	tr.ALU(60) // TLB shootdown IPI bookkeeping
 
@@ -130,6 +133,7 @@ func (k *Kernel) swapInFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, 
 	}
 	if !ok {
 		k.stats.SegvFaults++
+		p.Stat.SegvFaults++
 		return FaultOutcome{OK: false}
 	}
 
@@ -139,6 +143,7 @@ func (k *Kernel) swapInFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, 
 	}
 	tr.Delay(dev)
 	k.stats.SwapCycles += dev
+	p.Stat.SwapCycles += dev
 	// Fill the frame from the bounce buffer.
 	tr.CopyRange(frame, k.swap.kaddr, size.Bytes())
 
@@ -156,11 +161,15 @@ func (k *Kernel) swapInFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, 
 		}, tr)
 	}
 	k.swap.freeSlot(e.SwapSlot)
+	p.dropSwapSlot(e.SwapSlot)
 	p.RSS += size.Bytes()
 	p.addResident(residentPage{VA: base, Size: size, Frame: frame, RestSeg: restseg})
 	k.stats.MajorFaults++
+	p.Stat.MajorFaults++
 	k.stats.SwapIns++
+	p.Stat.SwapIns++
 	k.stats.FaultsBySize[size]++
+	p.Stat.FaultsBySize[size]++
 	return FaultOutcome{OK: true, Frame: frame, Size: size, Major: true, DeviceCycles: dev}
 }
 
@@ -175,6 +184,7 @@ func (k *Kernel) directReclaim(p *Process, tr *instrument.Tracer, now uint64) {
 	tr.Atomic(k.lk.lru)
 	tr.ALU(420) // shrink_lruvec scan setup
 	k.stats.ReclaimRuns++
+	p.Stat.ReclaimRuns++
 
 	const batch = 16
 	evicted := 0

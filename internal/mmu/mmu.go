@@ -129,6 +129,52 @@ func New(cfg Config, design Design, asid uint16) *MMU {
 // Design returns the installed translation design.
 func (m *MMU) Design() Design { return m.design }
 
+// ASID returns the address-space identifier lookups are currently
+// tagged with.
+func (m *MMU) ASID() uint16 { return m.asid }
+
+// SwitchContext installs the address-space context of the process being
+// scheduled onto the core: the ASID that tags TLB lookups and the
+// process's translation design (its page-table root, walk caches, and
+// design-specific state — the CR3 write of a real context switch). With
+// flush set the whole TLB hierarchy is invalidated, modelling untagged
+// TLBs; without it entries persist across the switch and isolation
+// relies on the ASID tags, so a process resuming its quantum can re-hit
+// translations it installed earlier.
+func (m *MMU) SwitchContext(asid uint16, d Design, flush bool) {
+	m.asid = asid
+	if d != nil {
+		m.design = d
+	}
+	if flush {
+		m.FlushAll()
+	}
+}
+
+// FlushASID drops every TLB entry tagged with asid from the whole
+// hierarchy — the ASID-wide shootdown of process exit. Without it a
+// recycled ASID could hit the dead process's stale translations.
+// Design-internal state needs no flushing here: designs are
+// per-process and die with their process.
+func (m *MMU) FlushASID(asid uint16) {
+	m.itlb.InvalidateASID(asid)
+	m.dtlb4k.InvalidateASID(asid)
+	m.dtlb2m.InvalidateASID(asid)
+	m.stlb.InvalidateASID(asid)
+}
+
+// InvalidateASIDVA performs a TLB shootdown of one page for an explicit
+// ASID — the multiprogrammed form of Invalidate, used when a kernel
+// daemon (khugepaged, reclaim) unmaps pages of a process that is not
+// the one currently running. Design-level invalidation is the caller's
+// responsibility: the page's owner holds its own design.
+func (m *MMU) InvalidateASIDVA(asid uint16, va mem.VAddr, size mem.PageSize) {
+	m.itlb.InvalidateVA(va, asid)
+	m.dtlb4k.InvalidateVA(va, asid)
+	m.dtlb2m.InvalidateVA(va, asid)
+	m.stlb.InvalidateVA(va, asid)
+}
+
 // Stats returns the accumulated statistics.
 func (m *MMU) Stats() *Stats { return &m.stats }
 

@@ -23,12 +23,18 @@ import (
 )
 
 // Job is one simulation point: a full system configuration plus a
-// factory producing a fresh workload instance. The factory is invoked
-// inside the worker, once, so a single *Workload is never shared
-// between concurrently running systems (Workload.Setup mutates it).
+// factory producing a fresh workload instance — or, for multiprogrammed
+// points, a Mix factory producing the whole process list. The factory
+// is invoked inside the worker, once, so a single *Workload is never
+// shared between concurrently running systems (Workload.Setup mutates
+// it). Exactly one of Workload and Mix must be set.
 type Job struct {
 	Cfg      core.Config
 	Workload func() (*workloads.Workload, error)
+	// Mix, when set, runs the point through core.System.RunMulti: each
+	// returned workload becomes one scheduled process. Outcome.Metrics
+	// then carries the aggregate and Outcome.Multi the full breakdown.
+	Mix func() ([]*workloads.Workload, error)
 }
 
 // Outcome is the result of one job.
@@ -36,6 +42,9 @@ type Outcome struct {
 	// Index is the job's position in the input slice.
 	Index   int
 	Metrics core.Metrics
+	// Multi holds the per-process breakdown of a Mix job (nil for
+	// single-workload jobs); Metrics is then Multi.Aggregate.
+	Multi *core.MultiMetrics
 	// Err is non-nil if the job's system could not be built, its
 	// workload factory failed, or the run was cancelled.
 	Err error
@@ -152,18 +161,37 @@ func runJob(j Job, i int, cancelled func() bool) Outcome {
 	if cancelled() {
 		return Outcome{Index: i, Err: context.Canceled}
 	}
-	if j.Workload == nil {
+	if j.Workload == nil && j.Mix == nil {
 		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d has no workload", i)}
 	}
-	w, err := j.Workload()
-	if err != nil {
-		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d workload: %w", i, err)}
+	if j.Workload != nil && j.Mix != nil {
+		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d sets both Workload and Mix", i)}
 	}
 	sys, err := core.NewSystem(j.Cfg)
 	if err != nil {
 		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d config: %w", i, err)}
 	}
 	sys.SetCancelCheck(cancelled)
+
+	if j.Mix != nil {
+		ws, err := j.Mix()
+		if err != nil {
+			return Outcome{Index: i, Err: fmt.Errorf("runner: job %d mix: %w", i, err)}
+		}
+		mm, err := sys.RunMulti(ws)
+		if err != nil {
+			return Outcome{Index: i, Err: fmt.Errorf("runner: job %d: %w", i, err)}
+		}
+		if sys.Interrupted() {
+			return Outcome{Index: i, Err: context.Canceled}
+		}
+		return Outcome{Index: i, Metrics: mm.Aggregate, Multi: &mm}
+	}
+
+	w, err := j.Workload()
+	if err != nil {
+		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d workload: %w", i, err)}
+	}
 	m := sys.Run(w)
 	if sys.Interrupted() {
 		// The run itself was stopped early; its metrics cover a

@@ -16,7 +16,7 @@ func tinyJob(seed uint64) Job {
 	return Job{
 		Cfg: cfg,
 		Workload: func() (*workloads.Workload, error) {
-			w, _ := workloads.ByName("2D-Sum")
+			w, _ := workloads.ByNameWith("2D-Sum", workloads.Params{Scale: 0.05})
 			return w, nil
 		},
 	}
@@ -30,10 +30,6 @@ func TestRunEmpty(t *testing.T) {
 }
 
 func TestRunOrderAndProgress(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.05
-	defer func() { workloads.Scale = prev }()
-
 	jobs := []Job{tinyJob(1), tinyJob(2), tinyJob(3)}
 	var events int
 	outs, err := Run(context.Background(), jobs, 3, func(done, total int, out Outcome) {
@@ -59,10 +55,6 @@ func TestRunOrderAndProgress(t *testing.T) {
 }
 
 func TestRunBadConfigStopsBatch(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.05
-	defer func() { workloads.Scale = prev }()
-
 	bad := tinyJob(1)
 	bad.Cfg.Policy = "no-such-policy"
 	jobs := []Job{bad, tinyJob(2)}

@@ -8,11 +8,16 @@ import (
 	"repro/internal/workloads"
 )
 
-func TestAllPersonalitiesRun(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.02
-	defer func() { workloads.Scale = prev }()
+// tinyWorkload builds a catalog workload at test scale.
+func tinyWorkload(name string) *workloads.Workload {
+	w, ok := workloads.ByNameWith(name, workloads.Params{Scale: 0.02})
+	if !ok {
+		panic(name)
+	}
+	return w
+}
 
+func TestAllPersonalitiesRun(t *testing.T) {
 	for _, k := range append(Kinds(), Gem5FS) {
 		k := k
 		t.Run(string(k), func(t *testing.T) {
@@ -22,7 +27,7 @@ func TestAllPersonalitiesRun(t *testing.T) {
 				PhysBytes:   512 * mem.MB,
 				Seed:        5,
 			})
-			m := s.Run(workloads.Hadamard())
+			m := s.Run(tinyWorkload("Hadamard"))
 			if m.Segvs != 0 {
 				t.Fatalf("%s: segvs %d", k, m.Segvs)
 			}
@@ -40,29 +45,21 @@ func TestAllPersonalitiesRun(t *testing.T) {
 }
 
 func TestWithoutMimicOSIsEmulation(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.02
-	defer func() { workloads.Scale = prev }()
-
 	s := MustBuild(Sniper, Options{WithMimicOS: false, MaxAppInsts: 60_000, PhysBytes: 512 * mem.MB})
 	if s.Cfg.Mode != core.Emulation {
 		t.Fatal("baseline build not in emulation mode")
 	}
-	m := s.Run(workloads.Hadamard())
+	m := s.Run(tinyWorkload("Hadamard"))
 	if m.KernelInsts != 0 {
 		t.Fatalf("baseline injected %d kernel instructions", m.KernelInsts)
 	}
 }
 
 func TestGem5FSRunsFullKernel(t *testing.T) {
-	prev := workloads.Scale
-	workloads.Scale = 0.02
-	defer func() { workloads.Scale = prev }()
-
 	se := MustBuild(Gem5SE, Options{WithMimicOS: true, MaxAppInsts: 50_000, PhysBytes: 512 * mem.MB})
 	fs := MustBuild(Gem5FS, Options{WithMimicOS: true, MaxAppInsts: 50_000, PhysBytes: 512 * mem.MB})
-	mse := se.Run(workloads.Sum2D())
-	mfs := fs.Run(workloads.Sum2D())
+	mse := se.Run(tinyWorkload("2D-Sum"))
+	mfs := fs.Run(tinyWorkload("2D-Sum"))
 	if mfs.KernelInsts <= mse.KernelInsts {
 		t.Fatalf("full-system kernel instructions (%d) not above syscall-emulation (%d)",
 			mfs.KernelInsts, mse.KernelInsts)

@@ -184,11 +184,39 @@ func (t *TLB) InvalidateAll() {
 	t.stats.Shootdowns++
 }
 
+// InvalidateASID drops every entry tagged with asid — the ASID-wide
+// shootdown issued when a process exits (or its ASID is about to be
+// recycled). Entries of other address spaces are retained.
+func (t *TLB) InvalidateASID(asid uint16) {
+	dropped := false
+	for i := range t.lines {
+		ln := &t.lines[i]
+		if ln.valid && ln.e.ASID == asid {
+			ln.valid = false
+			dropped = true
+		}
+	}
+	if dropped {
+		t.stats.Shootdowns++
+	}
+}
+
 // Occupancy returns the number of valid entries.
 func (t *TLB) Occupancy() int {
 	n := 0
 	for i := range t.lines {
 		if t.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// OccupancyASID returns the number of valid entries tagged with asid.
+func (t *TLB) OccupancyASID(asid uint16) int {
+	n := 0
+	for i := range t.lines {
+		if t.lines[i].valid && t.lines[i].e.ASID == asid {
 			n++
 		}
 	}

@@ -9,54 +9,46 @@ import (
 )
 
 // Params configures workload construction. The zero value resolves to
-// the deprecated package globals (Scale, LongIters), which themselves
-// default to the library's reference behaviour — so Params{} built
-// workloads behave exactly like the historical catalog.
+// the library defaults (DefaultScale, DefaultLongIters), so Params{}
+// built workloads behave exactly like the reference catalog.
 //
-// Passing explicit Params is the race-free path: a workload built with
-// them never reads mutable package state, so concurrent constructions
-// with different parameters (e.g. two parallel sweeps at different
-// scales) are safe.
+// Construction reads no mutable package state — the deprecated
+// Scale/LongIters globals are gone — so concurrent constructions with
+// different parameters (e.g. two parallel sweeps at different scales)
+// are race-free by design.
 type Params struct {
 	// Scale shrinks the paper's footprints (50–100 GB) to
 	// simulator-friendly sizes while preserving the
 	// footprint-to-TLB-reach ratios that drive MPKI. All catalog sizes
-	// are expressed at Scale=1. 0 means "use the Scale global".
+	// are expressed at Scale=1. 0 means DefaultScale.
 	Scale float64
 
 	// LongIters is the number of iterate passes long-running workloads
 	// make over their data. Real long-running executions amortise their
 	// build phase over hours; raising this approaches that regime.
-	// 0 means "use the LongIters global".
+	// 0 means DefaultLongIters.
 	LongIters int
 }
 
-// resolve fills zero fields from the deprecated globals. Constructors
+// Library default construction parameters (the values behind
+// zero-valued Params fields).
+const (
+	DefaultScale     = 1.0
+	DefaultLongIters = 4
+)
+
+// resolve fills zero fields with the library defaults. Constructors
 // call it once, up front, so a workload captures its parameters at
-// construction time and never re-reads the globals later.
+// construction time.
 func (p Params) resolve() Params {
 	if p.Scale == 0 {
-		p.Scale = Scale
+		p.Scale = DefaultScale
 	}
 	if p.LongIters == 0 {
-		p.LongIters = LongIters
+		p.LongIters = DefaultLongIters
 	}
 	return p
 }
-
-// Scale is the process-global default for Params.Scale.
-//
-// Deprecated: mutating this global races with concurrent workload
-// construction (parallel sweeps build workloads inside workers). Pass
-// Params to ByNameWith / LongSuiteWith / ShortSuiteWith instead; the
-// global remains only as the default behind zero-valued Params.
-var Scale = 1.0
-
-// LongIters is the process-global default for Params.LongIters.
-//
-// Deprecated: mutating this global races with concurrent workload
-// construction. Pass Params instead.
-var LongIters = 4
 
 func (p Params) sz(bytes uint64) uint64 {
 	v := uint64(float64(bytes) * p.Scale)
@@ -264,7 +256,7 @@ func StressWith(level int, maxLevels int, p Params) *Workload {
 	return w
 }
 
-// Stress is StressWith at the deprecated-global defaults.
+// Stress is StressWith at the library defaults.
 func Stress(level int, maxLevels int) *Workload {
 	return StressWith(level, maxLevels, Params{})
 }
@@ -280,7 +272,7 @@ func LongSuiteWith(p Params) []*Workload {
 	}
 }
 
-// LongSuite is LongSuiteWith at the deprecated-global defaults.
+// LongSuite is LongSuiteWith at the library defaults.
 func LongSuite() []*Workload { return LongSuiteWith(Params{}) }
 
 func bc(p Params) *Workload  { return graph(p, "BC", p.sz(384*mem.MB), 0.75, 4, false, 147) }
@@ -327,6 +319,62 @@ func XS() *Workload { return xs(Params{}.resolve()) }
 // and TLB stressor (used for Fig. 11's worst-case overheads).
 func RND() *Workload { return rnd(Params{}.resolve()) }
 
+// Mix extras ----------------------------------------------------------------
+//
+// Extras are workloads outside the Table 5 suites, reachable through
+// ByNameWith (and therefore usable in multiprogrammed mixes and on the
+// CLI) without changing the suites the paper-reproduction experiments
+// iterate over.
+
+func extrasWith(p Params) []*Workload {
+	return []*Workload{seqW(p)}
+}
+
+// seqW builds "SEQ": a purely sequential streaming scan with high
+// spatial locality — the TLB-friendly counterpoint to RND in
+// multiprogrammed mixes, where the contrast makes ASID-retention and
+// scheduling effects easy to read.
+func seqW(p Params) *Workload {
+	foot := p.sz(256 * mem.MB)
+	w := &Workload{name: "SEQ", class: LongRunning, footprint: foot}
+	w.setup = func(w *Workload, k *mimicos.Kernel, pid int) {
+		w.bases["data"] = k.Mmap(pid, foot, mimicos.MmapFlags{Anon: true})
+	}
+	w.program = func(w *Workload) []Step {
+		data := w.Base("data")
+		steps := []Step{
+			{Kind: StepTouch, Base: data, Size: foot, Stride: 64, ALUPer: 2, PC: 0xA00100},
+		}
+		for it := 0; it < p.LongIters; it++ {
+			steps = append(steps, Step{Kind: StepSeq, Base: data, Size: foot, Stride: 64,
+				Count: foot / 64 / 2, ALUPer: 4, PC: 0xA00200})
+		}
+		return steps
+	}
+	return w
+}
+
+// SEQ is the sequential-streaming extra at the library defaults.
+func SEQ() *Workload { return seqW(Params{}.resolve()) }
+
+// ExtraSuite returns the mix-extra workloads at the library defaults.
+func ExtraSuite() []*Workload { return extrasWith(Params{}.resolve()) }
+
+// MixWith builds one fresh workload per name (suites or extras, same
+// forgiving matching as ByNameWith) — the construction path every
+// multiprogrammed mix goes through.
+func MixWith(names []string, p Params) ([]*Workload, error) {
+	ws := make([]*Workload, len(names))
+	for i, n := range names {
+		w, ok := ByNameWith(n, p)
+		if !ok {
+			return nil, fmt.Errorf("workloads: unknown workload %q", n)
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
 // Short-running suite --------------------------------------------------------
 
 // ShortSuiteWith returns the short-running suite of Table 5, built with
@@ -340,7 +388,7 @@ func ShortSuiteWith(p Params) []*Workload {
 	}
 }
 
-// ShortSuite is ShortSuiteWith at the deprecated-global defaults.
+// ShortSuite is ShortSuiteWith at the library defaults.
 func ShortSuite() []*Workload { return ShortSuiteWith(Params{}) }
 
 func jsonW(p Params) *Workload   { return faas("JSON", p.sz(24*mem.MB), 10, 64*1024) }
@@ -390,11 +438,11 @@ func Hadamard() *Workload { return hadamard(Params{}.resolve()) }
 // Sum2D is the 2D matrix sum.
 func Sum2D() *Workload { return sum2D(Params{}.resolve()) }
 
-// ByNameWith returns the named workload from either suite, built with
-// explicit parameters — the race-free lookup parallel sweeps use.
-// Lookup is forgiving: it accepts the canonical Table 5 name ("BFS"),
-// any case variant ("bfs"), and suite-prefixed spellings
-// ("graphbig-bfs").
+// ByNameWith returns the named workload from either suite (or the mix
+// extras), built with explicit parameters — the race-free lookup
+// parallel sweeps use. Lookup is forgiving: it accepts the canonical
+// Table 5 name ("BFS"), any case variant ("bfs"), and suite-prefixed
+// spellings ("graphbig-bfs").
 func ByNameWith(name string, p Params) (*Workload, bool) {
 	for _, w := range LongSuiteWith(p) {
 		if matchName(w.Name(), name) {
@@ -402,6 +450,11 @@ func ByNameWith(name string, p Params) (*Workload, bool) {
 		}
 	}
 	for _, w := range ShortSuiteWith(p) {
+		if matchName(w.Name(), name) {
+			return w, true
+		}
+	}
+	for _, w := range extrasWith(p) {
 		if matchName(w.Name(), name) {
 			return w, true
 		}
@@ -433,6 +486,6 @@ func matchName(canonical, requested string) bool {
 	return suitePrefix[can]+can == req
 }
 
-// ByName returns the named workload from either suite, built at the
-// deprecated-global defaults.
+// ByName returns the named workload from either suite (or the mix
+// extras), built at the library defaults.
 func ByName(name string) (*Workload, bool) { return ByNameWith(name, Params{}) }

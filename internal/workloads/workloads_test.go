@@ -29,13 +29,11 @@ func TestSuitesEnumerate(t *testing.T) {
 }
 
 func TestAddressesStayInsideVMAs(t *testing.T) {
-	prev := Scale
-	Scale = 0.02
-	defer func() { Scale = prev }()
+	tiny := Params{Scale: 0.02}
 
 	k := testKernel()
 	k.CreateProcess(1)
-	for _, w := range []*Workload{BFS(), JSON(), Llama(), Sum2D(), SP()} {
+	for _, w := range []*Workload{bfs(tiny.resolve()), jsonW(tiny.resolve()), llama(tiny.resolve()), sum2D(tiny.resolve()), sp(tiny.resolve())} {
 		w.Setup(k, 1)
 		src := w.Source(7)
 		var in isa.Inst
@@ -56,10 +54,6 @@ func TestAddressesStayInsideVMAs(t *testing.T) {
 }
 
 func TestSourceDeterministic(t *testing.T) {
-	prev := Scale
-	Scale = 0.02
-	defer func() { Scale = prev }()
-
 	k := testKernel()
 	k.CreateProcess(1)
 	w := Custom("det", LongRunning, 1*mem.MB,
@@ -99,13 +93,11 @@ func TestSourceDeterministic(t *testing.T) {
 }
 
 func TestShortWorkloadsTerminate(t *testing.T) {
-	prev := Scale
-	Scale = 0.02
-	defer func() { Scale = prev }()
+	tiny := Params{Scale: 0.02}
 
 	k := testKernel()
 	k.CreateProcess(1)
-	w := JSON()
+	w := jsonW(tiny.resolve())
 	w.Setup(k, 1)
 	src := w.Source(1)
 	var in isa.Inst
@@ -122,13 +114,11 @@ func TestShortWorkloadsTerminate(t *testing.T) {
 }
 
 func TestBCVMACensus(t *testing.T) {
-	prev := Scale
-	Scale = 0.02
-	defer func() { Scale = prev }()
+	tiny := Params{Scale: 0.02}
 
 	k := testKernel()
 	k.CreateProcess(1)
-	w := BC()
+	w := bc(tiny.resolve())
 	w.Setup(k, 1)
 	n := len(k.Process(1).VMAs)
 	if n != 148 { // 1 data + 147 auxiliary (Fig. 18)

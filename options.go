@@ -13,12 +13,14 @@ import (
 type Option func(*openState) error
 
 // openState accumulates the configuration Open assembles. The named
-// workload is only looked up once every option has been applied, so
-// WithWorkloadScale takes effect regardless of option order.
+// workload (or mix) is only looked up once every option has been
+// applied, so WithWorkloadScale takes effect regardless of option
+// order.
 type openState struct {
 	cfg    Config
 	wname  string
 	custom *Workload
+	mix    []string
 	params WorkloadParams
 }
 
@@ -132,8 +134,53 @@ func WithWorkload(name string) Option {
 		if _, err := NamedWorkload(name); err != nil {
 			return err
 		}
-		s.wname, s.custom = name, nil
+		s.wname, s.custom, s.mix = name, nil, nil
 		s.displaceTrace()
+		return nil
+	}
+}
+
+// WithProcesses turns the session multiprogrammed: each named workload
+// becomes one concurrent process in its own address space, interleaved
+// by the MimicOS round-robin scheduler (see WithQuantum and
+// WithASIDRetention). The session then runs through RunMulti. Like the
+// other workload selectors, the last selection wins: WithProcesses
+// displaces an earlier WithWorkload/WithCustomWorkload/WithTrace and
+// vice versa.
+func WithProcesses(names ...string) Option {
+	return func(s *openState) error {
+		if len(names) == 0 {
+			return fmt.Errorf("virtuoso: WithProcesses needs at least one workload")
+		}
+		for _, n := range names {
+			if _, err := NamedWorkload(n); err != nil {
+				return err
+			}
+		}
+		s.mix = append([]string(nil), names...)
+		s.wname, s.custom = "", nil
+		s.displaceTrace()
+		return nil
+	}
+}
+
+// WithQuantum sets the multiprogrammed scheduler's round-robin time
+// slice in simulated cycles (0 keeps the default).
+func WithQuantum(cycles uint64) Option {
+	return func(s *openState) error {
+		s.cfg.QuantumCycles = cycles
+		return nil
+	}
+}
+
+// WithASIDRetention selects whether the TLB hierarchy retains entries
+// across context switches, isolated by ASID tags (true), or flushes on
+// every switch like an untagged TLB (false, the default). Only
+// multiprogrammed runs switch contexts, so single-workload sessions
+// are unaffected.
+func WithASIDRetention(retain bool) Option {
+	return func(s *openState) error {
+		s.cfg.ASIDRetention = retain
 		return nil
 	}
 }
@@ -159,7 +206,7 @@ func WithCustomWorkload(w *Workload) Option {
 		if w == nil {
 			return fmt.Errorf("virtuoso: nil workload")
 		}
-		s.custom, s.wname = w, w.Name()
+		s.custom, s.wname, s.mix = w, w.Name(), nil
 		s.displaceTrace()
 		return nil
 	}
@@ -259,7 +306,7 @@ func WithTrace(path string) Option {
 		if err != nil {
 			return err
 		}
-		s.custom, s.wname = w, w.Name()
+		s.custom, s.wname, s.mix = w, w.Name(), nil
 		s.cfg.TracePath = path
 		if s.cfg.Frontend != core.FrontendMemTrace {
 			s.cfg.Frontend = core.FrontendTrace

@@ -20,6 +20,10 @@ type Result struct {
 	Mode     string     `json:"mode"`
 	Seed     uint64     `json:"seed"`
 	Metrics  Metrics    `json:"metrics"`
+	// Multi carries the per-process breakdown of a multiprogrammed
+	// point (Sweep.Mixes / Session.MultiResult); Metrics then echoes
+	// Multi.Aggregate. Nil for single-workload points.
+	Multi *MultiMetrics `json:"multi,omitempty"`
 }
 
 // Key returns a compact "workload/design/policy/seed" identifier.

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/workloads"
 )
 
 // Point is one cell of a sweep's (workloads × designs × policies ×
@@ -18,6 +20,10 @@ type Point struct {
 	Design   DesignName
 	Policy   PolicyName
 	Seed     uint64
+	// Mix lists the process workloads of a multiprogrammed point
+	// (Sweep.Mixes); Workload is then the "+"-joined mix name. Nil for
+	// single-workload points.
+	Mix []string
 }
 
 // SweepEvent reports one finished point to a progress callback.
@@ -46,12 +52,19 @@ type Sweep struct {
 	// Base is the configuration every point starts from.
 	Base Config
 
-	// Grid axes. Workloads is required; the others default to Base's
-	// design, policy, and seed.
+	// Grid axes. Workloads (or Mixes) is required; the others default
+	// to Base's design, policy, and seed.
 	Workloads []string
 	Designs   []DesignName
 	Policies  []PolicyName
 	Seeds     []uint64
+
+	// Mixes is the multiprogrammed workload axis: each entry is one
+	// process list, run through the MimicOS scheduler (RunMulti) with
+	// Base's quantum/ASID-retention settings. Mixes entries join the
+	// Workloads entries on the same axis, so a sweep can compare
+	// single-process and multiprogrammed points in one grid.
+	Mixes [][]string
 
 	// Params configures catalog workload construction (footprint scale,
 	// long-running iteration count) for every point. It is threaded
@@ -79,8 +92,8 @@ type Sweep struct {
 	Progress func(SweepEvent)
 }
 
-// Points expands the grid in deterministic order: workloads outermost,
-// then designs, policies, and seeds.
+// Points expands the grid in deterministic order: workloads (then
+// mixes) outermost, then designs, policies, and seeds.
 func (s *Sweep) Points() []Point {
 	designs := s.Designs
 	if len(designs) == 0 {
@@ -94,13 +107,24 @@ func (s *Sweep) Points() []Point {
 	if len(seeds) == 0 {
 		seeds = []uint64{s.Base.Seed}
 	}
-	pts := make([]Point, 0, len(s.Workloads)*len(designs)*len(policies)*len(seeds))
+	type wl struct {
+		name string
+		mix  []string
+	}
+	axis := make([]wl, 0, len(s.Workloads)+len(s.Mixes))
 	for _, w := range s.Workloads {
+		axis = append(axis, wl{name: w})
+	}
+	for _, mix := range s.Mixes {
+		axis = append(axis, wl{name: core.MixName(mix), mix: mix})
+	}
+	pts := make([]Point, 0, len(axis)*len(designs)*len(policies)*len(seeds))
+	for _, w := range axis {
 		for _, d := range designs {
 			for _, p := range policies {
 				for _, seed := range seeds {
 					pts = append(pts, Point{
-						Index: len(pts), Workload: w,
+						Index: len(pts), Workload: w.name, Mix: w.mix,
 						Design: d, Policy: p, Seed: seed,
 					})
 				}
@@ -118,7 +142,7 @@ func (s *Sweep) Points() []Point {
 func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	pts := s.Points()
 	if len(pts) == 0 {
-		return nil, fmt.Errorf("virtuoso: empty sweep (set Sweep.Workloads)")
+		return nil, fmt.Errorf("virtuoso: empty sweep (set Sweep.Workloads or Sweep.Mixes)")
 	}
 	if err := validateParams(s.Params); err != nil {
 		return nil, err
@@ -135,7 +159,11 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 				return nil, fmt.Errorf("virtuoso: point %d (%s/%s/%s): %w", p.Index, p.Workload, p.Design, p.Policy, err)
 			}
 		}
-		jobs[i] = runner.Job{Cfg: cfg, Workload: s.workloadFactory(p)}
+		if p.Mix != nil {
+			jobs[i] = runner.Job{Cfg: cfg, Mix: s.mixFactory(p)}
+		} else {
+			jobs[i] = runner.Job{Cfg: cfg, Workload: s.workloadFactory(p)}
+		}
 	}
 
 	var progress func(done, total int, out runner.Outcome)
@@ -167,6 +195,7 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 			Mode:     jobs[i].Cfg.Mode.String(),
 			Seed:     jobs[i].Cfg.Seed,
 			Metrics:  out.Metrics,
+			Multi:    out.Multi,
 		})
 	}
 	if err != nil {
@@ -183,4 +212,12 @@ func (s *Sweep) workloadFactory(p Point) func() (*Workload, error) {
 	}
 	name, params := p.Workload, s.Params
 	return func() (*Workload, error) { return NamedWorkloadWith(name, params) }
+}
+
+// mixFactory returns the per-point process-list constructor for a
+// multiprogrammed point. Each call builds fresh workload instances, so
+// concurrent points never share mutable workload state.
+func (s *Sweep) mixFactory(p Point) func() ([]*workloads.Workload, error) {
+	names, params := p.Mix, s.Params
+	return func() ([]*workloads.Workload, error) { return NamedMixWith(names, params) }
 }

@@ -20,6 +20,7 @@ func testSweep(parallel int) *virtuoso.Sweep {
 		Designs:   []virtuoso.DesignName{virtuoso.DesignRadix},
 		Policies:  []virtuoso.PolicyName{virtuoso.PolicyTHP},
 		Seeds:     []uint64{1, 2},
+		Params:    virtuoso.WorkloadParams{Scale: 0.05},
 		Parallel:  parallel,
 	}
 }
@@ -69,8 +70,6 @@ func canonical(t *testing.T, r virtuoso.Result) string {
 // the sweep runner: >= 4 points executed with Parallel >= 4 must yield
 // byte-identical per-point metrics to a sequential run of the same grid.
 func TestSweepParallelMatchesSequential(t *testing.T) {
-	withTinyScale(t)
-
 	seq, err := testSweep(1).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -102,14 +101,13 @@ func TestSweepParallelMatchesSequential(t *testing.T) {
 }
 
 func TestSweepCancellation(t *testing.T) {
-	withTinyScale(t)
-
 	base := virtuoso.ScaledConfig()
 	base.MaxAppInsts = 400_000
 	sweep := &virtuoso.Sweep{
 		Base:      base,
 		Workloads: []string{"JSON", "2D-Sum", "Hadamard"},
 		Seeds:     []uint64{1, 2, 3, 4},
+		Params:    virtuoso.WorkloadParams{Scale: 0.05},
 		Parallel:  2,
 	}
 
@@ -137,12 +135,12 @@ func TestSweepCancellation(t *testing.T) {
 }
 
 func TestSweepResultEchoesConfiguredPoint(t *testing.T) {
-	withTinyScale(t)
 	base := virtuoso.ScaledConfig()
 	base.MaxAppInsts = 50_000
 	sweep := &virtuoso.Sweep{
 		Base:      base,
 		Workloads: []string{"JSON"},
+		Params:    virtuoso.WorkloadParams{Scale: 0.05},
 		Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
 			cfg.Policy = virtuoso.PolicyBuddy // override the grid's policy
 			return nil
@@ -168,7 +166,6 @@ func TestSweepUnknownWorkloadFails(t *testing.T) {
 }
 
 func TestReportHelpers(t *testing.T) {
-	withTinyScale(t)
 	rep, err := testSweep(2).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)

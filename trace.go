@@ -86,6 +86,9 @@ func headerInfo(path string, hdr trace.Header) TraceInfo {
 // Like Run, Record consumes the session. A partially written file is
 // removed on error.
 func (s *Session) Record(path string) (Metrics, TraceInfo, error) {
+	if len(s.mix) > 0 {
+		return Metrics{}, TraceInfo{}, fmt.Errorf("virtuoso: multiprogrammed sessions cannot be recorded (a trace captures one address space)")
+	}
 	if s.ran {
 		return Metrics{}, TraceInfo{}, fmt.Errorf("virtuoso: session already run (sessions are single-use; Open a new one)")
 	}

@@ -53,6 +53,24 @@
 //	m, info, err := sess.Record("bfs.trc.gz") // live run, stream teed to disk
 //	rep, err := virtuoso.Open(virtuoso.WithTrace("bfs.trc.gz"))
 //	m2, err := rep.Run()                      // identical metrics, no workload needed
+//
+// Multiprogrammed runs — several workloads share one machine as
+// concurrent processes, each in its own address space, interleaved by
+// the MimicOS round-robin scheduler. The aggregate footprint drives
+// real memory pressure into the swap and khugepaged paths, and the TLB
+// either flushes on every context switch or retains entries by ASID:
+//
+//	sess, err := virtuoso.Open(
+//		virtuoso.WithScaledConfig(),
+//		virtuoso.WithProcesses("RND", "SEQ"),
+//		virtuoso.WithQuantum(100_000),
+//		virtuoso.WithASIDRetention(true),
+//	)
+//	mm, err := sess.RunMulti()
+//	fmt.Println(mm.Aggregate.IPC, mm.ContextSwitches, mm.Procs[0].OS.SwapOuts)
+//
+// Sweeps take mixes as a grid axis (Sweep.Mixes), so design × mix ×
+// seed grids of multiprogrammed points run on the same worker pool.
 package virtuoso
 
 import (
@@ -91,6 +109,11 @@ type (
 	// library defaults; passing explicit params is the race-free way to
 	// build differently scaled workloads concurrently.
 	WorkloadParams = workloads.Params
+	// MultiMetrics is the result of one multiprogrammed run: aggregate
+	// metrics plus the per-process breakdown and scheduler accounting.
+	MultiMetrics = core.MultiMetrics
+	// ProcessMetrics is one process's share of a multiprogrammed run.
+	ProcessMetrics = core.ProcessMetrics
 )
 
 // Frontend integration styles (§6.2).
@@ -174,20 +197,21 @@ func ScaledConfig() Config {
 }
 
 // Session is one opened simulation: an assembled system plus the
-// workload it will run. Sessions are single-use — Run consumes the
-// system state — and not safe for concurrent use; open one session per
+// workload — or, for multiprogrammed sessions, the workload mix — it
+// will run. Sessions are single-use — Run/RunMulti consume the system
+// state — and not safe for concurrent use; open one session per
 // goroutine, or use Sweep, which does exactly that.
 type Session struct {
 	cfg Config
 	sys *core.System
 	w   *Workload
+	mix []*Workload
 	ran bool
 }
 
 // Open assembles a simulation session from the given options, starting
-// from DefaultConfig. It returns an error — instead of panicking, as
-// the deprecated New did — when an option is invalid or the system
-// cannot be built.
+// from DefaultConfig. It returns an error when an option is invalid or
+// the system cannot be built.
 func Open(opts ...Option) (*Session, error) {
 	st := openState{cfg: DefaultConfig()}
 	for _, opt := range opts {
@@ -195,21 +219,30 @@ func Open(opts ...Option) (*Session, error) {
 			return nil, err
 		}
 	}
-	if st.custom == nil && st.wname == "" {
-		return nil, fmt.Errorf("virtuoso: no workload selected (use WithWorkload, WithCustomWorkload, or WithTrace)")
+	if st.custom == nil && st.wname == "" && len(st.mix) == 0 {
+		return nil, fmt.Errorf("virtuoso: no workload selected (use WithWorkload, WithCustomWorkload, WithTrace, or WithProcesses)")
 	}
-	w := st.custom
-	if w == nil {
+	var w *Workload
+	var mix []*Workload
+	if len(st.mix) > 0 {
 		var err error
-		if w, err = NamedWorkloadWith(st.wname, st.params); err != nil {
+		if mix, err = NamedMixWith(st.mix, st.params); err != nil {
 			return nil, err
+		}
+	} else {
+		w = st.custom
+		if w == nil {
+			var err error
+			if w, err = NamedWorkloadWith(st.wname, st.params); err != nil {
+				return nil, err
+			}
 		}
 	}
 	sys, err := core.NewSystem(st.cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Session{cfg: st.cfg, sys: sys, w: w}, nil
+	return &Session{cfg: st.cfg, sys: sys, w: w, mix: mix}, nil
 }
 
 // Config returns the session's assembled configuration.
@@ -219,8 +252,13 @@ func (s *Session) Config() Config { return s.cfg }
 // custom OS policies, inspecting MimicOS state, driving RunSteps).
 func (s *Session) System() *System { return s.sys }
 
-// Workload returns the workload the session runs.
+// Workload returns the workload the session runs (nil for
+// multiprogrammed sessions — see Mix).
 func (s *Session) Workload() *Workload { return s.w }
+
+// Mix returns the workloads of a multiprogrammed session in process
+// order (nil for single-workload sessions).
+func (s *Session) Mix() []*Workload { return s.mix }
 
 // Run simulates the session's workload to completion (or the configured
 // instruction bound) and returns the collected metrics.
@@ -230,6 +268,9 @@ func (s *Session) Run() (Metrics, error) { return s.RunContext(context.Backgroun
 // ctx every few thousand instructions and aborts with ctx's error when
 // it is cancelled, discarding the truncated metrics.
 func (s *Session) RunContext(ctx context.Context) (Metrics, error) {
+	if len(s.mix) > 0 {
+		return Metrics{}, fmt.Errorf("virtuoso: session was opened with WithProcesses; use RunMulti")
+	}
 	if s.ran {
 		return Metrics{}, fmt.Errorf("virtuoso: session already run (sessions are single-use; Open a new one)")
 	}
@@ -258,6 +299,47 @@ func (s *Session) RunContext(ctx context.Context) (Metrics, error) {
 	return m, nil
 }
 
+// RunMulti simulates a multiprogrammed session (opened with
+// WithProcesses) to completion and returns aggregate plus per-process
+// metrics. The run is deterministic: the same configuration yields
+// byte-identical results on every execution, standalone or inside a
+// parallel Sweep.
+func (s *Session) RunMulti() (MultiMetrics, error) {
+	return s.RunMultiContext(context.Background())
+}
+
+// RunMultiContext is RunMulti with cooperative cancellation.
+func (s *Session) RunMultiContext(ctx context.Context) (MultiMetrics, error) {
+	if len(s.mix) == 0 {
+		return MultiMetrics{}, fmt.Errorf("virtuoso: session has a single workload; use Run (or open with WithProcesses)")
+	}
+	if s.ran {
+		return MultiMetrics{}, fmt.Errorf("virtuoso: session already run (sessions are single-use; Open a new one)")
+	}
+	if err := ctx.Err(); err != nil {
+		return MultiMetrics{}, err
+	}
+	s.ran = true
+	done := ctx.Done()
+	s.sys.SetCancelCheck(func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+	defer s.sys.SetCancelCheck(nil)
+	mm, err := s.sys.RunMulti(s.mix)
+	if err != nil {
+		return MultiMetrics{}, err
+	}
+	if s.sys.Interrupted() {
+		return MultiMetrics{}, ctx.Err()
+	}
+	return mm, nil
+}
+
 // Result packages the session's metrics with the configuration echo the
 // sweep runner produces, for uniform JSON output. Index is always zero
 // for session results — it identifies grid position only in sweep
@@ -273,6 +355,23 @@ func (s *Session) Result(m Metrics) Result {
 	}
 }
 
+// MultiResult packages a multiprogrammed run's metrics as a Result:
+// Metrics carries the aggregate, Multi the per-process breakdown, and
+// Workload the "+"-joined mix name — the same shape sweep points with
+// Mixes produce, so standalone and swept multiprogrammed runs are
+// byte-comparable.
+func (s *Session) MultiResult(mm MultiMetrics) Result {
+	return Result{
+		Workload: core.MixName(mm.Mix),
+		Design:   s.cfg.Design,
+		Policy:   s.cfg.Policy,
+		Mode:     s.cfg.Mode.String(),
+		Seed:     s.cfg.Seed,
+		Metrics:  mm.Aggregate,
+		Multi:    &mm,
+	}
+}
+
 // NamedWorkload returns a Table 5 workload ("BC", "BFS", ..., "JSON",
 // "Llama-2-7B", ...) built with the default parameters, or an error if
 // the name is unknown.
@@ -281,9 +380,9 @@ func NamedWorkload(name string) (*Workload, error) {
 }
 
 // NamedWorkloadWith returns a Table 5 workload built with explicit
-// construction parameters. Unlike the deprecated SetWorkloadScale
-// global, explicit parameters are safe to vary across concurrent
-// constructions (parallel sweeps build workloads inside their workers).
+// construction parameters. Explicit parameters are safe to vary across
+// concurrent constructions (parallel sweeps build workloads inside
+// their workers).
 func NamedWorkloadWith(name string, p WorkloadParams) (*Workload, error) {
 	if err := validateParams(p); err != nil {
 		return nil, err
@@ -293,6 +392,21 @@ func NamedWorkloadWith(name string, p WorkloadParams) (*Workload, error) {
 		return nil, fmt.Errorf("virtuoso: unknown workload %q", name)
 	}
 	return w, nil
+}
+
+// NamedMixWith builds one fresh workload per name for a multiprogrammed
+// mix — the shared construction path behind WithProcesses, Sweep.Mixes,
+// and the multiprogramming experiments. Each call returns new
+// instances, so concurrent runs never share mutable workload state.
+func NamedMixWith(names []string, p WorkloadParams) ([]*Workload, error) {
+	if err := validateParams(p); err != nil {
+		return nil, err
+	}
+	ws, err := workloads.MixWith(names, p)
+	if err != nil {
+		return nil, fmt.Errorf("virtuoso: %w", err)
+	}
+	return ws, nil
 }
 
 // validateParams rejects parameter values that would silently build a
@@ -314,30 +428,7 @@ func LongRunningSuite() []*Workload { return workloads.LongSuite() }
 // ShortRunningSuite returns the Table 5 short-running workloads.
 func ShortRunningSuite() []*Workload { return workloads.ShortSuite() }
 
-// SetWorkloadScale rescales all workload footprints (1.0 = the library's
-// reference sizes; experiments use smaller values).
-//
-// Deprecated: this mutates process-global state and races with any
-// concurrent workload construction (parallel sweeps build workloads
-// inside their workers). Use WithWorkloadScale on Open, or set
-// Sweep.Params, both of which thread the scale through construction
-// without shared state. The global remains as the default behind
-// zero-valued parameters.
-func SetWorkloadScale(s float64) { workloads.Scale = s }
-
-// New builds a system, panicking on configuration errors.
-//
-// Deprecated: use Open, which returns errors, or core.NewSystem for a
-// bare system without a session.
-func New(cfg Config) *System { return core.MustNewSystem(cfg) }
-
-// WorkloadByName returns a Table 5 workload; it panics on unknown names.
-//
-// Deprecated: use NamedWorkload, which returns an error instead.
-func WorkloadByName(name string) *Workload {
-	w, err := NamedWorkload(name)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
+// ExtraWorkloads returns the catalog extras outside the Table 5 suites
+// (e.g. "SEQ"), usable by name anywhere a suite workload is — most
+// relevantly in multiprogrammed mixes.
+func ExtraWorkloads() []*Workload { return workloads.ExtraSuite() }
