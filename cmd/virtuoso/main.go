@@ -25,6 +25,12 @@
 //	virtuoso -multi -workload rnd,seq,bfs -quantum 50000 -asid-retention
 //	virtuoso -multi -workload rnd,seq -design radix,ech -json
 //
+// -progress streams live interval snapshots from inside each running
+// point to stderr (the public Observer API): instructions retired, IPC,
+// L2 TLB MPKI, and faults so far. Custom components registered through
+// the repro/ext extension API are accepted by name in -workload,
+// -design, and -policy, and appear in -list.
+//
 // The trace subcommand records and replays instruction traces (the
 // §6.2 trace-driven frontends; see docs/trace-format.md):
 //
@@ -42,6 +48,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
 	virtuoso "repro"
@@ -53,9 +60,9 @@ func main() {
 		return
 	}
 	var (
-		workload = flag.String("workload", "BFS", "workload name(s), comma-separated (-list to enumerate)")
-		design   = flag.String("design", "radix", "translation design(s), comma-separated: radix|ech|hdc|ht|utopia|rmm|midgard|directseg")
-		policy   = flag.String("policy", "thp", "allocation policy(ies), comma-separated: bd|thp|cr-thp|ar-thp|utopia|eager")
+		workload = flag.String("workload", "BFS", "workload name(s), comma-separated (-list to enumerate; registered names accepted)")
+		design   = flag.String("design", "radix", "translation design(s), comma-separated: radix|ech|hdc|ht|utopia|rmm|midgard|directseg, or a registered name")
+		policy   = flag.String("policy", "thp", "allocation policy(ies), comma-separated: bd|thp|cr-thp|ar-thp|utopia|eager, or a registered name")
 		mode     = flag.String("mode", "imitation", "OS methodology: imitation|emulation")
 		insts    = flag.Uint64("insts", 2_000_000, "max application instructions (0 = run to completion)")
 		scale    = flag.Float64("scale", 0.25, "workload footprint scale")
@@ -63,10 +70,11 @@ func main() {
 		seeds    = flag.String("seeds", "1", "simulation seed(s), comma-separated")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
-		list     = flag.Bool("list", false, "list workloads and exit")
+		list     = flag.Bool("list", false, "list workloads, designs, and policies, then exit")
 		multi    = flag.Bool("multi", false, "run the -workload list as one multiprogrammed mix (concurrent processes)")
 		quantum  = flag.Uint64("quantum", 0, "scheduler time slice in simulated cycles (0 = default; -multi only)")
 		asidRet  = flag.Bool("asid-retention", false, "retain TLB entries across context switches by ASID tag instead of flushing (-multi only)")
+		progress = flag.Bool("progress", false, "stream live per-point progress snapshots to stderr while simulating")
 	)
 	flag.Parse()
 
@@ -83,6 +91,14 @@ func main() {
 		for _, w := range virtuoso.ExtraWorkloads() {
 			fmt.Printf("  %-12s footprint=%dMB\n", w.Name(), w.FootprintBytes()>>20)
 		}
+		if reg := virtuoso.RegisteredWorkloads(); len(reg) > 0 {
+			fmt.Println("registered workloads:")
+			for _, name := range reg {
+				fmt.Printf("  %s\n", name)
+			}
+		}
+		fmt.Printf("designs:  %v\n", virtuoso.KnownDesigns())
+		fmt.Printf("policies: %v\n", virtuoso.KnownPolicies())
 		return
 	}
 
@@ -98,7 +114,10 @@ func main() {
 	check(err)
 	workloadList := splitList(*workload)
 	for _, w := range workloadList {
-		if _, err := virtuoso.NamedWorkload(w); err != nil {
+		// Validate with the run's construction parameters: a registered
+		// workload's constructor sees the same params the sweep points
+		// will build with, not zero-valued defaults.
+		if _, err := virtuoso.NamedWorkloadWith(w, virtuoso.WorkloadParams{Scale: *scale}); err != nil {
 			check(fmt.Errorf("%w (try -list)", err))
 		}
 	}
@@ -148,6 +167,31 @@ func main() {
 			}
 			return nil
 		},
+	}
+
+	// -progress streams interval snapshots from inside each running
+	// point — the Observer API driving a live progress display. Points
+	// run concurrently, so one mutex serialises the stderr lines.
+	if *progress {
+		var mu sync.Mutex
+		sweep.Observe = func(p virtuoso.Point) virtuoso.Observer {
+			label := fmt.Sprintf("%s/%s/%s seed=%d", p.Workload, p.Design, p.Policy, p.Seed)
+			// -insts bounds each process individually, while the
+			// snapshot counters aggregate the whole mix: scale the
+			// denominator, and clamp since workloads may finish early.
+			bound := *insts * uint64(max(1, len(p.Mix)))
+			return virtuoso.ObserverFunc(func(s virtuoso.Snapshot) {
+				mu.Lock()
+				defer mu.Unlock()
+				pct := ""
+				if bound > 0 {
+					pct = fmt.Sprintf(" (%3.0f%%)", min(100, 100*float64(s.AppInsts)/float64(bound)))
+				}
+				fmt.Fprintf(os.Stderr, "  ... %-40s insts=%d%s IPC=%.3f MPKI=%.2f faults=%d\n",
+					label, s.AppInsts, pct, s.IPC(),
+					1000*float64(s.L2TLBMisses)/float64(max(s.AppInsts, 1)), s.MinorFaults+s.MajorFaults)
+			})
+		}
 	}
 
 	// Ctrl-C cancels the sweep mid-simulation.

@@ -50,6 +50,34 @@ func ExampleSweep_Run() {
 	// Output: 4 4
 }
 
+// ExampleWithObserver streams interval snapshots during a run — live
+// progress without perturbing the simulation (the observed run's
+// Result is byte-identical to an unobserved one).
+func ExampleWithObserver() {
+	var intervals int
+	sess, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithWorkload("BFS"),
+		virtuoso.WithMaxInstructions(60_000),
+		virtuoso.WithObserver(virtuoso.ObserverFunc(func(s virtuoso.Snapshot) {
+			// A real observer would update a progress bar or dashboard
+			// from s.AppInsts, s.IPC(), s.L2TLBMisses, ...
+			intervals++
+		})),
+		virtuoso.WithObserveInterval(10_000),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(intervals > 1, m.AppInsts > 0)
+	// Output: true true
+}
+
 // ExampleReport_GroupBy partitions sweep results by translation design.
 func ExampleReport_GroupBy() {
 	report := &virtuoso.Report{Results: []virtuoso.Result{

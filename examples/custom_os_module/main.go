@@ -4,7 +4,11 @@
 // it against the stock policies.
 //
 // The policy here is a toy "color-aware" allocator: it round-robins 4 KB
-// frames across DRAM banks to spread row-buffer pressure.
+// frames across DRAM banks to spread row-buffer pressure. It is written
+// entirely against the public extension API — the root package plus
+// repro/ext — and registered under the name "bank-color", which makes it
+// selectable like any built-in: WithPolicy, Sweep.Policies, and the
+// cmd/virtuoso -policy flag all accept it.
 package main
 
 import (
@@ -12,9 +16,7 @@ import (
 	"log"
 
 	virtuoso "repro"
-	"repro/internal/instrument"
-	"repro/internal/mem"
-	"repro/internal/mimicos"
+	"repro/ext"
 )
 
 // bankColorPolicy allocates 4 KB frames, skipping frames until the next
@@ -22,56 +24,62 @@ import (
 type bankColorPolicy struct {
 	colors uint64
 	next   uint64
-	parked []mem.PAddr // frames skipped while hunting for a color
+	parked []ext.PAddr // frames skipped while hunting for a color
 }
 
-// Name implements mimicos.AllocPolicy.
+// Name implements ext.AllocPolicy.
 func (p *bankColorPolicy) Name() string { return "bank-color" }
 
-// AllocAnon implements mimicos.AllocPolicy.
-func (p *bankColorPolicy) AllocAnon(k *mimicos.Kernel, proc *mimicos.Process, vma *mimicos.VMA, va mem.VAddr, tr *instrument.Tracer, now uint64) (mem.PAddr, mem.PageSize, bool, bool, bool) {
+// AllocAnon implements ext.AllocPolicy.
+func (p *bankColorPolicy) AllocAnon(k ext.Kernel, proc ext.Process, vma ext.VMA, va ext.VAddr, tr ext.Tracer, now uint64) ext.AllocDecision {
 	exit := tr.Enter("bank_color_alloc")
 	defer exit()
 	tr.ALU(60)
 	want := p.next % p.colors
 	p.next++
 	for tries := 0; tries < 32; tries++ {
-		frame, ok := k.Phys.Alloc4K()
+		frame, ok := k.Alloc4K()
 		if !ok {
 			break
 		}
 		if (uint64(frame)>>13)%p.colors == want {
 			// Return parked frames to the buddy allocator.
 			for _, f := range p.parked {
-				k.Phys.Free(f, 1)
+				k.Free(f, 1)
 			}
 			p.parked = p.parked[:0]
-			return frame, mem.Page4K, false, false, true
+			return ext.AllocDecision{Frame: frame, Size: ext.Page4K, OK: true}
 		}
 		p.parked = append(p.parked, frame)
 	}
 	for _, f := range p.parked {
-		k.Phys.Free(f, 1)
+		k.Free(f, 1)
 	}
 	p.parked = p.parked[:0]
-	frame, ok := k.Phys.Alloc4K()
-	return frame, mem.Page4K, false, false, ok
+	frame, ok := k.Alloc4K()
+	return ext.AllocDecision{Frame: frame, Size: ext.Page4K, OK: ok}
+}
+
+func init() {
+	// Registered once, the policy is addressable by name everywhere a
+	// built-in is. The constructor runs per simulated system, so
+	// concurrent sweep points never share the allocator's state.
+	ext.MustRegisterPolicy("bank-color", func() ext.AllocPolicy {
+		return &bankColorPolicy{colors: 8}
+	})
 }
 
 func main() {
-	run := func(label string, install func(*virtuoso.System)) {
+	run := func(policy virtuoso.PolicyName, label string) {
 		sess, err := virtuoso.Open(
 			virtuoso.WithScaledConfig(),
-			virtuoso.WithPolicy(virtuoso.PolicyBuddy),
+			virtuoso.WithPolicy(policy),
 			virtuoso.WithMaxInstructions(800_000),
 			virtuoso.WithWorkloadScale(0.08),
 			virtuoso.WithWorkload("XS"),
 		)
 		if err != nil {
 			log.Fatal(err)
-		}
-		if install != nil {
-			install(sess.System())
 		}
 		m, err := sess.Run()
 		if err != nil {
@@ -82,10 +90,10 @@ func main() {
 	}
 
 	fmt.Println("== Developing a new OS allocation policy against MimicOS ==")
-	run("buddy (BD)", nil)
-	run("bank-color", func(s *virtuoso.System) {
-		s.OS.SetPolicy(&bankColorPolicy{colors: 8})
-	})
-	fmt.Println("\nA new OS module is a single Go type implementing AllocPolicy —")
-	fmt.Println("its instruction stream is recorded and injected like any kernel code.")
+	fmt.Printf("known policies: %v\n\n", virtuoso.KnownPolicies())
+	run(virtuoso.PolicyBuddy, "buddy (BD)")
+	run("bank-color", "bank-color")
+	fmt.Println("\nA new OS module is a single Go type implementing ext.AllocPolicy —")
+	fmt.Println("its instruction stream is recorded and injected like any kernel code,")
+	fmt.Println("and the registered name works in sweeps and on the CLI too.")
 }

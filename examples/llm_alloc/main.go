@@ -11,8 +11,7 @@ import (
 	"log"
 
 	virtuoso "repro"
-	"repro/internal/core"
-	"repro/internal/mem"
+	"repro/ext"
 )
 
 func main() {
@@ -29,7 +28,7 @@ func main() {
 		Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
 			if p.Policy == virtuoso.PolicyUtopia {
 				cfg.Design = virtuoso.DesignUtopia
-				cfg.UtopiaSegs = []core.UtopiaSegSpec{{SizeBytes: 32 * mem.MB, Ways: 16, PageSize: mem.Page4K}}
+				cfg.UtopiaSegs = []virtuoso.UtopiaSegSpec{{SizeBytes: 32 * ext.MB, Ways: 16, PageSize: ext.Page4K}}
 			}
 			return nil
 		},

@@ -10,20 +10,19 @@ import (
 	"log"
 
 	virtuoso "repro"
-	"repro/internal/core"
-	"repro/internal/mem"
+	"repro/ext"
 )
 
 func main() {
-	cfg := core.DefaultVirtualizedConfig()
-	cfg.GuestPhysBytes = 512 * mem.MB
-	cfg.HostPhysBytes = 1 * mem.GB
+	cfg := virtuoso.DefaultVirtualizedConfig()
+	cfg.GuestPhysBytes = 512 * ext.MB
+	cfg.HostPhysBytes = 1 * ext.GB
 
 	w, err := virtuoso.NamedWorkloadWith("Hadamard", virtuoso.WorkloadParams{Scale: 0.05})
 	if err != nil {
 		log.Fatal(err)
 	}
-	v := core.NewVirtualizedSystem(cfg)
+	v := virtuoso.NewVirtualizedSystem(cfg)
 	gf, hf, kinsts, ipc := v.Run(w, 500_000)
 
 	fmt.Println("== Virtualized execution: guest Linux on a MimicOS hypervisor ==")

@@ -1,0 +1,373 @@
+package ext_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	virtuoso "repro"
+	"repro/ext"
+)
+
+// testPolicy is a minimal custom allocation policy: buddy 4 KB frames
+// with a custom instrumented routine, plus a call counter proving the
+// policy actually ran.
+type testPolicy struct {
+	calls int
+}
+
+func (p *testPolicy) Name() string { return "EXT-TEST" }
+
+func (p *testPolicy) AllocAnon(k ext.Kernel, proc ext.Process, vma ext.VMA, va ext.VAddr, tr ext.Tracer, now uint64) ext.AllocDecision {
+	p.calls++
+	exit := tr.Enter("ext_test_alloc")
+	defer exit()
+	tr.Atomic(k.BuddyLock())
+	tr.ALU(50)
+	frame, ok := k.AllocBuddy4K(tr)
+	return ext.AllocDecision{Frame: frame, Size: ext.Page4K, OK: ok}
+}
+
+// testDesign is a minimal custom translation design: a fixed-overhead
+// walk that resolves through the functional page table and charges one
+// PTE access — the "few dozen lines" extension story for translation
+// schemes.
+type testDesign struct {
+	env    ext.DesignEnv
+	walks  uint64
+	shoots uint64
+}
+
+func (d *testDesign) Name() string { return "ext-walker" }
+
+func (d *testDesign) TranslateMiss(va ext.VAddr, now uint64) ext.TranslationResult {
+	d.walks++
+	pa, size, ok := d.env.Lookup(va)
+	if !ok {
+		return ext.TranslationResult{Lat: 10, Fault: true}
+	}
+	lat := 10 + d.env.AccessPTE(ext.Page4K.FrameBase(pa), false, now+10)
+	return ext.TranslationResult{PA: pa, Size: size, Lat: lat}
+}
+
+func (d *testDesign) Invalidate(va ext.VAddr, size ext.PageSize) { d.shoots++ }
+
+func init() {
+	ext.MustRegisterPolicy("ext-test-policy", func() ext.AllocPolicy { return &testPolicy{} })
+	ext.MustRegisterDesign("ext-test-design", func(env ext.DesignEnv) ext.TranslationDesign {
+		return &testDesign{env: env}
+	})
+	ext.MustRegisterWorkload("ext-test-workload", func(p ext.WorkloadParams) (*ext.Workload, error) {
+		foot := uint64(16 * ext.MB)
+		return ext.NewWorkload("ext-test-workload", ext.ShortRunning, foot,
+			func(w *ext.Workload, k ext.Kernel, pid int) {
+				w.SetBase("data", k.Mmap(pid, foot, ext.MmapFlags{Anon: true}))
+			},
+			func(w *ext.Workload) []ext.Step {
+				data := w.Base("data")
+				return []ext.Step{
+					{Kind: ext.StepTouch, Base: data, Size: foot, Stride: 64, ALUPer: 2, PC: 0xE00100},
+					{Kind: ext.StepRand, Base: data, Size: foot, Count: foot / 512, ALUPer: 4, PC: 0xE00200},
+				}
+			}), nil
+	})
+}
+
+func baseOpts() []virtuoso.Option {
+	return []virtuoso.Option{
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithMaxInstructions(150_000),
+	}
+}
+
+func TestRegisteredNamesAreKnown(t *testing.T) {
+	foundP, foundD := false, false
+	for _, p := range virtuoso.KnownPolicies() {
+		if p == "ext-test-policy" {
+			foundP = true
+		}
+	}
+	for _, d := range virtuoso.KnownDesigns() {
+		if d == "ext-test-design" {
+			foundD = true
+		}
+	}
+	if !foundP {
+		t.Errorf("KnownPolicies() = %v, missing ext-test-policy", virtuoso.KnownPolicies())
+	}
+	if !foundD {
+		t.Errorf("KnownDesigns() = %v, missing ext-test-design", virtuoso.KnownDesigns())
+	}
+	if _, err := virtuoso.ParsePolicy("ext-test-policy"); err != nil {
+		t.Errorf("ParsePolicy rejected registered policy: %v", err)
+	}
+	if _, err := virtuoso.ParseDesign("ext-test-design"); err != nil {
+		t.Errorf("ParseDesign rejected registered design: %v", err)
+	}
+	reg := virtuoso.RegisteredWorkloads()
+	if len(reg) == 0 || !contains(reg, "ext-test-workload") {
+		t.Errorf("RegisteredWorkloads() = %v, missing ext-test-workload", reg)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOpenWithRegisteredComponents selects all three custom components
+// purely by name through Open and verifies they actually ran.
+func TestOpenWithRegisteredComponents(t *testing.T) {
+	sess, err := virtuoso.Open(append(baseOpts(),
+		virtuoso.WithWorkload("ext-test-workload"),
+		virtuoso.WithPolicy("ext-test-policy"),
+		virtuoso.WithDesign("ext-test-design"),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Policy != "EXT-TEST" {
+		t.Errorf("Metrics.Policy = %q, want the custom policy's display name EXT-TEST", m.Policy)
+	}
+	if m.Design != "ext-test-design" {
+		t.Errorf("Metrics.Design = %q, want ext-test-design", m.Design)
+	}
+	if m.Workload != "ext-test-workload" {
+		t.Errorf("Metrics.Workload = %q, want ext-test-workload", m.Workload)
+	}
+	if m.MinorFaults == 0 {
+		t.Error("custom policy served no faults")
+	}
+	if m.Walks == 0 {
+		t.Error("custom design performed no walks")
+	}
+}
+
+// TestSweepWithRegisteredComponents runs custom components as sweep grid
+// axis values alongside built-ins, in parallel — the registry must be
+// safe for concurrent reads (this test is part of the -race suite).
+func TestSweepWithRegisteredComponents(t *testing.T) {
+	base := virtuoso.ScaledConfig()
+	base.MaxAppInsts = 100_000
+	sweep := &virtuoso.Sweep{
+		Base:      base,
+		Workloads: []string{"ext-test-workload", "XS"},
+		Designs:   []virtuoso.DesignName{"ext-test-design", virtuoso.DesignRadix},
+		Policies:  []virtuoso.PolicyName{"ext-test-policy", virtuoso.PolicyBuddy},
+		Params:    virtuoso.WorkloadParams{Scale: 0.05},
+		Parallel:  4,
+	}
+	rep, err := sweep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[string(r.Design)+"/"+string(r.Policy)] = true
+	}
+	if !seen["ext-test-design/ext-test-policy"] {
+		t.Errorf("custom design × custom policy point missing: %v", seen)
+	}
+}
+
+// TestRegisteredWorkloadInMix puts a registered workload into a
+// multiprogrammed process mix next to a catalog one.
+func TestRegisteredWorkloadInMix(t *testing.T) {
+	sess, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithMaxInstructions(60_000),
+		virtuoso.WithProcesses("ext-test-workload", "SEQ"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := sess.RunMulti()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.Procs) != 2 || mm.Procs[0].Workload != "ext-test-workload" {
+		t.Fatalf("mix procs = %+v, want ext-test-workload first", mm.Procs)
+	}
+}
+
+func TestRegistrationHygiene(t *testing.T) {
+	if err := ext.RegisterPolicy("ext-test-policy", func() ext.AllocPolicy { return &testPolicy{} }); err == nil {
+		t.Error("duplicate policy registration accepted")
+	}
+	if err := ext.RegisterPolicy("thp", func() ext.AllocPolicy { return &testPolicy{} }); err == nil || !strings.Contains(err.Error(), "built-in") {
+		t.Errorf("built-in policy collision: err = %v", err)
+	}
+	if err := ext.RegisterDesign("ech", func(ext.DesignEnv) ext.TranslationDesign { return nil }); err == nil {
+		t.Error("built-in design collision accepted")
+	}
+	if err := ext.RegisterWorkload("graphbig-bfs", func(ext.WorkloadParams) (*ext.Workload, error) { return nil, nil }); err == nil {
+		t.Error("catalog workload collision accepted")
+	}
+	if err := ext.RegisterPolicy("", func() ext.AllocPolicy { return &testPolicy{} }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := ext.RegisterPolicy("nil-ctor", nil); err == nil {
+		t.Error("nil constructor accepted")
+	}
+}
+
+// normalise zeroes the host-side fields (wall time, heap) that
+// legitimately differ between two otherwise identical runs.
+func normalise(r virtuoso.Result) virtuoso.Result {
+	r.Metrics.WallTime = 0
+	r.Metrics.SimHeapBytes = 0
+	if r.Multi != nil {
+		mm := *r.Multi
+		mm.Aggregate.WallTime = 0
+		mm.Aggregate.SimHeapBytes = 0
+		r.Multi = &mm
+	}
+	return r
+}
+
+func resultJSON(t *testing.T, r virtuoso.Result) string {
+	t.Helper()
+	data, err := json.Marshal(normalise(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestObserverCountersMatchMetrics checks the Observer contract: the
+// interval deltas sum to the final snapshot, and the final snapshot's
+// counters equal the run's Metrics exactly.
+func TestObserverCountersMatchMetrics(t *testing.T) {
+	var snaps []virtuoso.Snapshot
+	sess, err := virtuoso.Open(append(baseOpts(),
+		virtuoso.WithWorkload("XS"),
+		virtuoso.WithObserver(virtuoso.ObserverFunc(func(s virtuoso.Snapshot) {
+			snaps = append(snaps, s)
+		})),
+		virtuoso.WithObserveInterval(20_000),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 3 {
+		t.Fatalf("got %d snapshots, want several (interval 20k over 150k insts)", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Final {
+		t.Error("last snapshot not marked Final")
+	}
+	for i, s := range snaps {
+		if s.Seq != i {
+			t.Errorf("snapshot %d has Seq %d", i, s.Seq)
+		}
+	}
+	// Sum the per-interval deltas; they must reconstruct the final
+	// cumulative counters, which must equal the Metrics.
+	var sumInsts, sumCycles, sumMisses, sumFaults uint64
+	prev := virtuoso.Snapshot{}
+	for _, s := range snaps {
+		sumInsts += s.AppInsts - prev.AppInsts
+		sumCycles += s.Cycles - prev.Cycles
+		sumMisses += s.L2TLBMisses - prev.L2TLBMisses
+		sumFaults += s.MinorFaults - prev.MinorFaults
+		prev = s
+	}
+	if sumInsts != m.AppInsts || sumCycles != m.Cycles || sumMisses != m.L2TLBMisses || sumFaults != m.OS.MinorFaults {
+		t.Errorf("interval sums (insts=%d cycles=%d misses=%d faults=%d) != metrics (insts=%d cycles=%d misses=%d faults=%d)",
+			sumInsts, sumCycles, sumMisses, sumFaults,
+			m.AppInsts, m.Cycles, m.L2TLBMisses, m.OS.MinorFaults)
+	}
+	if last.KernelInsts != m.KernelInsts || last.Walks != m.Walks || last.MajorFaults != m.OS.MajorFaults {
+		t.Errorf("final snapshot %+v does not match metrics", last)
+	}
+}
+
+// TestObserverDeterminism is the determinism guard: a run with an
+// Observer attached must produce a byte-identical Result to the same
+// run without one.
+func TestObserverDeterminism(t *testing.T) {
+	run := func(opts ...virtuoso.Option) string {
+		sess, err := virtuoso.Open(append(baseOpts(), opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultJSON(t, sess.Result(m))
+	}
+	plain := run(virtuoso.WithWorkload("XS"))
+	var n int
+	observed := run(virtuoso.WithWorkload("XS"),
+		virtuoso.WithObserver(virtuoso.ObserverFunc(func(virtuoso.Snapshot) { n++ })),
+		virtuoso.WithObserveInterval(10_000))
+	if n == 0 {
+		t.Fatal("observer never fired")
+	}
+	if plain != observed {
+		t.Errorf("observed run differs from unobserved run:\nplain:    %s\nobserved: %s", plain, observed)
+	}
+
+	// Same guard for a custom design + policy and a multiprogrammed run.
+	plainM := func(opts ...virtuoso.Option) string {
+		sess, err := virtuoso.Open(append([]virtuoso.Option{
+			virtuoso.WithScaledConfig(),
+			virtuoso.WithWorkloadScale(0.05),
+			virtuoso.WithMaxInstructions(50_000),
+			virtuoso.WithProcesses("ext-test-workload", "SEQ"),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := sess.RunMulti()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resultJSON(t, sess.MultiResult(mm))
+	}
+	a := plainM()
+	b := plainM(virtuoso.WithObserver(virtuoso.ObserverFunc(func(virtuoso.Snapshot) {})),
+		virtuoso.WithObserveInterval(10_000))
+	if a != b {
+		t.Error("observed multiprogrammed run differs from unobserved run")
+	}
+}
+
+// TestCustomDesignPerProcess checks that each process of a
+// multiprogrammed run gets its own design instance (the CR3-switch
+// contract) — two processes under the custom design must not share
+// walk state.
+func TestCustomDesignPerProcess(t *testing.T) {
+	sess, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithMaxInstructions(40_000),
+		virtuoso.WithDesign("ext-test-design"),
+		virtuoso.WithProcesses("SEQ", "SEQ"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunMulti(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package ext
+
+import (
+	"repro/internal/mimicos"
+	"repro/internal/registry"
+	"repro/internal/workloads"
+)
+
+// Workload vocabulary, re-exported so custom workloads are built
+// without naming internal packages.
+type (
+	// Workload is a benchmark: an address-space layout plus a
+	// deterministic instruction stream over it.
+	Workload = workloads.Workload
+	// WorkloadParams configures workload construction (footprint
+	// scale, long-running iteration count); the zero value means the
+	// library defaults.
+	WorkloadParams = workloads.Params
+	// Step is one phase of a workload's step program.
+	Step = workloads.Step
+	// StepKind enumerates the phase kinds.
+	StepKind = workloads.StepKind
+	// Class separates long-running from short-running workloads.
+	Class = workloads.Class
+)
+
+// Step kinds and workload classes.
+const (
+	// StepTouch walks [Base, Base+Size) at Stride with stores
+	// (first-touch allocation).
+	StepTouch = workloads.StepTouch
+	// StepSeq streams over the region with loads at Stride, Count ops.
+	StepSeq = workloads.StepSeq
+	// StepRand performs Count accesses at pseudo-random offsets.
+	StepRand = workloads.StepRand
+	// StepChase performs Count dependent pointer-chase hops.
+	StepChase = workloads.StepChase
+	// StepALU burns Count register-only instructions.
+	StepALU = workloads.StepALU
+
+	// LongRunning workloads amortise allocation and are dominated by
+	// address translation.
+	LongRunning = workloads.LongRunning
+	// ShortRunning workloads are dominated by allocation.
+	ShortRunning = workloads.ShortRunning
+)
+
+// NewWorkload builds a custom workload from public-handle setup and
+// program functions: setup lays out the address space through
+// Kernel.Mmap (recording bases with w.SetBase), and program returns the
+// step program generating the instruction stream. The result runs
+// through virtuoso.WithCustomWorkload directly, or by name after
+// RegisterWorkload.
+func NewWorkload(name string, class Class, footprint uint64,
+	setup func(w *Workload, k Kernel, pid int),
+	program func(w *Workload) []Step) *Workload {
+	return workloads.Custom(name, class, footprint,
+		func(w *workloads.Workload, k *mimicos.Kernel, pid int) { setup(w, Kernel{k}, pid) },
+		program)
+}
+
+// RegisterWorkload registers a workload constructor under name, making
+// it addressable like a catalog workload: WithWorkload, WithProcesses
+// mixes, Sweep.Workloads / Sweep.Mixes, trace recording, and the
+// -workload CLI flag. The constructor receives the session's (or sweep
+// point's) construction parameters and must return a fresh *Workload
+// per call — workload state is mutated during a run and is never shared
+// between concurrent points. Registration fails on an empty or
+// duplicate name, or one that shadows a catalog workload under any of
+// its accepted spellings ("BFS", "bfs", "graphbig-bfs", ...). Unlike
+// the forgiving catalog matching, registered names are looked up
+// exactly as registered.
+func RegisterWorkload(name string, ctor func(WorkloadParams) (*Workload, error)) error {
+	return registry.RegisterWorkload(name, ctor)
+}
+
+// MustRegisterWorkload is RegisterWorkload, panicking on error.
+func MustRegisterWorkload(name string, ctor func(WorkloadParams) (*Workload, error)) {
+	if err := RegisterWorkload(name, ctor); err != nil {
+		panic(err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mimicos"
 	"repro/internal/mmu"
+	"repro/internal/registry"
 	"repro/internal/ssd"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -228,6 +229,15 @@ type System struct {
 	cancelCheck func() bool
 	frontendTap func(isa.Inst)
 	interrupted bool
+
+	// Streaming observation (see observe.go). obsCtxSwitches mirrors the
+	// multiprogrammed scheduler's dispatch count so snapshots can report
+	// it without reaching into RunMulti's locals.
+	observer       func(Snapshot)
+	observeEvery   uint64
+	nextObserve    uint64
+	obsSeq         int
+	obsCtxSwitches uint64
 }
 
 // Text-segment constants: every run maps the workload binary's code at
@@ -339,7 +349,15 @@ func NewSystem(cfg Config) (*System, error) {
 	case PolicyEager:
 		s.OS.SetPolicy(&mimicos.EagerPolicy{})
 	default:
-		return nil, fmt.Errorf("core: unknown policy %q", cfg.Policy)
+		// Not a built-in: a policy registered through the public
+		// extension API (repro/ext). The constructor yields a fresh
+		// instance per system, so concurrent sweep points never share
+		// policy state.
+		p, ok := registry.NewPolicy(string(cfg.Policy))
+		if !ok {
+			return nil, fmt.Errorf("core: unknown policy %q (registered: %v)", cfg.Policy, registry.PolicyNames())
+		}
+		s.OS.SetPolicy(p)
 	}
 
 	// Fragment physical memory after carve-outs so RestSegs and hash
@@ -444,7 +462,19 @@ func (s *System) buildDesignFor(proc *mimicos.Process) (mmu.Design, error) {
 	case DesignDirectSeg:
 		return &mmu.DirectSegDesign{Radix: newRadix()}, nil
 	default:
-		return nil, fmt.Errorf("core: unknown design %q", cfg.Design)
+		// Not a built-in: a design registered through the public
+		// extension API (repro/ext). Each process gets its own instance
+		// over its own page table, like the built-in designs.
+		d, ok := registry.NewDesign(string(cfg.Design), registry.DesignEnv{
+			PT:    proc.PT,
+			Mem:   s.Hier,
+			Radix: newRadix(),
+			ASID:  proc.ASID,
+		})
+		if !ok {
+			return nil, fmt.Errorf("core: unknown design %q (registered: %v)", cfg.Design, registry.DesignNames())
+		}
+		return d, nil
 	}
 }
 
@@ -569,6 +599,9 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 			s.frontendTap(in)
 		}
 		s.Core.Run(in)
+		if s.observer != nil {
+			s.maybeObserve()
+		}
 		if max > 0 && s.Core.Stats().AppInsts >= max {
 			break
 		}
@@ -576,6 +609,11 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 			s.interrupted = true
 			break
 		}
+	}
+	if !s.interrupted {
+		// The closing snapshot reads the same counter state collect is
+		// about to package, so Final snapshot == Metrics exactly.
+		s.finishObserve()
 	}
 
 	wall := time.Since(wallStart)

@@ -283,6 +283,7 @@ sched:
 			if cur != -1 {
 				s.Core.ContextSwitch(csCost)
 				mm.ContextSwitches++
+				s.obsCtxSwitches = mm.ContextSwitches
 			}
 			s.dispatch(p)
 			if !s.Cfg.ASIDRetention {
@@ -300,6 +301,9 @@ sched:
 				break
 			}
 			s.Core.Run(in)
+			if s.observer != nil {
+				s.maybeObserve()
+			}
 			if maxPer > 0 && p.acc.appInsts+(s.Core.Stats().AppInsts-snapCore.AppInsts) >= maxPer {
 				p.finished = true
 				break
@@ -328,6 +332,10 @@ sched:
 			}
 			runnable--
 		}
+	}
+
+	if !s.interrupted {
+		s.finishObserve()
 	}
 
 	wall := time.Since(wallStart)

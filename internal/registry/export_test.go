@@ -1,0 +1,6 @@
+package registry
+
+// Reset clears every registry table between tests. The public API has
+// no unregister on purpose — components register at init and live for
+// the process — so only tests may wipe the tables.
+func Reset() { reset() }

@@ -35,6 +35,14 @@ type Job struct {
 	// returned workload becomes one scheduled process. Outcome.Metrics
 	// then carries the aggregate and Outcome.Multi the full breakdown.
 	Mix func() ([]*workloads.Workload, error)
+	// Observer, when set, receives streaming interval snapshots from
+	// this job's run (core.System.SetObserver). It is invoked from the
+	// worker goroutine running the job — jobs run concurrently, so an
+	// observer shared between jobs must synchronise itself.
+	Observer func(core.Snapshot)
+	// ObserveEvery is the snapshot interval in application instructions
+	// (0 = the core default). Only meaningful with Observer set.
+	ObserveEvery uint64
 }
 
 // Outcome is the result of one job.
@@ -172,6 +180,9 @@ func runJob(j Job, i int, cancelled func() bool) Outcome {
 		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d config: %w", i, err)}
 	}
 	sys.SetCancelCheck(cancelled)
+	if j.Observer != nil {
+		sys.SetObserver(j.Observer, j.ObserveEvery)
+	}
 
 	if j.Mix != nil {
 		ws, err := j.Mix()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/registry"
 	"repro/internal/trace"
 )
 
@@ -17,31 +18,51 @@ type Option func(*openState) error
 // applied, so WithWorkloadScale takes effect regardless of option
 // order.
 type openState struct {
-	cfg    Config
-	wname  string
-	custom *Workload
-	mix    []string
-	params WorkloadParams
+	cfg      Config
+	wname    string
+	custom   *Workload
+	mix      []string
+	params   WorkloadParams
+	obs      Observer
+	obsEvery uint64
 }
 
-// KnownDesigns returns every supported translation design name.
+// KnownDesigns returns every selectable translation design name: the
+// eight built-ins followed by designs registered through the public
+// extension API (repro/ext), sorted within each group.
 func KnownDesigns() []DesignName {
-	return []DesignName{
+	out := []DesignName{
 		DesignRadix, DesignECH, DesignHDC, DesignHT,
 		DesignUtopia, DesignRMM, DesignMidgard, DesignDirectSeg,
 	}
+	for _, name := range registry.DesignNames() {
+		out = append(out, DesignName(name))
+	}
+	return out
 }
 
-// KnownPolicies returns every supported allocation policy name.
+// KnownPolicies returns every selectable allocation policy name: the
+// six built-ins followed by policies registered through the public
+// extension API (repro/ext), sorted within each group.
 func KnownPolicies() []PolicyName {
-	return []PolicyName{
+	out := []PolicyName{
 		PolicyBuddy, PolicyTHP, PolicyCRTHP, PolicyARTHP,
 		PolicyUtopia, PolicyEager,
 	}
+	for _, name := range registry.PolicyNames() {
+		out = append(out, PolicyName(name))
+	}
+	return out
 }
 
-// ParseDesign validates a translation design name ("radix", "ech",
-// "hdc", "ht", "utopia", "rmm", "midgard", "directseg").
+// RegisteredWorkloads returns the names of workloads registered through
+// the public extension API (repro/ext), sorted. Catalog workloads are
+// enumerated by LongRunningSuite, ShortRunningSuite, and ExtraWorkloads.
+func RegisteredWorkloads() []string { return registry.WorkloadNames() }
+
+// ParseDesign validates a translation design name: a built-in ("radix",
+// "ech", "hdc", "ht", "utopia", "rmm", "midgard", "directseg") or one
+// registered through the extension API.
 func ParseDesign(name string) (DesignName, error) {
 	for _, d := range KnownDesigns() {
 		if string(d) == name {
@@ -51,8 +72,9 @@ func ParseDesign(name string) (DesignName, error) {
 	return "", fmt.Errorf("virtuoso: unknown design %q (known: %v)", name, KnownDesigns())
 }
 
-// ParsePolicy validates an allocation policy name ("bd", "thp",
-// "cr-thp", "ar-thp", "utopia", "eager").
+// ParsePolicy validates an allocation policy name: a built-in ("bd",
+// "thp", "cr-thp", "ar-thp", "utopia", "eager") or one registered
+// through the extension API.
 func ParsePolicy(name string) (PolicyName, error) {
 	for _, p := range KnownPolicies() {
 		if string(p) == name {
@@ -94,7 +116,8 @@ func WithScaledConfig() Option {
 	}
 }
 
-// WithDesign selects the translation design under study.
+// WithDesign selects the translation design under study — a built-in
+// or one registered through the extension API (repro/ext).
 func WithDesign(d DesignName) Option {
 	return func(s *openState) error {
 		if _, err := ParseDesign(string(d)); err != nil {
@@ -105,7 +128,8 @@ func WithDesign(d DesignName) Option {
 	}
 }
 
-// WithPolicy selects the physical memory allocation policy.
+// WithPolicy selects the physical memory allocation policy — a
+// built-in or one registered through the extension API (repro/ext).
 func WithPolicy(p PolicyName) Option {
 	return func(s *openState) error {
 		if _, err := ParsePolicy(string(p)); err != nil {
@@ -283,6 +307,35 @@ func WithFrontend(f Frontend) Option {
 			return nil
 		}
 		return fmt.Errorf("virtuoso: unknown frontend %d", f)
+	}
+}
+
+// WithObserver streams interval Snapshots of the run's counters to o:
+// one snapshot roughly every ObserveInterval application instructions
+// (default core's DefaultObserveEvery) and a closing one, with Final
+// set, when the run completes. Observation is read-only — an observed
+// run produces byte-identical results to an unobserved one — which is
+// what makes progress bars, live dashboards, and early-abort heuristics
+// (cancel the context from outside when an observer spots a hopeless
+// trend) safe to attach. The callback runs on the simulation goroutine;
+// keep it cheap.
+func WithObserver(o Observer) Option {
+	return func(s *openState) error {
+		if o == nil {
+			return fmt.Errorf("virtuoso: nil observer")
+		}
+		s.obs = o
+		return nil
+	}
+}
+
+// WithObserveInterval sets the observer snapshot interval in
+// application instructions (0 keeps the default). It only has effect
+// together with WithObserver.
+func WithObserveInterval(every uint64) Option {
+	return func(s *openState) error {
+		s.obsEvery = every
+		return nil
 	}
 }
 

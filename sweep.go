@@ -90,6 +90,16 @@ type Sweep struct {
 	// Progress, if non-nil, is called once per finished point. Calls
 	// are serialised; the callback needs no locking.
 	Progress func(SweepEvent)
+
+	// Observe, if non-nil, builds a streaming Observer for each point
+	// (nil return = that point runs unobserved). Unlike Progress, which
+	// fires once per *finished* point, an Observer streams interval
+	// Snapshots *during* the point's run — the hook for live progress
+	// displays over long simulations. Points run concurrently, so an
+	// observer shared across points must synchronise itself; observers
+	// never perturb results (an observed sweep is byte-identical to an
+	// unobserved one).
+	Observe func(p Point) Observer
 }
 
 // Points expands the grid in deterministic order: workloads (then
@@ -163,6 +173,11 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 			jobs[i] = runner.Job{Cfg: cfg, Mix: s.mixFactory(p)}
 		} else {
 			jobs[i] = runner.Job{Cfg: cfg, Workload: s.workloadFactory(p)}
+		}
+		if s.Observe != nil {
+			if obs := s.Observe(p); obs != nil {
+				jobs[i].Observer = obs.Observe
+			}
 		}
 	}
 

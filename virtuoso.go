@@ -71,6 +71,25 @@
 //
 // Sweeps take mixes as a grid axis (Sweep.Mixes), so design × mix ×
 // seed grids of multiprogrammed points run on the same worker pool.
+//
+// Extension — custom allocation policies, translation designs, and
+// workloads register by name through the repro/ext package and are then
+// selectable everywhere a built-in is (Open options, sweep axes, the
+// CLI, trace recording):
+//
+//	ext.MustRegisterPolicy("bank-color", func() ext.AllocPolicy { ... })
+//	sess, err := virtuoso.Open(virtuoso.WithPolicy("bank-color"), ...)
+//
+// Observation — WithObserver streams interval Snapshots (instructions,
+// cycles, TLB/PTW/OS-event counters) during a run without perturbing
+// it, for progress reporting and live dashboards:
+//
+//	virtuoso.WithObserver(virtuoso.ObserverFunc(func(s virtuoso.Snapshot) {
+//		fmt.Printf("%.0f%% ipc=%.2f\n", 100*float64(s.AppInsts)/float64(total), s.IPC())
+//	}))
+//
+// See docs/extending.md for worked examples of all four extension
+// points.
 package virtuoso
 
 import (
@@ -80,6 +99,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mimicos"
+	"repro/internal/registry"
 	"repro/internal/workloads"
 )
 
@@ -114,7 +134,26 @@ type (
 	MultiMetrics = core.MultiMetrics
 	// ProcessMetrics is one process's share of a multiprogrammed run.
 	ProcessMetrics = core.ProcessMetrics
+	// Snapshot is one interval observation of a running simulation (see
+	// WithObserver). Counters are cumulative; the Final snapshot of a
+	// completed run equals the corresponding fields of its Metrics.
+	Snapshot = core.Snapshot
+	// UtopiaSegSpec configures one Utopia RestSeg (Config.UtopiaSegs).
+	UtopiaSegSpec = core.UtopiaSegSpec
 )
+
+// Observer receives streaming interval snapshots during a run (see
+// WithObserver). Implementations must not retain or mutate simulator
+// state; Observe runs on the simulation goroutine.
+type Observer interface {
+	Observe(Snapshot)
+}
+
+// ObserverFunc adapts a plain function to the Observer interface.
+type ObserverFunc func(Snapshot)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(s Snapshot) { f(s) }
 
 // Frontend integration styles (§6.2).
 const (
@@ -241,6 +280,9 @@ func Open(opts ...Option) (*Session, error) {
 	sys, err := core.NewSystem(st.cfg)
 	if err != nil {
 		return nil, err
+	}
+	if st.obs != nil {
+		sys.SetObserver(st.obs.Observe, st.obsEvery)
 	}
 	return &Session{cfg: st.cfg, sys: sys, w: w, mix: mix}, nil
 }
@@ -379,32 +421,47 @@ func NamedWorkload(name string) (*Workload, error) {
 	return NamedWorkloadWith(name, WorkloadParams{})
 }
 
-// NamedWorkloadWith returns a Table 5 workload built with explicit
+// NamedWorkloadWith returns a Table 5 workload — or one registered
+// through the extension API (repro/ext) — built with explicit
 // construction parameters. Explicit parameters are safe to vary across
 // concurrent constructions (parallel sweeps build workloads inside
-// their workers).
+// their workers). The catalog is consulted first (with its forgiving
+// matching), then the registry by exact name.
 func NamedWorkloadWith(name string, p WorkloadParams) (*Workload, error) {
 	if err := validateParams(p); err != nil {
 		return nil, err
 	}
-	w, ok := workloads.ByNameWith(name, p)
-	if !ok {
-		return nil, fmt.Errorf("virtuoso: unknown workload %q", name)
+	if w, ok := workloads.ByNameWith(name, p); ok {
+		return w, nil
 	}
-	return w, nil
+	if w, ok, err := registry.NewWorkload(name, p); ok {
+		if err != nil {
+			return nil, fmt.Errorf("virtuoso: workload %q: %w", name, err)
+		}
+		if w == nil {
+			return nil, fmt.Errorf("virtuoso: workload %q: constructor returned nil", name)
+		}
+		return w, nil
+	}
+	return nil, fmt.Errorf("virtuoso: unknown workload %q", name)
 }
 
 // NamedMixWith builds one fresh workload per name for a multiprogrammed
 // mix — the shared construction path behind WithProcesses, Sweep.Mixes,
-// and the multiprogramming experiments. Each call returns new
-// instances, so concurrent runs never share mutable workload state.
+// and the multiprogramming experiments. Catalog and registered
+// workloads mix freely; each call returns new instances, so concurrent
+// runs never share mutable workload state.
 func NamedMixWith(names []string, p WorkloadParams) ([]*Workload, error) {
-	if err := validateParams(p); err != nil {
-		return nil, err
+	if len(names) == 0 {
+		return nil, fmt.Errorf("virtuoso: empty workload mix")
 	}
-	ws, err := workloads.MixWith(names, p)
-	if err != nil {
-		return nil, fmt.Errorf("virtuoso: %w", err)
+	ws := make([]*Workload, len(names))
+	for i, n := range names {
+		w, err := NamedWorkloadWith(n, p)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
 	}
 	return ws, nil
 }
