@@ -8,6 +8,7 @@ package virtuoso_test
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 
 	virtuoso "repro"
@@ -295,4 +296,42 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		m := benchRun(b, cfg, "XS", 0.1)
 		b.ReportMetric(float64(m.AppInsts+m.KernelInsts)/m.WallTime.Seconds(), "sim-inst/s")
 	}
+}
+
+// BenchmarkTraceReplay measures the trace-driven frontend: one recorded
+// trace (made outside the timed loop) replayed per iteration. Replay
+// skips workload instruction generation, so this isolates the decode +
+// simulate path that ChampSim-style studies pay per run.
+func BenchmarkTraceReplay(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.trc.gz")
+	opts := []virtuoso.Option{
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithDesign(virtuoso.DesignRadix),
+		virtuoso.WithPolicy(virtuoso.PolicyTHP),
+		virtuoso.WithMaxInstructions(250_000),
+		virtuoso.WithSeed(17),
+	}
+	rec, err := virtuoso.Open(append(opts,
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithWorkload("XS"),
+	)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := rec.Record(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var m virtuoso.Metrics
+	for i := 0; i < b.N; i++ {
+		sess, err := virtuoso.Open(append(opts, virtuoso.WithTrace(path))...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err = sess.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(m.AppInsts+m.KernelInsts)/m.WallTime.Seconds(), "sim-inst/s")
 }

@@ -1,0 +1,99 @@
+package virtuoso
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/sweepjob"
+)
+
+// CheckpointInfo summarises a sweep checkpoint file (see
+// Sweep.Checkpoint and docs/sweep-service.md for the file layout).
+type CheckpointInfo struct {
+	// SpecHash is the generating sweep's fingerprint (Sweep.SpecHash).
+	SpecHash string `json:"spec_hash"`
+	// Points is the full grid size; Done counts points completed in
+	// this file.
+	Points int `json:"points"`
+	Done   int `json:"done"`
+	// Shard is the "i/N" slice the file covers ("" = whole grid).
+	Shard string `json:"shard,omitempty"`
+	// Torn reports that a damaged tail record was dropped while
+	// reading. Resuming repairs the file (the torn point re-runs).
+	Torn bool `json:"torn,omitempty"`
+}
+
+// ReadCheckpoint loads a checkpoint file's metadata and completed
+// Results (sorted by point index). A torn tail record — the signature
+// of a crash mid-write — is dropped, reported via Info.Torn, and
+// repaired on the next resume.
+func ReadCheckpoint(path string) (CheckpointInfo, []Result, error) {
+	f, err := sweepjob.ReadFile(path)
+	if err != nil {
+		return CheckpointInfo{}, nil, err
+	}
+	info := CheckpointInfo{
+		SpecHash: f.Header.SpecHash,
+		Points:   f.Header.Points,
+		Done:     len(f.Records),
+		Shard:    f.Header.Shard,
+		Torn:     f.Torn,
+	}
+	results, err := decodeRecords(path, f.Records)
+	if err != nil {
+		return CheckpointInfo{}, nil, err
+	}
+	return info, results, nil
+}
+
+// MergeCheckpoints validates shard checkpoint files and combines them
+// into the Report an unsharded run of the same sweep would have
+// produced: every file must carry the same spec hash and grid size,
+// and together they must cover every point exactly once — overlapping
+// or gapped shard sets are rejected with the offending points named.
+// The merged Report is canonical-identical (Report.CanonicalJSON) to
+// the unsharded run's; Wall is zero because host time was spent across
+// several processes.
+func MergeCheckpoints(paths ...string) (*Report, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("virtuoso: no checkpoint files to merge")
+	}
+	files := make([]*sweepjob.File, len(paths))
+	for i, p := range paths {
+		f, err := sweepjob.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	ordered, hdr, err := sweepjob.Merge(files)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Points: hdr.Points, SpecHash: hdr.SpecHash}
+	rep.Results = make([]Result, hdr.Points)
+	for i, raw := range ordered {
+		if err := json.Unmarshal(raw, &rep.Results[i]); err != nil {
+			return nil, fmt.Errorf("virtuoso: merged point %d: %w", i, err)
+		}
+	}
+	return rep, nil
+}
+
+// decodeRecords turns raw checkpoint records into Results sorted by
+// point index.
+func decodeRecords(path string, recs map[int]json.RawMessage) ([]Result, error) {
+	idxs := make([]int, 0, len(recs))
+	for idx := range recs {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	out := make([]Result, len(idxs))
+	for i, idx := range idxs {
+		if err := json.Unmarshal(recs[idx], &out[i]); err != nil {
+			return nil, fmt.Errorf("virtuoso: checkpoint %s: point %d: %w", path, idx, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,217 @@
+// Command benchdiff compares `go test -bench` output against a
+// committed baseline and fails on performance regressions — the gate
+// behind CI's bench-smoke job.
+//
+//	go test -run '^$' -bench . -count 3 -benchtime 2x . > current.txt
+//	benchdiff -baseline BENCH_baseline.json current.txt          # gate
+//	benchdiff -baseline BENCH_baseline.json -update current.txt  # refresh
+//
+// The gate covers exactly the benchmarks recorded in the baseline:
+// each must be present in the current output and its median ns/op
+// across -count repetitions must not exceed the baseline by more than
+// -threshold (default 15%). The median resists both slow outliers
+// (scheduler hiccups) and fast ones (a lucky run would set an
+// unreachable bar); run with -count >= 3 for a stable gate. Benchmarks
+// in the current output but not the baseline are ignored, so adding a
+// benchmark does not break CI until -update records it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed BENCH_baseline.json shape.
+type Baseline struct {
+	// Note documents how the file was generated (free text).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to
+	// its recorded performance.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's baseline record.
+type Entry struct {
+	// NsPerOp is the median ns/op across the repetitions observed when
+	// the baseline was recorded — the gated number.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds the benchmark's custom b.ReportMetric values from
+	// the last repetition (informational; not gated).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchLine matches one result line of `go test -bench` output:
+// name-8, iteration count, then "value unit" pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// stripProcs removes the -GOMAXPROCS suffix go appends to benchmark
+// names, so baselines survive runner core-count changes.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseBench extracts per-benchmark median ns/op and last-seen custom
+// metrics from go test -bench output. Repeated lines (-count > 1) fold
+// to the median.
+func parseBench(r io.Reader) (map[string]Entry, error) {
+	samples := make(map[string][]float64)
+	lastMetrics := make(map[string]map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(stripProcs(m[1]), "Benchmark")
+		fields := strings.Fields(m[3])
+		var nsPerOp float64
+		metrics := make(map[string]float64)
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad value %q in line %q", fields[i], sc.Text())
+			}
+			if fields[i+1] == "ns/op" {
+				nsPerOp = v
+			} else {
+				metrics[fields[i+1]] = v
+			}
+		}
+		if nsPerOp == 0 {
+			continue
+		}
+		samples[name] = append(samples[name], nsPerOp)
+		lastMetrics[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]Entry, len(samples))
+	for name, vs := range samples {
+		out[name] = Entry{NsPerOp: median(vs), Metrics: lastMetrics[name]}
+	}
+	return out, nil
+}
+
+// median of vs; the mean of the middle pair for even counts.
+func median(vs []float64) float64 {
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare gates current against base: every baseline benchmark must be
+// present and within threshold. Returns the human-readable report lines
+// and whether the gate passed.
+func compare(base, current map[string]Entry, threshold float64) ([]string, bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var lines []string
+	ok := true
+	for _, name := range names {
+		b := base[name]
+		c, found := current[name]
+		if !found {
+			lines = append(lines, fmt.Sprintf("MISSING  %-40s baseline %.0f ns/op, absent from current run", name, b.NsPerOp))
+			ok = false
+			continue
+		}
+		ratio := c.NsPerOp / b.NsPerOp
+		verdict := "ok      "
+		if ratio > 1+threshold {
+			verdict = "REGRESS "
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("%s %-40s %12.0f -> %12.0f ns/op  (%+.1f%%)",
+			verdict, name, b.NsPerOp, c.NsPerOp, 100*(ratio-1)))
+	}
+	return lines, ok
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_baseline.json", "baseline JSON file to gate against (or write with -update)")
+		threshold    = flag.Float64("threshold", 0.15, "maximum allowed fractional ns/op regression")
+		update       = flag.Bool("update", false, "rewrite the baseline from the current output instead of gating")
+		note         = flag.String("note", "", "note to record in the baseline with -update")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-baseline file] [-threshold f] [-update] <bench-output.txt | ->")
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("benchdiff: no benchmark results in input"))
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: current}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("benchdiff: bad baseline %s: %w", *baselinePath, err))
+	}
+	lines, ok := compare(base.Benchmarks, current, *threshold)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — regression beyond %.0f%% (or missing benchmark) vs %s\n", *threshold*100, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: ok — %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *threshold*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

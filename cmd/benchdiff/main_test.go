@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMultiProcess/2proc-8  	       1	 226224965 ns/op	     30450 ctx-switch-cycles	         7.000 ctx-switches	   3962738 sim-inst/s
+BenchmarkMultiProcess/2proc-8  	       1	 210000000 ns/op	     30450 ctx-switch-cycles	         7.000 ctx-switches	   4100000 sim-inst/s
+BenchmarkSimulatorThroughput-8 	       1	 231073115 ns/op	   4822973 sim-inst/s
+BenchmarkTraceReplay-8         	       1	 157099195 ns/op	   4179751 sim-inst/s
+PASS
+ok  	repro	1.170s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	}
+	// Repeated lines fold to the median ns/op (mean of the middle pair
+	// for even counts).
+	if e, want := got["MultiProcess/2proc"], (226224965.0+210000000.0)/2; e.NsPerOp != want {
+		t.Errorf("MultiProcess/2proc median ns/op = %v, want %v", e.NsPerOp, want)
+	}
+	if e := got["TraceReplay"]; e.NsPerOp != 157099195 {
+		t.Errorf("TraceReplay ns/op = %v, want 157099195", e.NsPerOp)
+	}
+	if e := got["SimulatorThroughput"]; e.Metrics["sim-inst/s"] != 4822973 {
+		t.Errorf("SimulatorThroughput sim-inst/s = %v, want 4822973", e.Metrics["sim-inst/s"])
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkTraceReplay-8":        "BenchmarkTraceReplay",
+		"BenchmarkTraceReplay-16":       "BenchmarkTraceReplay",
+		"BenchmarkMultiProcess/2proc-8": "BenchmarkMultiProcess/2proc",
+		"BenchmarkNoSuffix":             "BenchmarkNoSuffix",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]Entry{
+		"Fast":   {NsPerOp: 100},
+		"Slow":   {NsPerOp: 1000},
+		"Absent": {NsPerOp: 50},
+	}
+
+	// Within threshold: 10% slower passes a 15% gate.
+	current := map[string]Entry{
+		"Fast":   {NsPerOp: 110},
+		"Slow":   {NsPerOp: 1000},
+		"Absent": {NsPerOp: 50},
+	}
+	if _, ok := compare(base, current, 0.15); !ok {
+		t.Error("10% regression failed a 15% gate")
+	}
+
+	// Beyond threshold fails.
+	current["Fast"] = Entry{NsPerOp: 120}
+	lines, ok := compare(base, current, 0.15)
+	if ok {
+		t.Error("20% regression passed a 15% gate")
+	}
+	found := false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "REGRESS") && strings.Contains(l, "Fast") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no REGRESS line for Fast in %v", lines)
+	}
+
+	// A baseline benchmark missing from the current run fails the gate.
+	delete(current, "Absent")
+	current["Fast"] = Entry{NsPerOp: 100}
+	lines, ok = compare(base, current, 0.15)
+	if ok {
+		t.Error("missing benchmark passed the gate")
+	}
+	found = false
+	for _, l := range lines {
+		if strings.HasPrefix(l, "MISSING") && strings.Contains(l, "Absent") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no MISSING line for Absent in %v", lines)
+	}
+
+	// Benchmarks only in the current run are ignored (additions don't
+	// break the gate before -update records them).
+	current["Absent"] = Entry{NsPerOp: 50}
+	current["Brand-New"] = Entry{NsPerOp: 1}
+	if _, ok := compare(base, current, 0.15); !ok {
+		t.Error("extra current-only benchmark failed the gate")
+	}
+
+	// Getting faster never fails.
+	current["Slow"] = Entry{NsPerOp: 1}
+	if _, ok := compare(base, current, 0.15); !ok {
+		t.Error("speedup failed the gate")
+	}
+}

@@ -38,6 +38,17 @@
 //	virtuoso trace replay bfs.trc.gz
 //	virtuoso trace replay -memtrace -design ech bfs.trc.gz
 //	virtuoso trace info bfs.trc.gz
+//
+// The sweep subcommand runs declarative JSON sweep specs with
+// deterministic sharding, durable checkpoint/resume, shard-merge
+// validation, and a streaming job server (see docs/sweep-service.md):
+//
+//	virtuoso sweep run -spec study.json -shard 0/3 -checkpoint s0.jsonl
+//	virtuoso sweep merge -o report.json s0.jsonl s1.jsonl s2.jsonl
+//	virtuoso sweep serve -addr :8089 -dir jobs/
+//
+// The top-level grid runner accepts the same -shard and -checkpoint
+// flags for ad-hoc sharded or resumable sweeps without a spec file.
 package main
 
 import (
@@ -59,6 +70,10 @@ func main() {
 		traceCmd(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweepCmd(os.Args[2:])
+		return
+	}
 	var (
 		workload = flag.String("workload", "BFS", "workload name(s), comma-separated (-list to enumerate; registered names accepted)")
 		design   = flag.String("design", "radix", "translation design(s), comma-separated: radix|ech|hdc|ht|utopia|rmm|midgard|directseg, or a registered name")
@@ -75,6 +90,8 @@ func main() {
 		quantum  = flag.Uint64("quantum", 0, "scheduler time slice in simulated cycles (0 = default; -multi only)")
 		asidRet  = flag.Bool("asid-retention", false, "retain TLB entries across context switches by ASID tag instead of flushing (-multi only)")
 		progress = flag.Bool("progress", false, "stream live per-point progress snapshots to stderr while simulating")
+		shard    = flag.String("shard", "", "run only a deterministic slice of the grid, as i/N (shard files merge with `virtuoso sweep merge`)")
+		ckpt     = flag.String("checkpoint", "", "JSONL checkpoint file: persist per-point results as they land and resume from it on restart")
 	)
 	flag.Parse()
 
@@ -167,6 +184,16 @@ func main() {
 			}
 			return nil
 		},
+		Checkpoint: *ckpt,
+	}
+	sweep.Shard, err = virtuoso.ParseShard(*shard)
+	check(err)
+	// The natural-policy Configure hook changes results in a way the
+	// declarative spec fields cannot express, so salt the spec hash with
+	// it: a checkpoint written under the pairing cannot be resumed by a
+	// run without it, and vice versa.
+	if !policyFlagSet {
+		sweep.Label = "cli-natural-policies"
 	}
 
 	// -progress streams interval snapshots from inside each running

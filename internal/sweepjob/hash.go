@@ -1,0 +1,15 @@
+package sweepjob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// Hash digests a canonical spec encoding into the compact identifier
+// stamped on checkpoint headers, Reports, and serve job URLs. The
+// prefix names the scheme so a future algorithm change cannot collide
+// with old files silently.
+func Hash(canonical []byte) string {
+	sum := sha256.Sum256(canonical)
+	return "sj1-" + hex.EncodeToString(sum[:16])
+}

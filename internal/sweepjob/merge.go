@@ -1,0 +1,77 @@
+package sweepjob
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// File is one shard checkpoint loaded for merging.
+type File struct {
+	Path    string
+	Header  Header
+	Records map[int]json.RawMessage
+	// Torn reports whether a damaged tail was dropped while loading;
+	// the points it covered count as missing.
+	Torn bool
+}
+
+// ReadFile loads one shard checkpoint for merge validation, tolerating
+// a torn tail (the interrupted point counts as missing, which the gap
+// check then reports).
+func ReadFile(path string) (*File, error) {
+	hdr, recs, _, torn, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{Path: path, Header: hdr, Records: recs, Torn: torn}, nil
+}
+
+// Merge validates that the shard files belong to the same sweep (equal
+// spec hash and grid size), cover every point exactly once (no
+// overlaps, no gaps), and returns the results in point order — the
+// exact sequence an unsharded run would have produced. Validation
+// failures name the offending points and files.
+func Merge(files []*File) ([]json.RawMessage, Header, error) {
+	if len(files) == 0 {
+		return nil, Header{}, fmt.Errorf("sweepjob: nothing to merge")
+	}
+	hdr := files[0].Header
+	owner := make(map[int]string, hdr.Points)
+	for _, f := range files {
+		if f.Header.SpecHash != hdr.SpecHash || f.Header.Points != hdr.Points {
+			return nil, Header{}, fmt.Errorf("sweepjob: %s (spec %s, %d points) and %s (spec %s, %d points) come from different sweeps",
+				files[0].Path, hdr.SpecHash, hdr.Points, f.Path, f.Header.SpecHash, f.Header.Points)
+		}
+		for idx := range f.Records {
+			if prev, dup := owner[idx]; dup {
+				return nil, Header{}, fmt.Errorf("sweepjob: point %d appears in both %s and %s (overlapping shards)", idx, prev, f.Path)
+			}
+			owner[idx] = f.Path
+		}
+	}
+	var missing []int
+	for i := 0; i < hdr.Points; i++ {
+		if _, ok := owner[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		show := missing
+		if len(show) > 8 {
+			show = show[:8]
+		}
+		return nil, Header{}, fmt.Errorf("sweepjob: %d of %d points missing (e.g. %v) — a shard file is absent or incomplete; resume it before merging",
+			len(missing), hdr.Points, show)
+	}
+	out := make([]json.RawMessage, hdr.Points)
+	for _, f := range files {
+		for idx, res := range f.Records {
+			out[idx] = res
+		}
+	}
+	// The merged header describes the whole grid, not any one slice.
+	hdr.Shard = ""
+	return out, hdr, nil
+}

@@ -1,0 +1,107 @@
+// Package sweepjob is the machinery beneath the public sharded,
+// resumable sweep surface (virtuoso.Sweep.Shard / .Checkpoint,
+// `virtuoso sweep run|serve|merge`): deterministic grid partitioning,
+// JSONL per-point checkpoints with torn-tail recovery, and shard-file
+// merge validation.
+//
+// The package is deliberately ignorant of simulation types: points are
+// integer grid indices and results are raw JSON, so the checkpoint and
+// merge logic is reusable for any deterministic, index-addressed grid.
+// The root package layers Result/Report semantics on top.
+package sweepjob
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard names one slice of a sweep grid: shard Index of Count. The
+// assignment is a pure function of the point index (round-robin modulo
+// Count), so it is stable across machines, worker counts, and runs —
+// `--shard i/N` computes the same disjoint, exhaustive partition
+// everywhere. The zero value means "the whole grid".
+type Shard struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+}
+
+// ParseShard parses the "i/N" command-line form (e.g. "0/3"). The
+// empty string parses to the zero Shard (whole grid).
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweepjob: shard %q is not of the form i/N", s)
+	}
+	idx, err := strconv.Atoi(strings.TrimSpace(i))
+	if err != nil {
+		return Shard{}, fmt.Errorf("sweepjob: bad shard index in %q: %w", s, err)
+	}
+	cnt, err := strconv.Atoi(strings.TrimSpace(n))
+	if err != nil {
+		return Shard{}, fmt.Errorf("sweepjob: bad shard count in %q: %w", s, err)
+	}
+	sh := Shard{Index: idx, Count: cnt}
+	if err := sh.Validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}
+
+// Validate rejects impossible shard coordinates. The zero value is
+// valid (unsharded).
+func (s Shard) Validate() error {
+	if s.Count == 0 && s.Index == 0 {
+		return nil
+	}
+	if s.Count <= 0 {
+		return fmt.Errorf("sweepjob: shard count %d must be positive", s.Count)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("sweepjob: shard index %d out of range [0, %d)", s.Index, s.Count)
+	}
+	return nil
+}
+
+// Enabled reports whether the shard selects a strict subset protocol
+// (Count > 0). An enabled 0/1 shard selects the whole grid but still
+// stamps checkpoint headers with its coordinates.
+func (s Shard) Enabled() bool { return s.Count > 0 }
+
+// String renders the "i/N" form ("" for the whole grid).
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// Assign reports whether point index pt belongs to this shard. Points
+// are dealt round-robin, so any prefix of the grid splits near-evenly
+// and the assignment never depends on grid size.
+func (s Shard) Assign(pt int) bool {
+	if !s.Enabled() {
+		return true
+	}
+	return pt%s.Count == s.Index
+}
+
+// Select returns the indices of [0, total) assigned to this shard, in
+// ascending order.
+func (s Shard) Select(total int) []int {
+	if !s.Enabled() {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, total/s.Count+1)
+	for i := s.Index; i < total; i += s.Count {
+		out = append(out, i)
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package sweepjob
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"":    {},
+		"0/3": {Index: 0, Count: 3},
+		"2/3": {Index: 2, Count: 3},
+		"0/1": {Index: 0, Count: 1},
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"3/3", "-1/3", "1", "a/b", "1/0", "1/-2"} {
+		if _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestShardPartitionProperties: every partition of every tested grid is
+// disjoint and exhaustive, assignments are a pure function of the point
+// index, and the slices are balanced to within one point.
+func TestShardPartitionProperties(t *testing.T) {
+	for _, total := range []int{1, 2, 7, 16, 100, 1023} {
+		for _, count := range []int{1, 2, 3, 5, 16} {
+			seen := make(map[int]int)
+			min, max := total, 0
+			for idx := 0; idx < count; idx++ {
+				sh := Shard{Index: idx, Count: count}
+				sel := sh.Select(total)
+				if len(sel) < min {
+					min = len(sel)
+				}
+				if len(sel) > max {
+					max = len(sel)
+				}
+				for _, pt := range sel {
+					if !sh.Assign(pt) {
+						t.Fatalf("shard %v: Select and Assign disagree on %d", sh, pt)
+					}
+					if prev, dup := seen[pt]; dup {
+						t.Fatalf("total=%d count=%d: point %d in shards %d and %d", total, count, pt, prev, idx)
+					}
+					seen[pt] = idx
+				}
+			}
+			if len(seen) != total {
+				t.Fatalf("total=%d count=%d: %d points covered", total, count, len(seen))
+			}
+			if max-min > 1 {
+				t.Errorf("total=%d count=%d: unbalanced shards (min %d, max %d)", total, count, min, max)
+			}
+		}
+	}
+}
+
+func res(i int) json.RawMessage {
+	return json.RawMessage(fmt.Sprintf(`{"index":%d,"ipc":%g}`, i, 1.0/float64(i+1)))
+}
+
+func writeShard(t *testing.T, dir, name string, hdr Header, indices ...int) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	w, done, err := OpenWriter(path, hdr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 0 {
+		t.Fatalf("fresh checkpoint reports %d completed points", len(done))
+	}
+	for _, i := range indices {
+		if err := w.Append(i, res(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	hdr := Header{SpecHash: "sj1-abc", Points: 6, Shard: "0/2"}
+	path := writeShard(t, dir, "s0.jsonl", hdr, 0, 2)
+
+	// Reopen: completed points come back, new ones append.
+	w, done, err := OpenWriter(path, hdr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 2 || string(done[0]) != string(res(0)) || string(done[2]) != string(res(2)) {
+		t.Fatalf("resume loaded %v", done)
+	}
+	if err := w.Append(4, res(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != 3 || f.Torn {
+		t.Fatalf("final file: %d records, torn=%v", len(f.Records), f.Torn)
+	}
+}
+
+func TestCheckpointHeaderMismatchFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	hdr := Header{SpecHash: "sj1-abc", Points: 6, Shard: "0/2"}
+	path := writeShard(t, dir, "s.jsonl", hdr, 0)
+
+	for _, bad := range []Header{
+		{SpecHash: "sj1-DIFFERENT", Points: 6, Shard: "0/2"},
+		{SpecHash: "sj1-abc", Points: 7, Shard: "0/2"},
+		{SpecHash: "sj1-abc", Points: 6, Shard: "1/2"},
+	} {
+		if _, _, err := OpenWriter(path, bad, 0); err == nil {
+			t.Errorf("resume with header %+v accepted", bad)
+		}
+	}
+}
+
+// TestCheckpointTornTailRecovery: a record cut mid-write (crash) is
+// dropped on reopen and the file truncated, so the interrupted point
+// re-runs instead of poisoning the file.
+func TestCheckpointTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	hdr := Header{SpecHash: "sj1-abc", Points: 6}
+	path := writeShard(t, dir, "s.jsonl", hdr, 0, 1, 2)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		// Half of the last record written, no newline.
+		"cut": func(b []byte) []byte { return b[:len(b)-9] },
+		// Garbage appended where the next record would go.
+		"garbage": func(b []byte) []byte { return append(b, []byte(`{"index":`)...) },
+		// A syntactically valid record with an out-of-range index.
+		"bad-index": func(b []byte) []byte { return append(b, []byte("{\"index\":99,\"result\":{}}\n")...) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(dir, name+".jsonl")
+			if err := os.WriteFile(p, mutate(append([]byte{}, data...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, recs, _, torn, err := Load(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantRecs := 3
+			if name == "cut" {
+				wantRecs = 2
+			}
+			if !torn || len(recs) != wantRecs {
+				t.Fatalf("torn=%v records=%d, want torn with %d records", torn, len(recs), wantRecs)
+			}
+
+			// Reopening truncates the tail and appends cleanly after it.
+			w, done, err := OpenWriter(p, hdr, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(done) != wantRecs {
+				t.Fatalf("resume after tear: %d completed", len(done))
+			}
+			if name == "cut" {
+				if err := w.Append(2, res(2)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			f, err := ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Torn || len(f.Records) != 3 {
+				t.Fatalf("after repair: torn=%v records=%d", f.Torn, len(f.Records))
+			}
+		})
+	}
+}
+
+func TestMergeHappyPath(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name, shard string, idx ...int) *File {
+		p := writeShard(t, dir, name, Header{SpecHash: "sj1-abc", Points: 6, Shard: shard}, idx...)
+		f, err := ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	files := []*File{
+		mk("s0.jsonl", "0/3", 0, 3),
+		mk("s1.jsonl", "1/3", 1, 4),
+		mk("s2.jsonl", "2/3", 2, 5),
+	}
+	out, hdr, err := Merge(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Shard != "" || hdr.Points != 6 || len(out) != 6 {
+		t.Fatalf("merged hdr %+v, %d results", hdr, len(out))
+	}
+	for i, r := range out {
+		if string(r) != string(res(i)) {
+			t.Errorf("point %d: got %s", i, r)
+		}
+	}
+}
+
+func TestMergeRejectsOverlapGapAndMismatch(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name, hash string, points int, idx ...int) *File {
+		p := writeShard(t, dir, name, Header{SpecHash: hash, Points: points}, idx...)
+		f, err := ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	// Overlap: point 1 in two files.
+	_, _, err := Merge([]*File{mk("a.jsonl", "sj1-h", 4, 0, 1), mk("b.jsonl", "sj1-h", 4, 1, 2, 3)})
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("overlap: %v", err)
+	}
+
+	// Gap: point 3 nowhere.
+	_, _, err = Merge([]*File{mk("c.jsonl", "sj1-h", 4, 0, 1), mk("d.jsonl", "sj1-h", 4, 2)})
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("gap: %v", err)
+	}
+
+	// Spec hash mismatch.
+	_, _, err = Merge([]*File{mk("e.jsonl", "sj1-h", 4, 0, 1), mk("f.jsonl", "sj1-OTHER", 4, 2, 3)})
+	if err == nil || !strings.Contains(err.Error(), "different sweeps") {
+		t.Errorf("hash mismatch: %v", err)
+	}
+
+	// Grid size mismatch.
+	_, _, err = Merge([]*File{mk("g.jsonl", "sj1-h", 4, 0, 1, 2, 3), mk("h.jsonl", "sj1-h", 5, 4)})
+	if err == nil || !strings.Contains(err.Error(), "different sweeps") {
+		t.Errorf("points mismatch: %v", err)
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	a, b := Hash([]byte("spec")), Hash([]byte("spec"))
+	if a != b {
+		t.Fatalf("hash not deterministic: %s vs %s", a, b)
+	}
+	if !strings.HasPrefix(a, "sj1-") || len(a) != 4+32 {
+		t.Fatalf("unexpected hash shape %q", a)
+	}
+	if Hash([]byte("other")) == a {
+		t.Fatal("distinct inputs collide")
+	}
+}

@@ -12,6 +12,13 @@ import (
 // Result is one sweep point's outcome: the configuration echo that
 // identifies the point plus the full metrics of its run. It marshals to
 // JSON (fault-latency series included) for downstream analysis.
+//
+// A Result always describes a run that completed: cancelled sweeps
+// report the points that finished before the stop and omit interrupted
+// ones entirely, because a truncated simulation's metrics are
+// meaningless. With Sweep.Checkpoint set, every reported Result is
+// also durable in the checkpoint file, so nothing a cancelled sweep
+// returned is ever re-simulated on resume.
 type Result struct {
 	Index    int        `json:"index"`
 	Workload string     `json:"workload"`
@@ -34,16 +41,52 @@ func (r Result) Key() string {
 // Report aggregates a sweep's results.
 type Report struct {
 	// Results holds one entry per completed point, in point order. A
-	// cancelled or failed sweep reports only the points that finished.
+	// cancelled or failed sweep reports only the points that finished;
+	// a sharded sweep reports only its shard's points.
 	Results []Result `json:"results"`
-	// Points is the grid size the sweep attempted.
+	// Points is the FULL grid size the sweep enumerated — also for a
+	// shard run, whose Results cover only its slice. Merge tooling
+	// validates shard exhaustiveness against it.
 	Points int `json:"points"`
+	// SpecHash fingerprints the generating sweep (Sweep.SpecHash):
+	// grid axes, params, base config, and spec version. Reports and
+	// checkpoints with equal hashes are comparable point-for-point.
+	SpecHash string `json:"spec_hash,omitempty"`
+	// Shard is the "i/N" slice this report covers ("" = whole grid).
+	Shard string `json:"shard,omitempty"`
 	// Wall is the host time the whole sweep took.
 	Wall time.Duration `json:"wall_ns"`
 }
 
 // JSON renders the report as indented JSON.
 func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// CanonicalJSON renders the report in its determinism-comparison form:
+// the host-dependent fields (Wall, per-result WallTime/SimHeapBytes)
+// and the shard coordinates are zeroed, and everything else —
+// simulated counters, latencies, per-process breakdowns — is emitted
+// exactly as JSON would. Two runs of the same sweep are equivalent iff
+// their CanonicalJSON is byte-identical; this is the form the
+// sharded-resume determinism tests and `virtuoso sweep merge
+// -canonical` compare. The receiver is not modified.
+func (r *Report) CanonicalJSON() ([]byte, error) {
+	out := *r
+	out.Wall = 0
+	out.Shard = ""
+	out.Results = make([]Result, len(r.Results))
+	for i, res := range r.Results {
+		res.Metrics.WallTime = 0
+		res.Metrics.SimHeapBytes = 0
+		if res.Multi != nil {
+			mm := *res.Multi
+			mm.Aggregate.WallTime = 0
+			mm.Aggregate.SimHeapBytes = 0
+			res.Multi = &mm
+		}
+		out.Results[i] = res
+	}
+	return json.MarshalIndent(&out, "", "  ")
+}
 
 // DecodeReport parses a report previously rendered with JSON.
 func DecodeReport(data []byte) (*Report, error) {

@@ -2,11 +2,13 @@ package virtuoso
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/sweepjob"
 	"repro/internal/workloads"
 )
 
@@ -29,13 +31,22 @@ type Point struct {
 // SweepEvent reports one finished point to a progress callback.
 type SweepEvent struct {
 	Point Point
-	// Done counts finished points so far (including this one); Total is
-	// the grid size.
+	// Done counts points complete so far in this run's slice of the
+	// grid — including points restored from the checkpoint, which are
+	// complete before the first worker starts. Total is the number of
+	// points this run covers: the grid size, or the shard's share when
+	// Sweep.Shard is set.
 	Done, Total int
 	// Metrics is nil when the point failed or was cancelled, in which
 	// case Err says why.
 	Metrics *Metrics
-	Err     error
+	// Result is the point's full outcome — the configuration echo plus
+	// Metrics and, for mix points, the per-process breakdown — exactly
+	// what the final Report will contain for this point. Nil when Err
+	// is set. Streaming consumers (`virtuoso sweep serve`) forward it
+	// verbatim so clients never wait for the sweep to finish.
+	Result *Result
+	Err    error
 }
 
 // Sweep expands a design-space grid into run points and executes them
@@ -100,6 +111,34 @@ type Sweep struct {
 	// never perturb results (an observed sweep is byte-identical to an
 	// unobserved one).
 	Observe func(p Point) Observer
+
+	// Shard restricts the run to one deterministic slice of the grid
+	// (the zero value runs everything). Point enumeration and per-point
+	// results are unaffected — shard i of N simply executes the points
+	// with Index ≡ i (mod N) — so N shard runs on N machines partition
+	// the grid disjointly and exhaustively, and their checkpoint files
+	// merge (MergeCheckpoints, `virtuoso sweep merge`) into the exact
+	// Report an unsharded run would have produced.
+	Shard Shard
+
+	// Checkpoint, when non-empty, persists every completed point's
+	// Result to this JSONL file as it lands (fsync-batched) and, when
+	// the file already exists, resumes: completed points are restored
+	// from disk instead of re-simulated, so an interrupted sweep —
+	// context cancel, SIGINT, or crash — loses at most the points that
+	// were in flight. The file is stamped with SpecHash(); resuming
+	// with a changed grid, params, or base config fails loudly. A tail
+	// record torn by a crash is dropped and that point re-runs.
+	//
+	// Configure and WorkloadFactory hooks are not hashable — when they
+	// affect results, set Label so incompatible runs cannot resume each
+	// other's checkpoints.
+	Checkpoint string
+
+	// Label is an opaque salt mixed into SpecHash — the escape hatch
+	// for sweeps whose Configure/WorkloadFactory hooks change results
+	// in ways the declarative fields cannot express.
+	Label string
 }
 
 // Points expands the grid in deterministic order: workloads (then
@@ -144,11 +183,18 @@ func (s *Sweep) Points() []Point {
 	return pts
 }
 
-// Run executes the grid and returns a Report with one Result per
-// completed point, in Points() order. The first point failure — or a
-// ctx cancellation, which interrupts in-flight simulations within a few
-// thousand simulated instructions — stops the sweep; Run then returns
-// the partial report alongside the error.
+// Run executes the grid — or, with Shard set, this shard's slice of it
+// — and returns a Report with one Result per completed point, in
+// Points() order.
+//
+// Cancellation semantics: the first point failure — or a ctx
+// cancellation, which interrupts in-flight simulations within a few
+// thousand simulated instructions — stops the sweep, and Run returns
+// the partial report alongside the error. Every point that completed
+// before the stop is in the report (and, with Checkpoint set, already
+// durable on disk); only in-flight and never-started points are
+// missing, because a truncated simulation's metrics are meaningless
+// and are discarded rather than reported.
 func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	pts := s.Points()
 	if len(pts) == 0 {
@@ -157,9 +203,52 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	if err := validateParams(s.Params); err != nil {
 		return nil, err
 	}
+	if err := s.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	hash := s.SpecHash()
+	sel := s.Shard.Select(len(pts))
 
-	jobs := make([]runner.Job, len(pts))
-	for i, p := range pts {
+	// Open the checkpoint (creating or resuming) and restore completed
+	// points. The header carries the spec hash, so resuming a changed
+	// sweep fails here rather than mixing grids.
+	var ckpt *sweepjob.Writer
+	completed := map[int]Result{}
+	if s.Checkpoint != "" {
+		w, raw, err := sweepjob.OpenWriter(s.Checkpoint, sweepjob.Header{
+			SpecHash: hash, Points: len(pts), Shard: s.Shard.String(),
+		}, 0)
+		if err != nil {
+			return nil, err
+		}
+		ckpt = w
+		defer func() {
+			if ckpt != nil {
+				ckpt.Close()
+			}
+		}()
+		for idx, rawRes := range raw {
+			if !s.Shard.Assign(idx) {
+				return nil, fmt.Errorf("virtuoso: checkpoint %s holds point %d, which is outside shard %s", s.Checkpoint, idx, s.Shard)
+			}
+			var r Result
+			if err := json.Unmarshal(rawRes, &r); err != nil {
+				return nil, fmt.Errorf("virtuoso: checkpoint %s: point %d: %w", s.Checkpoint, idx, err)
+			}
+			completed[idx] = r
+		}
+	}
+
+	// Build jobs for the points still pending in this shard.
+	pending := make([]int, 0, len(sel))
+	for _, idx := range sel {
+		if _, done := completed[idx]; !done {
+			pending = append(pending, idx)
+		}
+	}
+	jobs := make([]runner.Job, len(pending))
+	for ji, idx := range pending {
+		p := pts[idx]
 		cfg := s.Base
 		cfg.Design = p.Design
 		cfg.Policy = p.Policy
@@ -170,53 +259,104 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 			}
 		}
 		if p.Mix != nil {
-			jobs[i] = runner.Job{Cfg: cfg, Mix: s.mixFactory(p)}
+			jobs[ji] = runner.Job{Cfg: cfg, Mix: s.mixFactory(p)}
 		} else {
-			jobs[i] = runner.Job{Cfg: cfg, Workload: s.workloadFactory(p)}
+			jobs[ji] = runner.Job{Cfg: cfg, Workload: s.workloadFactory(p)}
 		}
 		if s.Observe != nil {
 			if obs := s.Observe(p); obs != nil {
-				jobs[i].Observer = obs.Observe
+				jobs[ji].Observer = obs.Observe
 			}
 		}
 	}
 
+	// A checkpoint write failure (disk full, volume gone) must stop the
+	// sweep: silently continuing would report results the resume file
+	// never saw. The runner serialises progress calls, so ckptErr needs
+	// no lock — it is written under the runner's mutex and read only
+	// after Run returns.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	var ckptErr error
+
+	baseDone := len(completed)
 	var progress func(done, total int, out runner.Outcome)
-	if s.Progress != nil {
+	if s.Progress != nil || ckpt != nil {
 		progress = func(done, total int, out runner.Outcome) {
-			ev := SweepEvent{Point: pts[out.Index], Done: done, Total: total, Err: out.Err}
+			idx := pending[out.Index]
+			var res Result
 			if out.Err == nil {
-				m := out.Metrics
-				ev.Metrics = &m
+				res = buildResult(pts[idx], jobs[out.Index].Cfg, out)
+				if ckpt != nil && ckptErr == nil {
+					raw, err := json.Marshal(res)
+					if err == nil {
+						err = ckpt.Append(idx, raw)
+					}
+					if err != nil {
+						ckptErr = err
+						cancelRun()
+					}
+				}
 			}
-			s.Progress(ev)
+			if s.Progress != nil {
+				ev := SweepEvent{Point: pts[idx], Done: baseDone + done, Total: len(sel), Err: out.Err}
+				if out.Err == nil {
+					ev.Metrics = &res.Metrics
+					ev.Result = &res
+				}
+				s.Progress(ev)
+			}
 		}
 	}
 
 	start := time.Now()
-	outs, err := runner.Run(ctx, jobs, s.Parallel, progress)
-	rep := &Report{Points: len(pts), Wall: time.Since(start)}
-	for i, out := range outs {
+	outs, err := runner.Run(runCtx, jobs, s.Parallel, progress)
+
+	// Assemble the report in point order: checkpointed results where
+	// the point was restored, fresh outcomes where it ran.
+	rep := &Report{Points: len(pts), SpecHash: hash, Shard: s.Shard.String(), Wall: time.Since(start)}
+	fresh := make(map[int]Result, len(outs))
+	for ji, out := range outs {
 		if out.Err != nil {
 			continue
 		}
-		// Echo the executed config, not the grid point: the Configure
-		// hook may have overridden design, policy, or seed.
-		rep.Results = append(rep.Results, Result{
-			Index:    pts[i].Index,
-			Workload: pts[i].Workload,
-			Design:   jobs[i].Cfg.Design,
-			Policy:   jobs[i].Cfg.Policy,
-			Mode:     jobs[i].Cfg.Mode.String(),
-			Seed:     jobs[i].Cfg.Seed,
-			Metrics:  out.Metrics,
-			Multi:    out.Multi,
-		})
+		fresh[pending[ji]] = buildResult(pts[pending[ji]], jobs[ji].Cfg, out)
 	}
-	if err != nil {
-		return rep, err
+	for _, idx := range sel {
+		if r, ok := completed[idx]; ok {
+			rep.Results = append(rep.Results, r)
+		} else if r, ok := fresh[idx]; ok {
+			rep.Results = append(rep.Results, r)
+		}
 	}
-	return rep, nil
+
+	// Make the checkpoint durable before reporting success or failure.
+	if ckpt != nil {
+		cerr := ckpt.Close()
+		ckpt = nil
+		if ckptErr == nil {
+			ckptErr = cerr
+		}
+	}
+	if ckptErr != nil {
+		return rep, fmt.Errorf("virtuoso: sweep checkpoint %s: %w", s.Checkpoint, ckptErr)
+	}
+	return rep, err
+}
+
+// buildResult echoes the executed config, not the grid point: the
+// Configure hook may have overridden design, policy, or seed.
+func buildResult(p Point, cfg Config, out runner.Outcome) Result {
+	return Result{
+		Index:    p.Index,
+		Workload: p.Workload,
+		Design:   cfg.Design,
+		Policy:   cfg.Policy,
+		Mode:     cfg.Mode.String(),
+		Seed:     cfg.Seed,
+		Metrics:  out.Metrics,
+		Multi:    out.Multi,
+	}
 }
 
 // workloadFactory returns the per-point workload constructor, deferring
