@@ -11,6 +11,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 )
@@ -35,14 +36,18 @@ func (p ReplPolicy) String() string {
 
 const srripMax = 3 // 2-bit RRPV
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // last-use stamp (LRU)
-	rrpv  uint8  // re-reference prediction value (SRRIP)
-	atype mem.AccessType
-}
+// Lines are stored structure-of-arrays so the way scans in Access/Fill
+// touch one densely packed uint64 per way instead of a 32-byte struct:
+//
+//	tags[i] = (tag << 1) | 1 for a valid line, 0 for an invalid one
+//	lru[i]  = last-use stamp (LRU replacement)
+//	meta[i] = dirty (bit 0) | rrpv (bits 1-2) | atype (bits 3-7)
+const (
+	metaDirty     = 1 << 0
+	metaRrpvShift = 1
+	metaRrpvMask  = 0b11 << metaRrpvShift
+	metaTypeShift = 3
+)
 
 // Stats counts per-type cache activity.
 type Stats struct {
@@ -76,11 +81,14 @@ type Cache struct {
 	ways     int
 	latency  uint64
 	policy   ReplPolicy
-	lines    []line // sets*ways, row-major
-	tick     uint64
-	stats    Stats
-	setShift uint
-	setMask  uint64
+	tags     []uint64 // sets*ways, row-major; (tag<<1)|valid
+	lru      []uint64
+	meta     []uint8
+	tick      uint64
+	stats     Stats
+	setShift  uint
+	setMask   uint64
+	setsShift uint // log2(sets): tag extraction shifts instead of dividing
 }
 
 // New builds a cache with the given geometry. sizeBytes/64 must be
@@ -94,14 +102,20 @@ func New(name string, sizeBytes uint64, ways int, latency uint64, policy ReplPol
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: sets %d not a power of two", name, sets))
 	}
+	if mem.NumAccessTypes > 32 {
+		panic("cache: access types no longer fit the packed meta byte")
+	}
 	return &Cache{
-		name:    name,
-		sets:    sets,
-		ways:    ways,
-		latency: latency,
-		policy:  policy,
-		lines:   make([]line, sets*ways),
-		setMask: uint64(sets - 1),
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		latency:   latency,
+		policy:    policy,
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint64, sets*ways),
+		meta:      make([]uint8, sets*ways),
+		setMask:   uint64(sets - 1),
+		setsShift: uint(bits.TrailingZeros(uint(sets))),
 	}
 }
 
@@ -124,16 +138,18 @@ func (c *Cache) setOf(pa mem.PAddr) int {
 }
 
 func (c *Cache) tagOf(pa mem.PAddr) uint64 {
-	return uint64(pa) >> mem.CacheLineShift / uint64(c.sets)
+	return uint64(pa) >> mem.CacheLineShift >> c.setsShift
 }
 
 // Lookup probes the cache without recording a hit/miss stat; it returns
 // whether the line is present. Used by the hierarchy for inclusive checks.
 func (c *Cache) Lookup(pa mem.PAddr) bool {
 	set, tag := c.setOf(pa), c.tagOf(pa)
+	enc := tag<<1 | 1
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if ln := &c.lines[base+w]; ln.valid && ln.tag == tag {
+	row := c.tags[base : base+c.ways]
+	for w := range row {
+		if row[w] == enc {
 			return true
 		}
 	}
@@ -145,15 +161,19 @@ func (c *Cache) Lookup(pa mem.PAddr) bool {
 func (c *Cache) Access(pa mem.PAddr, write bool, t mem.AccessType) bool {
 	c.tick++
 	set, tag := c.setOf(pa), c.tagOf(pa)
+	enc := tag<<1 | 1
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
+	row := c.tags[base : base+c.ways : base+c.ways]
+	for w := range row {
+		if row[w] == enc {
 			c.stats.Hits[t]++
-			ln.lru = c.tick
-			ln.rrpv = 0
+			i := base + w
+			if c.policy == LRU {
+				c.lru[i] = c.tick
+			}
+			c.meta[i] &^= metaRrpvMask
 			if write {
-				ln.dirty = true
+				c.meta[i] |= metaDirty
 			}
 			return true
 		}
@@ -169,96 +189,136 @@ func (c *Cache) Access(pa mem.PAddr, write bool, t mem.AccessType) bool {
 func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) (mem.PAddr, bool) {
 	c.tick++
 	set, tag := c.setOf(pa), c.tagOf(pa)
+	enc := tag<<1 | 1
 	base := set * c.ways
+	row := c.tags[base : base+c.ways : base+c.ways]
+	metaRow := c.meta[base : base+c.ways : base+c.ways]
 
-	// Already present (e.g., race between prefetch and demand): refresh.
-	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			if write {
-				ln.dirty = true
+	// One pass over the set resolves presence, the first invalid way, and
+	// the policy's victim-selection input together: the LRU stamp of the
+	// oldest way, or the maximum RRPV of the set (SRRIP caches never read
+	// the stamps — see the policy guards below). Once an invalid way is
+	// known the victim is decided, so only presence still needs scanning.
+	invalid := -1
+	lruVictim := 0
+	oldest := ^uint64(0)
+	maxR := uint8(0)
+	if c.policy == LRU {
+		lruRow := c.lru[base : base+c.ways : base+c.ways]
+		for w := range row {
+			e := row[w]
+			if e == enc {
+				// Already present (e.g., race between prefetch and demand).
+				if write {
+					metaRow[w] |= metaDirty
+				}
+				return 0, false
 			}
-			return 0, false
+			if e == 0 {
+				if invalid < 0 {
+					invalid = w
+				}
+				continue
+			}
+			if invalid >= 0 {
+				continue
+			}
+			if s := lruRow[w]; s < oldest {
+				oldest = s
+				lruVictim = w
+			}
+		}
+	} else {
+		for w := range row {
+			e := row[w]
+			if e == enc {
+				if write {
+					metaRow[w] |= metaDirty
+				}
+				return 0, false
+			}
+			if e == 0 {
+				if invalid < 0 {
+					invalid = w
+				}
+				continue
+			}
+			if r := metaRow[w] & metaRrpvMask >> metaRrpvShift; r > maxR {
+				maxR = r
+			}
 		}
 	}
 
 	victim := -1
-	for w := 0; w < c.ways; w++ {
-		if !c.lines[base+w].valid {
-			victim = base + w
-			break
-		}
-	}
-	if victim < 0 {
+	if invalid >= 0 {
+		victim = base + invalid
+	} else {
 		switch c.policy {
 		case LRU:
-			oldest := c.lines[base].lru
-			victim = base
-			for w := 1; w < c.ways; w++ {
-				if c.lines[base+w].lru < oldest {
-					oldest = c.lines[base+w].lru
+			victim = base + lruVictim
+		case SRRIP:
+			// Equivalent to the textbook "age all until some way reaches
+			// srripMax" loop: every way ages by the same deficit, and the
+			// victim is the first way that started at the maximum RRPV.
+			age := uint8(srripMax) - maxR
+			for w := range metaRow {
+				r := metaRow[w] & metaRrpvMask >> metaRrpvShift
+				if victim < 0 && r == maxR {
 					victim = base + w
 				}
-			}
-		case SRRIP:
-			for {
-				for w := 0; w < c.ways; w++ {
-					if c.lines[base+w].rrpv >= srripMax {
-						victim = base + w
-						break
-					}
-				}
-				if victim >= 0 {
-					break
-				}
-				for w := 0; w < c.ways; w++ {
-					c.lines[base+w].rrpv++
+				if age > 0 {
+					metaRow[w] += age << metaRrpvShift
 				}
 			}
 		}
 	}
 
-	ln := &c.lines[victim]
 	var wbAddr mem.PAddr
 	var wb bool
-	if ln.valid {
+	if c.tags[victim] != 0 {
 		c.stats.Evictions++
-		if ln.dirty {
+		if c.meta[victim]&metaDirty != 0 {
 			c.stats.Writebacks++
 			wb = true
-			wbAddr = c.reconstruct(ln.tag, set)
+			wbAddr = c.reconstruct(c.tags[victim]>>1, set)
 		}
 	}
-	*ln = line{tag: tag, valid: true, dirty: write, lru: c.tick, atype: t}
+	c.tags[victim] = enc
+	m := uint8(srripMax-1)<<metaRrpvShift | uint8(t)<<metaTypeShift
+	if write {
+		m |= metaDirty
+	}
+	c.meta[victim] = m
 	if prefetch {
 		c.stats.PrefetchFills++
-		ln.rrpv = srripMax - 1
-		if c.tick > uint64(c.ways) {
-			ln.lru = c.tick - uint64(c.ways) // colder LRU position
-		}
-	} else {
-		ln.rrpv = srripMax - 1
-		if c.policy == SRRIP {
-			ln.rrpv = srripMax - 1
+	}
+	// LRU stamps are replacement state only for LRU caches; skipping the
+	// write for SRRIP saves a line touch in a never-read array.
+	if c.policy == LRU {
+		c.lru[victim] = c.tick
+		if prefetch && c.tick > uint64(c.ways) {
+			c.lru[victim] = c.tick - uint64(c.ways) // colder LRU position
 		}
 	}
 	return wbAddr, wb
 }
 
 func (c *Cache) reconstruct(tag uint64, set int) mem.PAddr {
-	return mem.PAddr((tag*uint64(c.sets) + uint64(set)) << mem.CacheLineShift)
+	return mem.PAddr((tag<<c.setsShift + uint64(set)) << mem.CacheLineShift)
 }
 
 // Invalidate drops the line holding pa if present, returning whether it
 // was dirty.
 func (c *Cache) Invalidate(pa mem.PAddr) bool {
 	set, tag := c.setOf(pa), c.tagOf(pa)
+	enc := tag<<1 | 1
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			d := ln.dirty
-			*ln = line{}
+		if c.tags[base+w] == enc {
+			d := c.meta[base+w]&metaDirty != 0
+			c.tags[base+w] = 0
+			c.lru[base+w] = 0
+			c.meta[base+w] = 0
 			return d
 		}
 	}
@@ -269,8 +329,8 @@ func (c *Cache) Invalidate(pa mem.PAddr) bool {
 // type t — used to report how much page-table state resides in a level.
 func (c *Cache) OccupancyOf(t mem.AccessType) int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].atype == t {
+	for i := range c.tags {
+		if c.tags[i] != 0 && mem.AccessType(c.meta[i]>>metaTypeShift) == t {
 			n++
 		}
 	}

@@ -8,6 +8,7 @@ type IPStridePrefetcher struct {
 	entries []ipEntry
 	mask    uint64
 	degree  int
+	buf     []mem.PAddr // reused across Observe calls; valid until the next call
 	Issued  uint64
 	Useful  uint64 // approximated by the fill layer
 }
@@ -25,11 +26,17 @@ func NewIPStride(tableSize, degree int) *IPStridePrefetcher {
 	if tableSize&(tableSize-1) != 0 {
 		panic("cache: ip-stride table size must be a power of two")
 	}
-	return &IPStridePrefetcher{entries: make([]ipEntry, tableSize), mask: uint64(tableSize - 1), degree: degree}
+	return &IPStridePrefetcher{
+		entries: make([]ipEntry, tableSize),
+		mask:    uint64(tableSize - 1),
+		degree:  degree,
+		buf:     make([]mem.PAddr, 0, degree),
+	}
 }
 
 // Observe records a demand access and returns addresses to prefetch
-// (possibly none).
+// (possibly none). The returned slice is reused by the next Observe
+// call — consume it before observing again.
 func (p *IPStridePrefetcher) Observe(pc uint64, pa mem.PAddr) []mem.PAddr {
 	e := &p.entries[(pc>>2)&p.mask]
 	if !e.valid || e.pc != pc {
@@ -52,7 +59,7 @@ func (p *IPStridePrefetcher) Observe(pc uint64, pa mem.PAddr) []mem.PAddr {
 	if e.conf < 2 {
 		return nil
 	}
-	out := make([]mem.PAddr, 0, p.degree)
+	out := p.buf[:0]
 	next := int64(uint64(pa))
 	for i := 0; i < p.degree; i++ {
 		next += e.stride
@@ -71,6 +78,7 @@ type StreamPrefetcher struct {
 	streams []streamEntry
 	next    int
 	degree  int
+	buf     []mem.PAddr // reused across Observe calls; valid until the next call
 	Issued  uint64
 }
 
@@ -84,10 +92,16 @@ type streamEntry struct {
 
 // NewStream builds a stream prefetcher with n stream trackers.
 func NewStream(nStreams, degree int) *StreamPrefetcher {
-	return &StreamPrefetcher{streams: make([]streamEntry, nStreams), degree: degree}
+	return &StreamPrefetcher{
+		streams: make([]streamEntry, nStreams),
+		degree:  degree,
+		buf:     make([]mem.PAddr, 0, degree),
+	}
 }
 
 // Observe records an L2 demand miss and returns prefetch candidates.
+// The returned slice is reused by the next Observe call — consume it
+// before observing again.
 func (p *StreamPrefetcher) Observe(pa mem.PAddr) []mem.PAddr {
 	region := uint64(pa) >> 12
 	lineA := uint64(mem.Line(pa))
@@ -112,7 +126,7 @@ func (p *StreamPrefetcher) Observe(pa mem.PAddr) []mem.PAddr {
 		if s.conf < 2 {
 			return nil
 		}
-		out := make([]mem.PAddr, 0, p.degree)
+		out := p.buf[:0]
 		a := int64(lineA)
 		for j := 0; j < p.degree; j++ {
 			a += s.dir * mem.CacheLineBytes

@@ -161,6 +161,15 @@ type Config struct {
 	CtxSwitchCycles uint64
 	ASIDRetention   bool
 
+	// ReferencePath forces Run and RunMulti onto the unbatched
+	// per-instruction reference loops instead of the batched fast lane.
+	// Both paths produce byte-identical Results (the differential suite
+	// asserts it); the knob exists so the equivalence is testable and so
+	// a fast-lane regression can be bisected against the reference.
+	// Excluded from JSON so sweep-spec hashes are loop-implementation
+	// agnostic.
+	ReferencePath bool `json:"-"`
+
 	Seed uint64
 }
 
@@ -230,6 +239,15 @@ type System struct {
 	frontendTap func(isa.Inst)
 	interrupted bool
 
+	// stepIn and batch are reusable decode destinations for the run
+	// loops. Filling an instruction through the isa.Source interface
+	// makes the destination escape, so a per-call local would cost one
+	// heap allocation per RunSteps/runFast invocation; parking the
+	// scratch space on the (heap-resident) System keeps the steady
+	// state allocation-free (locked in by alloc_test.go).
+	stepIn isa.Inst
+	batch  []isa.Inst
+
 	// Streaming observation (see observe.go). obsCtxSwitches mirrors the
 	// multiprogrammed scheduler's dispatch count so snapshots can report
 	// it without reaching into RunMulti's locals.
@@ -254,6 +272,11 @@ const (
 // enough that a cancelled context stops a simulation within microseconds
 // of simulated work.
 const cancelStride = 1 << 13
+
+// batchSize is the fast lane's frontend read-ahead: large enough to
+// amortize the per-batch isa.Source dispatch to noise, small enough
+// that the buffer lives on the run loop's stack.
+const batchSize = 256
 
 // SetCancelCheck installs a cooperative cancellation poll: Run and
 // RunSteps call f periodically and stop early when it returns true.
@@ -591,7 +614,38 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 	runtime.ReadMemStats(&msBefore)
 	wallStart := time.Now()
 
-	max := s.Cfg.MaxAppInsts
+	s.runLoop(src, s.Cfg.MaxAppInsts)
+	if !s.interrupted {
+		// The closing snapshot reads the same counter state collect is
+		// about to package, so Final snapshot == Metrics exactly.
+		s.finishObserve()
+	}
+
+	wall := time.Since(wallStart)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+
+	return s.collect(w.Name(), wall, msBefore, msAfter)
+}
+
+// runLoop drives the core over src until exhaustion, the optional
+// instruction bound, or cancellation. It dispatches between the batched
+// fast lane and the per-instruction reference loop; both retire the
+// same instructions in the same order with identical per-instruction
+// bookkeeping, so Results are byte-identical (the differential suite
+// asserts it).
+func (s *System) runLoop(src isa.Source, max uint64) {
+	if s.Cfg.ReferencePath {
+		s.runReference(src, max)
+		return
+	}
+	s.runFast(src, max)
+}
+
+// runReference is the unbatched loop: one interface dispatch per
+// instruction. Kept verbatim as the semantic baseline the fast lane is
+// diffed against.
+func (s *System) runReference(src isa.Source, max uint64) {
 	var in isa.Inst
 	var polled uint64
 	for src.Next(&in) {
@@ -610,17 +664,43 @@ func (s *System) Run(w *workloads.Workload) Metrics {
 			break
 		}
 	}
-	if !s.interrupted {
-		// The closing snapshot reads the same counter state collect is
-		// about to package, so Final snapshot == Metrics exactly.
-		s.finishObserve()
+}
+
+// runFast is the batched loop: instructions are pulled from the source
+// in blocks (one FillBatch call per batchSize instructions) into a
+// stack buffer, then retired with the exact per-instruction sequence of
+// runReference — tap, core, observe, bound check, cancellation poll.
+// When the bound or a cancel stops the run mid-batch, the remaining
+// read-ahead is discarded, matching the reference loop leaving the same
+// instructions unread in the source.
+func (s *System) runFast(src isa.Source, max uint64) {
+	if s.batch == nil {
+		s.batch = make([]isa.Inst, batchSize)
 	}
-
-	wall := time.Since(wallStart)
-	var msAfter runtime.MemStats
-	runtime.ReadMemStats(&msAfter)
-
-	return s.collect(w.Name(), wall, msBefore, msAfter)
+	buf := s.batch
+	var polled uint64
+	for {
+		n := isa.FillBatch(src, buf)
+		if n == 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if s.frontendTap != nil {
+				s.frontendTap(buf[i])
+			}
+			s.Core.Run(buf[i])
+			if s.observer != nil {
+				s.maybeObserve()
+			}
+			if max > 0 && s.Core.Stats().AppInsts >= max {
+				return
+			}
+			if polled++; polled%cancelStride == 0 && s.Cancelled() {
+				s.interrupted = true
+				return
+			}
+		}
+	}
 }
 
 // makeFrontend adapts the workload source per the configured frontend.
@@ -762,13 +842,13 @@ func (s *System) ResetStats() {
 // Used by experiments that interleave warm-up and measurement windows.
 func (s *System) RunSteps(src isa.Source, maxApp uint64) {
 	start := s.Core.Stats().AppInsts
-	var in isa.Inst
+	in := &s.stepIn
 	var polled uint64
-	for src.Next(&in) {
+	for src.Next(in) {
 		if s.frontendTap != nil {
-			s.frontendTap(in)
+			s.frontendTap(*in)
 		}
-		s.Core.Run(in)
+		s.Core.Run(*in)
 		if maxApp > 0 && s.Core.Stats().AppInsts-start >= maxApp {
 			return
 		}

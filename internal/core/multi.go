@@ -36,6 +36,32 @@ type Process struct {
 	src      isa.Source
 	finished bool
 	acc      procAccum
+
+	// Fast-lane read-ahead: instructions batched out of src, persisted
+	// across scheduling slices so a quantum boundary mid-batch loses
+	// nothing. Unused (nil) on the reference path.
+	buf    []isa.Inst
+	bufPos int
+	bufN   int
+}
+
+// next produces the process's next instruction, refilling the batch
+// buffer when drained. With a nil buffer (reference path) it is a plain
+// per-instruction source read.
+func (p *Process) next(in *isa.Inst) bool {
+	if p.buf == nil {
+		return p.src.Next(in)
+	}
+	if p.bufPos == p.bufN {
+		p.bufN = isa.FillBatch(p.src, p.buf)
+		p.bufPos = 0
+		if p.bufN == 0 {
+			return false
+		}
+	}
+	*in = p.buf[p.bufPos]
+	p.bufPos++
+	return true
 }
 
 // procAccum collects per-process deltas of the shared core/MMU counters
@@ -244,6 +270,9 @@ func (s *System) RunMulti(ws []*workloads.Workload) (MultiMetrics, error) {
 	s.OS.Tracer.Begin()
 	for _, p := range s.procs {
 		p.src = s.makeFrontendSeeded(p.W, frontendSalt(p.PID))
+		if !s.Cfg.ReferencePath {
+			p.buf = make([]isa.Inst, batchSize)
+		}
 	}
 	// Finished processes close their sources at exit; this releases the
 	// rest when cancellation stops the schedule early (file-backed
@@ -296,7 +325,7 @@ sched:
 		snapCore := *s.Core.Stats()
 		snapMMU := *s.MMU.Stats()
 		for {
-			if !p.src.Next(&in) {
+			if !p.next(&in) {
 				p.finished = true
 				break
 			}

@@ -39,6 +39,7 @@ type VirtualizedSystem struct {
 	HostFaults  uint64
 	segvs       uint64
 	hostVABase  mem.VAddr
+	refPath     bool
 }
 
 // VirtualizedConfig configures the two-kernel system.
@@ -50,6 +51,10 @@ type VirtualizedConfig struct {
 	MMUCfg         mmu.Config
 	DramCfg        dram.Config
 	Seed           uint64
+
+	// ReferencePath forces Run onto the unbatched per-instruction loop,
+	// mirroring Config.ReferencePath for the two-kernel system.
+	ReferencePath bool `json:"-"`
 }
 
 // DefaultVirtualizedConfig returns a small two-level system.
@@ -71,7 +76,7 @@ func NewVirtualizedSystem(cfg VirtualizedConfig) *VirtualizedSystem {
 	if cfg.GuestPhysBytes == 0 {
 		cfg = DefaultVirtualizedConfig()
 	}
-	v := &VirtualizedSystem{hostVABase: 0x2000_0000_0000}
+	v := &VirtualizedSystem{hostVABase: 0x2000_0000_0000, refPath: cfg.ReferencePath}
 
 	gcfg := mimicos.DefaultConfig()
 	gcfg.PhysBytes = cfg.GuestPhysBytes
@@ -184,11 +189,30 @@ func (v *VirtualizedSystem) Run(w *workloads.Workload, maxApp uint64) (guestFaul
 	w.Setup(v.Guest, 1)
 	v.Guest.Tracer.Begin()
 	src := w.Source(11)
-	var in isa.Inst
-	for src.Next(&in) {
-		v.Core.Run(in)
-		if maxApp > 0 && v.Core.Stats().AppInsts >= maxApp {
-			break
+	if v.refPath {
+		var in isa.Inst
+		for src.Next(&in) {
+			v.Core.Run(in)
+			if maxApp > 0 && v.Core.Stats().AppInsts >= maxApp {
+				break
+			}
+		}
+	} else {
+		// Batched fast lane, per-instruction semantics identical to the
+		// reference loop above (see System.runFast).
+		var buf [batchSize]isa.Inst
+	fill:
+		for {
+			n := isa.FillBatch(src, buf[:])
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				v.Core.Run(buf[i])
+				if maxApp > 0 && v.Core.Stats().AppInsts >= maxApp {
+					break fill
+				}
+			}
 		}
 	}
 	st := v.Core.Stats()

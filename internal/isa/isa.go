@@ -137,6 +137,33 @@ type Source interface {
 	Next(out *Inst) bool
 }
 
+// BatchSource is implemented by sources that can hand out many
+// instructions per call, letting the engine's fast lane amortize the
+// per-instruction interface dispatch of Next. Sources without a
+// natural batch form are adapted by FillBatch.
+type BatchSource interface {
+	Source
+	// NextBatch fills out with up to len(out) instructions and returns
+	// how many were produced. Zero means the source is exhausted.
+	// Interleaving NextBatch and Next is allowed; both consume the same
+	// underlying stream.
+	NextBatch(out []Inst) int
+}
+
+// FillBatch fills out from src — natively when src implements
+// BatchSource, otherwise by repeated Next calls — and returns the
+// number of instructions produced. Zero means src is exhausted.
+func FillBatch(src Source, out []Inst) int {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.NextBatch(out)
+	}
+	n := 0
+	for n < len(out) && src.Next(&out[n]) {
+		n++
+	}
+	return n
+}
+
 // SliceSource adapts a Stream into a Source.
 type SliceSource struct {
 	S   Stream
@@ -151,6 +178,13 @@ func (ss *SliceSource) Next(out *Inst) bool {
 	*out = ss.S[ss.pos]
 	ss.pos++
 	return true
+}
+
+// NextBatch implements BatchSource.
+func (ss *SliceSource) NextBatch(out []Inst) int {
+	n := copy(out, ss.S[ss.pos:])
+	ss.pos += n
+	return n
 }
 
 // Reset rewinds the source to the beginning.

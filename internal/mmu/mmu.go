@@ -102,8 +102,14 @@ type MMU struct {
 	dtlb2m *tlb.TLB
 	stlb   *tlb.TLB
 	design Design
-	asid   uint16
-	stats  Stats
+	// radix caches the installed design's concrete type when it is the
+	// common radix walker, so the STLB-miss path calls it directly
+	// (devirtualized, inlinable) instead of through the Design
+	// interface. Nil for every other design, which stays on the
+	// interface slow path.
+	radix *RadixWalker
+	asid  uint16
+	stats Stats
 }
 
 // New builds an MMU over the given design.
@@ -115,15 +121,33 @@ func New(cfg Config, design Design, asid uint16) *MMU {
 	if cfg.STLB4KOnly {
 		stlbSizes = []mem.PageSize{mem.Page4K}
 	}
-	return &MMU{
+	m := &MMU{
 		cfg:    cfg,
 		itlb:   tlb.New("L1I-TLB", cfg.ITLBEntries, cfg.ITLBWays, cfg.ITLBLat, mem.Page4K, mem.Page2M),
 		dtlb4k: tlb.New("L1D-TLB-4K", cfg.DTLB4KEntries, cfg.DTLB4KWays, cfg.DTLBLat, mem.Page4K),
 		dtlb2m: tlb.New("L1D-TLB-2M", cfg.DTLB2MEntries, cfg.DTLB2MWays, cfg.DTLBLat, mem.Page2M, mem.Page1G),
 		stlb:   tlb.New("L2-STLB", cfg.STLBEntries, cfg.STLBWays, cfg.STLBLat, stlbSizes...),
-		design: design,
 		asid:   asid,
 	}
+	m.setDesign(design)
+	return m
+}
+
+// setDesign installs d and refreshes the devirtualized fast-path
+// pointer used on STLB misses.
+func (m *MMU) setDesign(d Design) {
+	m.design = d
+	m.radix, _ = d.(*RadixWalker)
+}
+
+// translateMiss resolves an STLB miss through the cached concrete
+// walker when the design is the radix walker, falling back to the
+// Design interface for every other (or externally registered) design.
+func (m *MMU) translateMiss(va mem.VAddr, now uint64) Result {
+	if m.radix != nil {
+		return m.radix.TranslateMiss(va, now)
+	}
+	return m.design.TranslateMiss(va, now)
 }
 
 // Design returns the installed translation design.
@@ -144,7 +168,7 @@ func (m *MMU) ASID() uint16 { return m.asid }
 func (m *MMU) SwitchContext(asid uint16, d Design, flush bool) {
 	m.asid = asid
 	if d != nil {
-		m.design = d
+		m.setDesign(d)
 	}
 	if flush {
 		m.FlushAll()
@@ -201,7 +225,7 @@ func (m *MMU) Translate(va mem.VAddr, write bool, now uint64) Result {
 	}
 	m.stats.L2TLBMisses++
 
-	res := m.design.TranslateMiss(va, now+lat)
+	res := m.translateMiss(va, now+lat)
 	m.stats.Walks++
 	m.stats.WalkCycles += res.Lat
 	m.stats.FrontendCycles += res.FrontendLat
@@ -231,7 +255,7 @@ func (m *MMU) TranslateInstr(va mem.VAddr, now uint64) Result {
 		return Result{PA: e.Size.Translate(e.Frame, va), Size: e.Size, Lat: lat}
 	}
 	m.stats.L2TLBMisses++
-	res := m.design.TranslateMiss(va, now+lat)
+	res := m.translateMiss(va, now+lat)
 	m.stats.Walks++
 	m.stats.WalkCycles += res.Lat
 	lat += res.Lat

@@ -12,7 +12,8 @@ import (
 type RadixWalker struct {
 	PT   pagetable.PageTable
 	Mem  Memory
-	pwcs [3]*tlb.PWC // depth 1 (PDPT ptr), 2 (PD ptr), 3 (PT ptr)
+	rpt  *pagetable.Radix // concrete PT when radix: devirtualized Walk
+	pwcs [3]*tlb.PWC      // depth 1 (PDPT ptr), 2 (PD ptr), 3 (PT ptr)
 }
 
 // NewRadixWalker builds the walker with the Table 4 PWC configuration
@@ -26,6 +27,7 @@ func NewRadixWalker(pt pagetable.PageTable, m Memory) *RadixWalker {
 // TLBs to preserve the paper's PWC-reach-to-footprint ratio.
 func NewRadixWalkerSized(pt pagetable.PageTable, m Memory, pwcEntries, pwcWays int) *RadixWalker {
 	w := &RadixWalker{PT: pt, Mem: m}
+	w.rpt, _ = pt.(*pagetable.Radix)
 	for i := 0; i < 3; i++ {
 		w.pwcs[i] = tlb.NewPWC(i+1, pwcEntries, pwcWays, 2)
 	}
@@ -37,7 +39,12 @@ func (w *RadixWalker) Name() string { return "radix" }
 
 // TranslateMiss implements Design.
 func (w *RadixWalker) TranslateMiss(va mem.VAddr, now uint64) Result {
-	walk := w.PT.Walk(va)
+	var walk pagetable.WalkResult
+	if w.rpt != nil {
+		walk = w.rpt.Walk(va)
+	} else {
+		walk = w.PT.Walk(va)
+	}
 	// Find the deepest PWC hit to skip upper-level accesses. PWC at
 	// depth d caches the pointer read at step d (0-based step d gives
 	// the node for step d+1), so a hit at depth d skips steps 0..d-1.

@@ -12,16 +12,64 @@ import (
 // paths during page faults costs kernel memory accesses — the reason
 // radix insertion is slower than hash-table insertion in Fig. 15.
 type Radix struct {
-	alloc FrameAllocator
-	root  *radixNode
-	nodes uint64
-	pages uint64
+	alloc  FrameAllocator
+	root   *radixNode
+	nodes  uint64
+	pages  uint64
+	ents   entryArena
+	narena nodeArena
 }
 
 type radixNode struct {
 	frame    mem.PAddr
 	children [512]*radixNode // interior
 	entries  [512]*Entry     // leaves at any level (1GB/2MB/4KB)
+}
+
+// entryArena hands out *Entry values from fixed-capacity chunks with a
+// freelist, so steady-state fault handling (map page, later unmap)
+// recycles entries instead of allocating one per mapped page. Chunks
+// are append-only and never grown, so handed-out pointers stay valid.
+type entryArena struct {
+	chunks [][]Entry
+	freel  []*Entry
+}
+
+const entryChunk = 512
+
+func (a *entryArena) get(e Entry) *Entry {
+	if n := len(a.freel); n > 0 {
+		p := a.freel[n-1]
+		a.freel = a.freel[:n-1]
+		*p = e
+		return p
+	}
+	if len(a.chunks) == 0 || len(a.chunks[len(a.chunks)-1]) == entryChunk {
+		a.chunks = append(a.chunks, make([]Entry, 0, entryChunk))
+	}
+	c := &a.chunks[len(a.chunks)-1]
+	*c = append(*c, e)
+	return &(*c)[len(*c)-1]
+}
+
+func (a *entryArena) put(p *Entry) { a.freel = append(a.freel, p) }
+
+// nodeArena batches radixNode allocations; nodes are never reclaimed
+// within a process lifetime (Linux defers PT reclamation too), so no
+// freelist is needed.
+type nodeArena struct {
+	chunks [][]radixNode
+}
+
+const nodeChunk = 32
+
+func (a *nodeArena) get(frame mem.PAddr) *radixNode {
+	if len(a.chunks) == 0 || len(a.chunks[len(a.chunks)-1]) == nodeChunk {
+		a.chunks = append(a.chunks, make([]radixNode, 0, nodeChunk))
+	}
+	c := &a.chunks[len(a.chunks)-1]
+	*c = append(*c, radixNode{frame: frame})
+	return &(*c)[len(*c)-1]
 }
 
 // NewRadix builds an empty radix table; the root frame is allocated
@@ -32,7 +80,7 @@ func NewRadix(alloc FrameAllocator) *Radix {
 	if !ok {
 		panic("pagetable: cannot allocate radix root")
 	}
-	r.root = &radixNode{frame: frame}
+	r.root = r.narena.get(frame)
 	r.nodes = 1
 	return r
 }
@@ -117,7 +165,7 @@ func (r *Radix) Insert(va mem.VAddr, e Entry, k instrument.KernelMem) error {
 			if !ok {
 				return ErrOutOfMemory{What: "radix node"}
 			}
-			child = &radixNode{frame: frame}
+			child = r.narena.get(frame)
 			node.children[idx[level]] = child
 			r.nodes++
 			k.ALU(24) // slab fast path: freelist pop, frame init
@@ -125,11 +173,12 @@ func (r *Radix) Insert(va mem.VAddr, e Entry, k instrument.KernelMem) error {
 		}
 		node = child
 	}
-	if node.entries[idx[depth]] == nil {
+	if old := node.entries[idx[depth]]; old != nil {
+		*old = e
+	} else {
 		r.pages++
+		node.entries[idx[depth]] = r.ents.get(e)
 	}
-	ecopy := e
-	node.entries[idx[depth]] = &ecopy
 	k.Store(pteAddr(node, idx[depth]))
 	return nil
 }
@@ -140,8 +189,7 @@ func (r *Radix) Update(va mem.VAddr, e Entry, k instrument.KernelMem) bool {
 	if !ok {
 		return false
 	}
-	ecopy := e
-	node.entries[idx] = &ecopy
+	*node.entries[idx] = e
 	k.Store(pteAddr(node, idx))
 	return true
 }
@@ -154,6 +202,7 @@ func (r *Radix) Remove(va mem.VAddr, k instrument.KernelMem) (Entry, bool) {
 		return Entry{}, false
 	}
 	old := *node.entries[idx]
+	r.ents.put(node.entries[idx])
 	node.entries[idx] = nil
 	r.pages--
 	k.Store(pteAddr(node, idx))

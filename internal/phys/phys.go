@@ -13,6 +13,7 @@ package phys
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem"
 	"repro/internal/xrand"
@@ -32,6 +33,13 @@ type Mem struct {
 	free  map[uint64]uint64 // extent base page -> length in pages
 	byEnd map[uint64]uint64 // extent end page (exclusive) -> base page
 
+	// bitmap mirrors free-page membership (bit p set = page p free) so
+	// point queries (pageFree, allocSpecific) cost O(1) instead of
+	// scanning the extent maps. Maintained at the allocation and free
+	// sites — extent splits and coalescing don't change page state, so
+	// insertExtent/removeExtent leave it alone.
+	bitmap []uint64
+
 	smallStack []uint64 // candidate bases of extents with no aligned 2MB chunk
 	largeStack []uint64 // candidate bases of extents with >= 1 aligned 2MB chunk
 
@@ -50,9 +58,11 @@ func New(totalBytes uint64) *Mem {
 		totalPages: pages,
 		free:       make(map[uint64]uint64),
 		byEnd:      make(map[uint64]uint64),
+		bitmap:     make([]uint64, (pages+63)/64),
 		total2M:    pages / pagesPer2M,
 	}
 	m.insertExtent(0, pages)
+	m.setRange(0, pages)
 	return m
 }
 
@@ -84,6 +94,51 @@ func (m *Mem) Total2MBlocks() uint64 { return m.total2M }
 // unfragmented).
 func (m *Mem) FragmentationLevel() float64 {
 	return float64(m.free2M) / float64(m.total2M)
+}
+
+// setRange marks pages [base, base+n) free in the bitmap.
+func (m *Mem) setRange(base, n uint64) {
+	for n > 0 {
+		w, off := base>>6, base&63
+		span := 64 - off
+		if span > n {
+			span = n
+		}
+		m.bitmap[w] |= (^uint64(0) >> (64 - span)) << off
+		base += span
+		n -= span
+	}
+}
+
+// clearRange marks pages [base, base+n) allocated in the bitmap.
+func (m *Mem) clearRange(base, n uint64) {
+	for n > 0 {
+		w, off := base>>6, base&63
+		span := 64 - off
+		if span > n {
+			span = n
+		}
+		m.bitmap[w] &^= (^uint64(0) >> (64 - span)) << off
+		base += span
+		n -= span
+	}
+}
+
+// extentBase returns the base of the free extent covering page p, which
+// must be free. Free extents are maximal (splits leave allocated gaps,
+// Free coalesces), so the base is one past the nearest allocated page
+// below p — found by scanning bitmap words, not the extent maps.
+func (m *Mem) extentBase(p uint64) uint64 {
+	w := p >> 6
+	word := ^m.bitmap[w] & (^uint64(0) >> (63 - p&63))
+	for word == 0 {
+		if w == 0 {
+			return 0
+		}
+		w--
+		word = ^m.bitmap[w]
+	}
+	return w<<6 + uint64(bits.Len64(word))
 }
 
 func aligned2MCount(base, pages uint64) uint64 {
@@ -155,11 +210,13 @@ func (m *Mem) Alloc4K() (mem.PAddr, bool) {
 	if base, ok := m.popSmall(); ok {
 		pages := m.removeExtent(base)
 		m.insertExtent(base+1, pages-1)
+		m.clearRange(base, 1)
 		return pageAddr(base), true
 	}
 	if base, ok := m.popLarge(); ok {
 		pages := m.removeExtent(base)
 		m.insertExtent(base+1, pages-1) // breaks one 2MB block
+		m.clearRange(base, 1)
 		return pageAddr(base), true
 	}
 	return 0, false
@@ -175,6 +232,7 @@ func (m *Mem) Alloc2M() (mem.PAddr, bool) {
 	head := mem.AlignUp(base, pagesPer2M)
 	m.insertExtent(base, head-base)
 	m.insertExtent(head+pagesPer2M, base+pages-(head+pagesPer2M))
+	m.clearRange(head, pagesPer2M)
 	return pageAddr(head), true
 }
 
@@ -200,6 +258,7 @@ func (m *Mem) AllocContig(pages, alignPages uint64) (mem.PAddr, bool) {
 			m.removeExtent(base)
 			m.insertExtent(base, head-base)
 			m.insertExtent(head+pages, base+length-(head+pages))
+			m.clearRange(head, pages)
 			return pageAddr(head), true
 		}
 	}
@@ -226,6 +285,7 @@ func (m *Mem) AllocLargestRange(minPages, maxPages uint64) (mem.PAddr, uint64, b
 	}
 	m.removeExtent(bestBase)
 	m.insertExtent(bestBase+take, bestLen-take)
+	m.clearRange(bestBase, take)
 	return pageAddr(bestBase), take, true
 }
 
@@ -248,6 +308,7 @@ func (m *Mem) Free(pa mem.PAddr, pages uint64) {
 	if pages == 0 {
 		return
 	}
+	m.setRange(base, pages)
 	// Coalesce with predecessor.
 	if pbase, ok := m.byEnd[base]; ok {
 		plen := m.removeExtent(pbase)
@@ -307,61 +368,20 @@ func (m *Mem) Fragment(targetFree2MFrac float64, seed uint64) {
 
 // pageFree reports whether page number p lies inside a free extent.
 func (m *Mem) pageFree(p uint64) bool {
-	// Walk backwards from p to find a candidate extent base. Extents are
-	// arbitrary, so we do a bounded scan over the map only when needed:
-	// check the extent starting at p, then search byEnd for the extent
-	// covering p via its end marker.
-	if _, ok := m.free[p]; ok {
-		return true
-	}
-	// Find an extent whose end is > p and base <= p. We exploit byEnd:
-	// any covering extent has end in (p, p+len]; scan a window of ends.
-	for end := p + 1; end <= p+pagesPer2M*2; end++ {
-		if base, ok := m.byEnd[end]; ok {
-			return base <= p
-		}
-	}
-	// Fall back to a full scan (rare: only for extents longer than 4MB
-	// past p, i.e., early in fragmentation).
-	for base, length := range m.free {
-		if base <= p && p < base+length {
-			return true
-		}
-	}
-	return false
+	return m.bitmap[p>>6]>>(p&63)&1 == 1
 }
 
 // allocSpecific removes exactly page p from whichever extent covers it.
 func (m *Mem) allocSpecific(p uint64) {
-	var cbase, clen uint64
-	found := false
-	if l, ok := m.free[p]; ok {
-		cbase, clen, found = p, l, true
-	}
-	if !found {
-		for end := p + 1; end <= p+pagesPer2M*2 && !found; end++ {
-			if base, ok := m.byEnd[end]; ok {
-				if base <= p {
-					cbase, clen, found = base, m.free[base], true
-				}
-				break
-			}
-		}
-	}
-	if !found {
-		for base, length := range m.free {
-			if base <= p && p < base+length {
-				cbase, clen, found = base, length, true
-				break
-			}
-		}
-	}
-	if !found {
+	if !m.pageFree(p) {
 		return
 	}
+	cbase := m.extentBase(p)
+	clen := m.free[cbase]
 	m.removeExtent(cbase)
 	m.insertExtent(cbase, p-cbase)
 	m.insertExtent(p+1, cbase+clen-(p+1))
+	m.clearRange(p, 1)
 }
 
 func pageAddr(page uint64) mem.PAddr { return mem.PAddr(page << 12) }

@@ -33,24 +33,31 @@ func (s *Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-type tlbLine struct {
-	e     Entry
-	valid bool
-	lru   uint64
-}
-
 // TLB is a set-associative translation lookaside buffer. It may hold a
 // single page size (L1 DTLBs in Table 4 are split per size) or multiple
 // (the unified 2048-entry L2 STLB); lookups probe each supported size.
+//
+// Entries are stored structure-of-arrays so the way scan in Lookup —
+// the hottest loop in the simulator after the cache scans — walks
+// densely packed words: vpns holds the virtual page number, metas packs
+// valid | size | ASID into one comparable uint32, and frames/lru hold
+// the translation and recency state touched only on a hit.
 type TLB struct {
 	name    string
 	sets    int
 	ways    int
 	latency uint64
 	sizes   []mem.PageSize
-	lines   []tlbLine
+	vpns    []uint64
+	metas   []uint32 // asid<<8 | size<<1 | valid
+	frames  []mem.PAddr
+	lru     []uint64
 	tick    uint64
 	stats   Stats
+}
+
+func packMeta(asid uint16, ps mem.PageSize) uint32 {
+	return uint32(asid)<<8 | uint32(ps)<<1 | 1
 }
 
 // New builds a TLB with the given total entries and associativity
@@ -69,7 +76,10 @@ func New(name string, entries, ways int, latency uint64, sizes ...mem.PageSize) 
 		ways:    ways,
 		latency: latency,
 		sizes:   sizes,
-		lines:   make([]tlbLine, entries),
+		vpns:    make([]uint64, entries),
+		metas:   make([]uint32, entries),
+		frames:  make([]mem.PAddr, entries),
+		lru:     make([]uint64, entries),
 	}
 }
 
@@ -93,12 +103,12 @@ func (t *TLB) Lookup(va mem.VAddr, asid uint16) (Entry, bool) {
 	for _, ps := range t.sizes {
 		vpn := ps.VPN(va)
 		base := t.setOf(vpn) * t.ways
-		for w := 0; w < t.ways; w++ {
-			ln := &t.lines[base+w]
-			if ln.valid && ln.e.VPN == vpn && ln.e.Size == ps && ln.e.ASID == asid {
-				ln.lru = t.tick
+		want := packMeta(asid, ps)
+		for w := base; w < base+t.ways; w++ {
+			if t.vpns[w] == vpn && t.metas[w] == want {
+				t.lru[w] = t.tick
 				t.stats.Hits++
-				return ln.e, true
+				return Entry{VPN: vpn, Size: ps, Frame: t.frames[w], ASID: asid}, true
 			}
 		}
 	}
@@ -111,9 +121,9 @@ func (t *TLB) Probe(va mem.VAddr, asid uint16) bool {
 	for _, ps := range t.sizes {
 		vpn := ps.VPN(va)
 		base := t.setOf(vpn) * t.ways
-		for w := 0; w < t.ways; w++ {
-			ln := &t.lines[base+w]
-			if ln.valid && ln.e.VPN == vpn && ln.e.Size == ps && ln.e.ASID == asid {
+		want := packMeta(asid, ps)
+		for w := base; w < base+t.ways; w++ {
+			if t.vpns[w] == vpn && t.metas[w] == want {
 				return true
 			}
 		}
@@ -139,26 +149,28 @@ func (t *TLB) Insert(e Entry) {
 	t.tick++
 	t.stats.Fills++
 	base := t.setOf(e.VPN) * t.ways
+	want := packMeta(e.ASID, e.Size)
 	victim := base
 	oldest := ^uint64(0)
-	for w := 0; w < t.ways; w++ {
-		ln := &t.lines[base+w]
-		if ln.valid && ln.e.VPN == e.VPN && ln.e.Size == e.Size && ln.e.ASID == e.ASID {
-			ln.e = e
-			ln.lru = t.tick
-			return
-		}
-		if !ln.valid {
-			victim = base + w
-			oldest = 0
+	for w := base; w < base+t.ways; w++ {
+		if t.metas[w]&1 == 0 {
+			victim = w
 			break
 		}
-		if ln.lru < oldest {
-			oldest = ln.lru
-			victim = base + w
+		if t.vpns[w] == e.VPN && t.metas[w] == want {
+			t.frames[w] = e.Frame
+			t.lru[w] = t.tick
+			return
+		}
+		if t.lru[w] < oldest {
+			oldest = t.lru[w]
+			victim = w
 		}
 	}
-	t.lines[victim] = tlbLine{e: e, valid: true, lru: t.tick}
+	t.vpns[victim] = e.VPN
+	t.metas[victim] = want
+	t.frames[victim] = e.Frame
+	t.lru[victim] = t.tick
 }
 
 // InvalidateVA drops any entry translating va (TLB shootdown).
@@ -166,10 +178,10 @@ func (t *TLB) InvalidateVA(va mem.VAddr, asid uint16) {
 	for _, ps := range t.sizes {
 		vpn := ps.VPN(va)
 		base := t.setOf(vpn) * t.ways
-		for w := 0; w < t.ways; w++ {
-			ln := &t.lines[base+w]
-			if ln.valid && ln.e.VPN == vpn && ln.e.Size == ps && ln.e.ASID == asid {
-				ln.valid = false
+		want := packMeta(asid, ps)
+		for w := base; w < base+t.ways; w++ {
+			if t.vpns[w] == vpn && t.metas[w] == want {
+				t.metas[w] = 0
 				t.stats.Shootdowns++
 			}
 		}
@@ -178,8 +190,8 @@ func (t *TLB) InvalidateVA(va mem.VAddr, asid uint16) {
 
 // InvalidateAll flushes the TLB.
 func (t *TLB) InvalidateAll() {
-	for i := range t.lines {
-		t.lines[i].valid = false
+	for i := range t.metas {
+		t.metas[i] = 0
 	}
 	t.stats.Shootdowns++
 }
@@ -189,10 +201,9 @@ func (t *TLB) InvalidateAll() {
 // recycled). Entries of other address spaces are retained.
 func (t *TLB) InvalidateASID(asid uint16) {
 	dropped := false
-	for i := range t.lines {
-		ln := &t.lines[i]
-		if ln.valid && ln.e.ASID == asid {
-			ln.valid = false
+	for i := range t.metas {
+		if t.metas[i]&1 == 1 && t.metas[i]>>8 == uint32(asid) {
+			t.metas[i] = 0
 			dropped = true
 		}
 	}
@@ -204,8 +215,8 @@ func (t *TLB) InvalidateASID(asid uint16) {
 // Occupancy returns the number of valid entries.
 func (t *TLB) Occupancy() int {
 	n := 0
-	for i := range t.lines {
-		if t.lines[i].valid {
+	for i := range t.metas {
+		if t.metas[i]&1 == 1 {
 			n++
 		}
 	}
@@ -215,8 +226,8 @@ func (t *TLB) Occupancy() int {
 // OccupancyASID returns the number of valid entries tagged with asid.
 func (t *TLB) OccupancyASID(asid uint16) int {
 	n := 0
-	for i := range t.lines {
-		if t.lines[i].valid && t.lines[i].e.ASID == asid {
+	for i := range t.metas {
+		if t.metas[i]&1 == 1 && t.metas[i]>>8 == uint32(asid) {
 			n++
 		}
 	}

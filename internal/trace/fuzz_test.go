@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace decoder. The contract
+// under fuzz: corrupt or truncated input must surface as an
+// ErrCorrupt-wrapped error (or a clean io.EOF at a record boundary) —
+// never a panic, never an unbounded allocation, and never a bare
+// undiagnosable error. Both the uncompressed and the gzip envelope are
+// exercised on every input.
+func FuzzReader(f *testing.F) {
+	// Seed corpus: a valid trace, its gzip form, prefixes that truncate
+	// the header and the record stream, targeted corruptions (bad magic,
+	// bad version, reserved control bit, flag bits), and junk.
+	var plain, gz bytes.Buffer
+	for _, seed := range []struct {
+		buf      *bytes.Buffer
+		compress bool
+	}{{&plain, false}, {&gz, true}} {
+		w := NewWriter(seed.buf, seed.compress)
+		if err := w.WriteHeader(testHeader()); err != nil {
+			f.Fatal(err)
+		}
+		for _, in := range testInsts() {
+			if err := w.WriteInst(in); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+	}
+	valid := plain.Bytes()
+	f.Add(valid)
+	f.Add(gz.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("VTRC"))
+	f.Add(valid[:8])
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:len(valid)/2])
+	for _, mut := range []struct {
+		off int
+		bit byte
+	}{
+		{0, 0x01},              // magic
+		{4, 0x01},              // major version
+		{6, 0x04},              // flags
+		{len(valid) - 4, 0x80}, // inside the record stream
+	} {
+		c := append([]byte(nil), valid...)
+		c[mut.off] ^= mut.bit
+		f.Add(c)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, compressed := range []bool{false, true} {
+			r, err := NewReader(bytes.NewReader(data), compressed)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("compressed=%v: NewReader error not ErrCorrupt: %v", compressed, err)
+				}
+				continue
+			}
+			var in isa.Inst
+			for i := 0; i < 1<<16; i++ {
+				err := r.Read(&in)
+				if err == nil {
+					continue
+				}
+				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("compressed=%v: Read error neither EOF nor ErrCorrupt: %v", compressed, err)
+				}
+				break
+			}
+			r.Close()
+		}
+	})
+}

@@ -145,10 +145,83 @@ func (r *Reader) readHeader() error {
 	return nil
 }
 
+// maxRecordBytes is the widest possible instruction record: the control
+// byte plus three maximum-length varints (pc delta, count, addr delta).
+const maxRecordBytes = 1 + 3*binary.MaxVarintLen64
+
 // Read decodes the next instruction record into out. It returns io.EOF
 // at a clean end of trace and an ErrCorrupt-wrapped error when the
 // stream ends mid-record or a record is malformed.
+//
+// The fast path peeks a full worst-case record out of the buffer and
+// decodes it in place with the slice-based varint routines, consuming
+// it with one Discard — no per-byte interface dispatch, no allocation.
+// Near end of stream (or on a varint the window cannot resolve) it
+// falls back to readSlow, which consumes byte-at-a-time and reports
+// truncation precisely. Delta state is committed only after the whole
+// record decodes, so the fallback never sees half-applied deltas.
 func (r *Reader) Read(out *isa.Inst) error {
+	buf, err := r.br.Peek(maxRecordBytes)
+	if err != nil {
+		return r.readSlow(out)
+	}
+	ctrl := buf[0]
+	if ctrl&ctrlReserved != 0 {
+		return corruptf("record %d: reserved control bit set (%#02x)", r.records, ctrl)
+	}
+	*out = isa.Inst{Op: isa.Op(ctrl & ctrlOpMask), Phys: ctrl&ctrlPhys != 0, Count: 1}
+	n := 1
+	pc, addr := r.prevPC, r.prevAddr
+	if ctrl&ctrlHasPC != 0 {
+		d, k := binary.Varint(buf[n:])
+		if k <= 0 {
+			return r.readSlow(out)
+		}
+		n += k
+		pc += uint64(d)
+	}
+	out.PC = pc
+	if ctrl&ctrlHasCount != 0 {
+		c, k := binary.Uvarint(buf[n:])
+		if k <= 0 {
+			return r.readSlow(out)
+		}
+		if c < 2 || c > 1<<32-1 {
+			return corruptf("record %d: count %d out of range", r.records, c)
+		}
+		n += k
+		out.Count = uint32(c)
+	}
+	if ctrl&ctrlHasAddr != 0 {
+		if !out.Op.HasMemOperand() {
+			return corruptf("record %d: address on %v op", r.records, out.Op)
+		}
+		d, k := binary.Varint(buf[n:])
+		if k <= 0 {
+			return r.readSlow(out)
+		}
+		n += k
+		addr += uint64(d)
+		out.Addr = addr
+	} else if out.Op.HasMemOperand() {
+		return corruptf("record %d: %v op without address", r.records, out.Op)
+	}
+	r.br.Discard(n)
+	r.prevPC, r.prevAddr = pc, addr
+	r.records++
+	if out.Op != isa.OpDelay {
+		r.insts += out.N()
+	}
+	if out.Op.HasMemOperand() {
+		r.memOps += out.N()
+	}
+	return nil
+}
+
+// readSlow is the byte-at-a-time record decoder: the reference path the
+// Peek fast lane falls back to when fewer than maxRecordBytes remain
+// buffered (end of stream) or a varint fails to resolve in the window.
+func (r *Reader) readSlow(out *isa.Inst) error {
 	ctrl, err := r.br.ReadByte()
 	if err == io.EOF {
 		return io.EOF

@@ -59,6 +59,31 @@ func (s *fileSource) Next(out *isa.Inst) bool {
 	return true
 }
 
+// NextBatch implements isa.BatchSource: it decodes up to len(out)
+// records with direct (devirtualized) Reader calls, so batched replay
+// pays the isa.Source interface dispatch once per batch instead of
+// once per record.
+func (s *fileSource) NextBatch(out []isa.Inst) int {
+	if s.done {
+		return 0
+	}
+	n := 0
+	for n < len(out) {
+		err := s.r.Read(&out[n])
+		if err == io.EOF {
+			s.done = true
+			s.r.Close()
+			break
+		}
+		if err != nil {
+			s.r.Close()
+			panic(fmt.Sprintf("trace: %s: %v", s.path, err))
+		}
+		n++
+	}
+	return n
+}
+
 // Close releases the underlying reader. The engine calls it when a run
 // ends before the stream is drained (an instruction-bounded replay);
 // closing an exhausted or already-closed source is a no-op.

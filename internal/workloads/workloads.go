@@ -196,6 +196,17 @@ func (s *programSource) Next(out *isa.Inst) bool {
 	return false
 }
 
+// NextBatch implements isa.BatchSource: the engine's fast lane pulls a
+// block of instructions with one call, and the inner Next calls here
+// dispatch on the concrete receiver.
+func (s *programSource) NextBatch(out []isa.Inst) int {
+	n := 0
+	for n < len(out) && s.Next(&out[n]) {
+		n++
+	}
+	return n
+}
+
 // SetBase records a named VMA base during Setup (custom workloads).
 func (w *Workload) SetBase(name string, va mem.VAddr) { w.bases[name] = va }
 

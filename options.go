@@ -236,6 +236,17 @@ func WithCustomWorkload(w *Workload) Option {
 	}
 }
 
+// WithReferencePath forces runs onto the unbatched per-instruction
+// reference loop instead of the batched fast lane. Both produce
+// byte-identical Results; the knob exists so the equivalence is
+// testable and a fast-lane regression can be bisected.
+func WithReferencePath(on bool) Option {
+	return func(s *openState) error {
+		s.cfg.ReferencePath = on
+		return nil
+	}
+}
+
 // WithSeed sets the simulation seed.
 func WithSeed(seed uint64) Option {
 	return func(s *openState) error {
