@@ -7,6 +7,7 @@
 package virtuoso_test
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -283,6 +284,48 @@ func BenchmarkMultiProcess(b *testing.B) {
 			b.ReportMetric(float64(total)/mm.Aggregate.WallTime.Seconds(), "sim-inst/s")
 			b.ReportMetric(float64(mm.ContextSwitches), "ctx-switches")
 			b.ReportMetric(float64(mm.Aggregate.CtxSwitchCycles), "ctx-switch-cycles")
+		})
+	}
+}
+
+// BenchmarkSweepThroughput measures sweep-scale wall time on a grid of
+// many short points, where per-point fixed costs — System construction,
+// the free-extent maps, the kernel tracer's stream buffer — are a large
+// share of the total: the shape the pooled-reuse path (worker-local
+// recycle.Pool, Sweep.NoReuse=false) exists to accelerate. Emulation
+// mode with few instructions over a large, pre-fragmented memory is
+// that shape distilled — construction and Fragment() dominate, the way
+// short design-space screening points are dominated by setup. The
+// pooled and fresh sub-benchmarks run the identical grid — results
+// are byte-identical (TestSweepReuseEquivalence) — so their delta is
+// pure reuse.
+func BenchmarkSweepThroughput(b *testing.B) {
+	grid := func(noReuse bool) *virtuoso.Sweep {
+		base := virtuoso.ScaledConfig()
+		base.Mode = core.Emulation
+		base.MaxAppInsts = 5_000
+		base.OSCfg.PhysBytes = 4 << 30
+		base.FragFree2M = 0.5
+		return &virtuoso.Sweep{
+			Base:      base,
+			Workloads: []string{"XS", "RND"},
+			Seeds:     []uint64{1, 2, 3, 4},
+			Params:    virtuoso.WorkloadParams{Scale: 0.05},
+			Parallel:  1,
+			NoReuse:   noReuse,
+		}
+	}
+	for _, mode := range []string{"pooled", "fresh"} {
+		b.Run(mode, func(b *testing.B) {
+			var pts int
+			for i := 0; i < b.N; i++ {
+				rep, err := grid(mode == "fresh").Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				pts = len(rep.Results)
+			}
+			b.ReportMetric(float64(pts)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 		})
 	}
 }

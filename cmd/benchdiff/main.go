@@ -2,18 +2,25 @@
 // committed baseline and fails on performance regressions — the gate
 // behind CI's bench-smoke job.
 //
-//	go test -run '^$' -bench . -count 3 -benchtime 2x . > current.txt
+//	go test -run '^$' -bench . -benchmem -count 3 -benchtime 2x . > current.txt
 //	benchdiff -baseline BENCH_baseline.json current.txt          # gate
 //	benchdiff -baseline BENCH_baseline.json -update current.txt  # refresh
 //
 // The gate covers exactly the benchmarks recorded in the baseline:
 // each must be present in the current output and its median ns/op
 // across -count repetitions must not exceed the baseline by more than
-// -threshold (default 15%). The median resists both slow outliers
-// (scheduler hiccups) and fast ones (a lucky run would set an
-// unreachable bar); run with -count >= 3 for a stable gate. Benchmarks
-// in the current output but not the baseline are ignored, so adding a
-// benchmark does not break CI until -update records it.
+// -threshold (default 15%). Baselines recorded from -benchmem output
+// additionally gate the median allocs/op (same threshold, plus an
+// absolute slack of 64 allocations), and a current run without
+// -benchmem fails such a baseline rather than silently skipping the
+// allocation gate. The median resists both slow outliers (scheduler
+// hiccups) and fast ones (a lucky run would set an unreachable bar);
+// run with -count >= 3 for a stable gate. Benchmarks in the current
+// output but not the baseline are listed as NEW and ignored, so adding
+// a benchmark does not break CI until -update records it. The full
+// per-benchmark delta table is printed even when every delta is within
+// the gate, and -update prints it against the old baseline before
+// rewriting.
 package main
 
 import (
@@ -43,6 +50,11 @@ type Entry struct {
 	// NsPerOp is the median ns/op across the repetitions observed when
 	// the baseline was recorded — the gated number.
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the median allocs/op across the repetitions, taken
+	// from -benchmem output; zero when the baseline was recorded without
+	// -benchmem. When present it is gated like ns/op, with an absolute
+	// slack of 64 allocations so tiny benchmarks don't flake.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	// Metrics holds the benchmark's custom b.ReportMetric values from
 	// the last repetition (informational; not gated).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
@@ -68,6 +80,7 @@ func stripProcs(name string) string {
 // to the median.
 func parseBench(r io.Reader) (map[string]Entry, error) {
 	samples := make(map[string][]float64)
+	allocSamples := make(map[string][]float64)
 	lastMetrics := make(map[string]map[string]float64)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -78,16 +91,20 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 		}
 		name := strings.TrimPrefix(stripProcs(m[1]), "Benchmark")
 		fields := strings.Fields(m[3])
-		var nsPerOp float64
+		var nsPerOp, allocs float64
+		var haveAllocs bool
 		metrics := make(map[string]float64)
 		for i := 0; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("benchdiff: bad value %q in line %q", fields[i], sc.Text())
 			}
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				nsPerOp = v
-			} else {
+			case "allocs/op":
+				allocs, haveAllocs = v, true
+			default:
 				metrics[fields[i+1]] = v
 			}
 		}
@@ -95,6 +112,9 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 			continue
 		}
 		samples[name] = append(samples[name], nsPerOp)
+		if haveAllocs {
+			allocSamples[name] = append(allocSamples[name], allocs)
+		}
 		lastMetrics[name] = metrics
 	}
 	if err := sc.Err(); err != nil {
@@ -102,7 +122,11 @@ func parseBench(r io.Reader) (map[string]Entry, error) {
 	}
 	out := make(map[string]Entry, len(samples))
 	for name, vs := range samples {
-		out[name] = Entry{NsPerOp: median(vs), Metrics: lastMetrics[name]}
+		e := Entry{NsPerOp: median(vs), Metrics: lastMetrics[name]}
+		if as := allocSamples[name]; len(as) > 0 {
+			e.AllocsPerOp = median(as)
+		}
+		out[name] = e
 	}
 	return out, nil
 }
@@ -119,8 +143,10 @@ func median(vs []float64) float64 {
 }
 
 // compare gates current against base: every baseline benchmark must be
-// present and within threshold. Returns the human-readable report lines
-// and whether the gate passed.
+// present, within threshold on ns/op, and — when the baseline records
+// allocations — within threshold on allocs/op too. The full per-benchmark
+// delta table is returned whether or not anything regressed, with
+// informational NEW lines for current-only benchmarks the gate ignores.
 func compare(base, current map[string]Entry, threshold float64) ([]string, bool) {
 	names := make([]string, 0, len(base))
 	for name := range base {
@@ -145,6 +171,39 @@ func compare(base, current map[string]Entry, threshold float64) ([]string, bool)
 		}
 		lines = append(lines, fmt.Sprintf("%s %-40s %12.0f -> %12.0f ns/op  (%+.1f%%)",
 			verdict, name, b.NsPerOp, c.NsPerOp, 100*(ratio-1)))
+		if b.AllocsPerOp <= 0 {
+			continue
+		}
+		if c.AllocsPerOp <= 0 {
+			// The baseline gates allocations but the current run was
+			// made without -benchmem: the gate cannot be evaluated, and
+			// silently passing would let alloc regressions through.
+			lines = append(lines, fmt.Sprintf("NOALLOC  %-40s baseline %.0f allocs/op, current run lacks -benchmem", name, b.AllocsPerOp))
+			ok = false
+			continue
+		}
+		// Allocation counts are near-deterministic, so a relative gate
+		// alone would trip on one extra allocation in a tiny benchmark;
+		// require the absolute growth to clear a small slack as well.
+		aratio := c.AllocsPerOp / b.AllocsPerOp
+		averdict := "ok      "
+		if aratio > 1+threshold && c.AllocsPerOp > b.AllocsPerOp+64 {
+			averdict = "ALLOCS  "
+			ok = false
+		}
+		lines = append(lines, fmt.Sprintf("%s %-40s %12.0f -> %12.0f allocs/op  (%+.1f%%)",
+			averdict, name, b.AllocsPerOp, c.AllocsPerOp, 100*(aratio-1)))
+	}
+	extra := make([]string, 0)
+	for name := range current {
+		if _, found := base[name]; !found {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		lines = append(lines, fmt.Sprintf("NEW      %-40s %12.0f ns/op  (not in baseline; -update records it)",
+			name, current[name].NsPerOp))
 	}
 	return lines, ok
 }
@@ -180,6 +239,17 @@ func main() {
 	}
 
 	if *update {
+		// Show what the refresh changes: the delta table against the old
+		// baseline, informational only — an -update never fails the gate.
+		if data, err := os.ReadFile(*baselinePath); err == nil {
+			var old Baseline
+			if err := json.Unmarshal(data, &old); err == nil {
+				lines, _ := compare(old.Benchmarks, current, *threshold)
+				for _, l := range lines {
+					fmt.Println(l)
+				}
+			}
+		}
 		b := Baseline{Note: *note, Benchmarks: current}
 		data, err := json.MarshalIndent(&b, "", "  ")
 		if err != nil {

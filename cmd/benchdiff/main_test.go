@@ -14,6 +14,9 @@ BenchmarkMultiProcess/2proc-8  	       1	 226224965 ns/op	     30450 ctx-switch-
 BenchmarkMultiProcess/2proc-8  	       1	 210000000 ns/op	     30450 ctx-switch-cycles	         7.000 ctx-switches	   4100000 sim-inst/s
 BenchmarkSimulatorThroughput-8 	       1	 231073115 ns/op	   4822973 sim-inst/s
 BenchmarkTraceReplay-8         	       1	 157099195 ns/op	   4179751 sim-inst/s
+BenchmarkSweepThroughput/pooled-8 	      15	  13078961 ns/op	       611.7 points/s	 5759909 B/op	    1561 allocs/op
+BenchmarkSweepThroughput/pooled-8 	      15	  13251000 ns/op	       605.0 points/s	 5759912 B/op	    1563 allocs/op
+BenchmarkSweepThroughput/pooled-8 	      15	  12990000 ns/op	       618.0 points/s	 5759901 B/op	    1559 allocs/op
 PASS
 ok  	repro	1.170s
 `
@@ -23,8 +26,8 @@ func TestParseBench(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
-		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(got), got)
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(got), got)
 	}
 	// Repeated lines fold to the median ns/op (mean of the middle pair
 	// for even counts).
@@ -36,6 +39,14 @@ func TestParseBench(t *testing.T) {
 	}
 	if e := got["SimulatorThroughput"]; e.Metrics["sim-inst/s"] != 4822973 {
 		t.Errorf("SimulatorThroughput sim-inst/s = %v, want 4822973", e.Metrics["sim-inst/s"])
+	}
+	// -benchmem lines record the median allocs/op; benchmarks run
+	// without -benchmem record zero.
+	if e := got["SweepThroughput/pooled"]; e.AllocsPerOp != 1561 {
+		t.Errorf("SweepThroughput/pooled allocs/op = %v, want median 1561", e.AllocsPerOp)
+	}
+	if e := got["TraceReplay"]; e.AllocsPerOp != 0 {
+		t.Errorf("TraceReplay allocs/op = %v, want 0 (no -benchmem)", e.AllocsPerOp)
 	}
 }
 
@@ -115,5 +126,75 @@ func TestCompareGate(t *testing.T) {
 	current["Slow"] = Entry{NsPerOp: 1}
 	if _, ok := compare(base, current, 0.15); !ok {
 		t.Error("speedup failed the gate")
+	}
+}
+
+func hasLine(lines []string, prefix, substr string) bool {
+	for _, l := range lines {
+		if strings.HasPrefix(l, prefix) && strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCompareAlwaysPrintsTable(t *testing.T) {
+	base := map[string]Entry{"A": {NsPerOp: 100}, "B": {NsPerOp: 200}}
+	current := map[string]Entry{"A": {NsPerOp: 100}, "B": {NsPerOp: 190}, "C": {NsPerOp: 5}}
+	lines, ok := compare(base, current, 0.15)
+	if !ok {
+		t.Fatal("all-within-gate comparison failed")
+	}
+	// The full delta table appears even with nothing to complain about:
+	// one ok line per gated benchmark, plus a NEW line for the
+	// current-only benchmark the gate ignores.
+	if !hasLine(lines, "ok", "A") || !hasLine(lines, "ok", "B") {
+		t.Errorf("missing ok delta lines in %v", lines)
+	}
+	if !hasLine(lines, "NEW", "C") {
+		t.Errorf("no NEW line for current-only benchmark in %v", lines)
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := map[string]Entry{"P": {NsPerOp: 100, AllocsPerOp: 1500}}
+
+	// Within threshold passes and still prints the allocs delta line.
+	current := map[string]Entry{"P": {NsPerOp: 100, AllocsPerOp: 1600}}
+	lines, ok := compare(base, current, 0.15)
+	if !ok {
+		t.Errorf("7%% alloc growth failed a 15%% gate: %v", lines)
+	}
+	if !hasLine(lines, "ok", "allocs/op") {
+		t.Errorf("no allocs/op delta line in %v", lines)
+	}
+
+	// Beyond the relative threshold AND the 64-alloc absolute slack
+	// fails.
+	current["P"] = Entry{NsPerOp: 100, AllocsPerOp: 3000}
+	lines, ok = compare(base, current, 0.15)
+	if ok {
+		t.Error("2x alloc growth passed the gate")
+	}
+	if !hasLine(lines, "ALLOCS", "P") {
+		t.Errorf("no ALLOCS line in %v", lines)
+	}
+
+	// A big relative jump under the absolute slack passes: one extra
+	// allocation in a tiny benchmark is not a regression.
+	tiny := map[string]Entry{"T": {NsPerOp: 100, AllocsPerOp: 3}}
+	if lines, ok := compare(tiny, map[string]Entry{"T": {NsPerOp: 100, AllocsPerOp: 6}}, 0.15); !ok {
+		t.Errorf("+3 allocs on a 3-alloc benchmark failed the gate: %v", lines)
+	}
+
+	// An alloc-gated baseline compared against a run without -benchmem
+	// fails rather than skipping the gate.
+	current["P"] = Entry{NsPerOp: 100}
+	lines, ok = compare(base, current, 0.15)
+	if ok {
+		t.Error("missing -benchmem data passed an alloc-gated baseline")
+	}
+	if !hasLine(lines, "NOALLOC", "P") {
+		t.Errorf("no NOALLOC line in %v", lines)
 	}
 }

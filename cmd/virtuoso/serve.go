@@ -65,6 +65,7 @@ type sweepJob struct {
 
 	started  time.Time
 	resumed  int // points restored from the checkpoint at job start
+	cached   int // points answered by the result cache, not simulated
 	executed int // points actually simulated by this process
 
 	cancel context.CancelFunc
@@ -140,6 +141,12 @@ func (j *sweepJob) finish(err error) {
 type sweepServer struct {
 	dir      string
 	parallel int
+	// cache, when non-empty, is a content-addressed point-result cache
+	// directory shared by every job (Sweep.Cache): warm points are
+	// answered without simulating, and every simulated point warms the
+	// cache for later sweeps — including sweeps with different grids
+	// that merely overlap this one.
+	cache string
 
 	ctx    context.Context // parent of every job run; server shutdown cancels it
 	cancel context.CancelFunc
@@ -223,12 +230,17 @@ func (s *sweepServer) startJobLocked(hash string, sweep *virtuoso.Sweep) *sweepJ
 
 	sweep.Parallel = s.parallel
 	sweep.Checkpoint = s.ckptPath(hash)
+	sweep.Cache = s.cache
 	sweep.Progress = func(ev virtuoso.SweepEvent) {
 		if ev.Err != nil {
 			return // the terminal error event carries the failure
 		}
 		j.mu.Lock()
-		j.executed++
+		if ev.FromCache {
+			j.cached++
+		} else {
+			j.executed++
+		}
 		j.mu.Unlock()
 		done, eta := j.doneEta(ev.Done)
 		j.publish(serveEvent{Event: "result", Done: done, Total: ev.Total, EtaNs: int64(eta), Result: ev.Result}, false)
@@ -263,12 +275,12 @@ func (s *sweepServer) startJobLocked(hash string, sweep *virtuoso.Sweep) *sweepJ
 
 // doneEta folds the sweep's own Done counter (which includes
 // checkpoint-restored points) with the job's ETA estimate: host time
-// per freshly simulated point times the points still pending
-// (restored points are free and excluded from the rate).
+// per freshly simulated point times the points still pending (restored
+// and cache-answered points are free and excluded from the rate).
 func (j *sweepJob) doneEta(done int) (int, time.Duration) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	fresh := done - j.resumed
+	fresh := done - j.resumed - j.cached
 	var eta time.Duration
 	if fresh > 0 {
 		per := time.Since(j.started) / time.Duration(fresh)
@@ -447,6 +459,7 @@ func sweepServeCmd(args []string) {
 	}
 	srv, err := newSweepServer(*fs.dir, *fs.parallel)
 	check(err)
+	srv.cache = *fs.cache
 	httpSrv := &http.Server{Addr: *fs.addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -465,6 +478,7 @@ type serveFlags struct {
 	fs       *flag.FlagSet
 	addr     *string
 	dir      *string
+	cache    *string
 	parallel *int
 	stdin    *bool
 }
@@ -475,6 +489,7 @@ func newServeFlags() serveFlags {
 		fs:       fs,
 		addr:     fs.String("addr", ":8089", "HTTP listen address"),
 		dir:      fs.String("dir", "sweep-jobs", "state directory for persisted specs and checkpoints"),
+		cache:    fs.String("cache", "", "content-addressed point-result cache directory shared by all jobs (warm points skip simulation)"),
 		parallel: fs.Int("parallel", 0, "max concurrent simulations per job (0 = GOMAXPROCS)"),
 		stdin:    fs.Bool("stdin", false, "read one spec from stdin and stream its events to stdout instead of serving HTTP"),
 	}
@@ -486,6 +501,7 @@ func newServeFlags() serveFlags {
 func serveStdin(fsv serveFlags) {
 	srv, err := newSweepServer(*fsv.dir, *fsv.parallel)
 	check(err)
+	srv.cache = *fsv.cache
 	spec, err := loadSpec("-")
 	check(err)
 	raw, err := json.Marshal(spec)

@@ -74,6 +74,7 @@ func sweepRunCmd(args []string) {
 		specPath   = fs.String("spec", "", "sweep spec JSON file (\"-\" = stdin); required")
 		shard      = fs.String("shard", "", "run only this slice of the grid, as i/N (overrides the spec)")
 		checkpoint = fs.String("checkpoint", "", "JSONL checkpoint file: persist per-point results, resume if it exists (overrides the spec)")
+		cacheDir   = fs.String("cache", "", "content-addressed point-result cache directory: warm points skip simulation, fresh points are stored (overrides the spec)")
 		parallel   = fs.Int("parallel", 0, "max concurrent simulations (0 = spec value or GOMAXPROCS)")
 		canonical  = fs.Bool("canonical", false, "emit the canonical (host-time-stripped) report form for byte comparison")
 		progress   = fs.Bool("progress", false, "log per-point completions to stderr")
@@ -94,19 +95,30 @@ func sweepRunCmd(args []string) {
 	if *checkpoint != "" {
 		sweep.Checkpoint = *checkpoint
 	}
+	if *cacheDir != "" {
+		sweep.Cache = *cacheDir
+	}
 	if *parallel != 0 {
 		sweep.Parallel = *parallel
 	}
 	if *progress {
 		sweep.Progress = func(ev virtuoso.SweepEvent) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] point %d %s/%s/%s seed=%d\n",
-				ev.Done, ev.Total, ev.Point.Index, ev.Point.Workload, ev.Point.Design, ev.Point.Policy, ev.Point.Seed)
+			src := ""
+			if ev.FromCache {
+				src = " (cache)"
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] point %d %s/%s/%s seed=%d%s\n",
+				ev.Done, ev.Total, ev.Point.Index, ev.Point.Workload, ev.Point.Design, ev.Point.Policy, ev.Point.Seed, src)
 		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	report, runErr := sweep.Run(ctx)
+	if report != nil && (sweep.Cache != "" || sweep.Checkpoint != "") {
+		fmt.Fprintf(os.Stderr, "sweep: %d points done: %d restored from checkpoint, %d from cache, %d simulated\n",
+			len(report.Results), report.FromCheckpoint, report.FromCache, report.Executed)
+	}
 	if report != nil {
 		var data []byte
 		if *canonical {

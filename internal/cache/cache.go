@@ -14,6 +14,7 @@ import (
 	"math/bits"
 
 	"repro/internal/mem"
+	"repro/internal/recycle"
 )
 
 // ReplPolicy selects the replacement policy of one cache.
@@ -76,14 +77,14 @@ func (s *Stats) MissesOf(t mem.AccessType) uint64 { return s.Misses[t] }
 
 // Cache is one set-associative cache level.
 type Cache struct {
-	name     string
-	sets     int
-	ways     int
-	latency  uint64
-	policy   ReplPolicy
-	tags     []uint64 // sets*ways, row-major; (tag<<1)|valid
-	lru      []uint64
-	meta     []uint8
+	name      string
+	sets      int
+	ways      int
+	latency   uint64
+	policy    ReplPolicy
+	tags      []uint64 // sets*ways, row-major; (tag<<1)|valid
+	lru       []uint64
+	meta      []uint8
 	tick      uint64
 	stats     Stats
 	setShift  uint
@@ -94,6 +95,12 @@ type Cache struct {
 // New builds a cache with the given geometry. sizeBytes/64 must be
 // divisible by ways.
 func New(name string, sizeBytes uint64, ways int, latency uint64, policy ReplPolicy) *Cache {
+	return NewWith(nil, name, sizeBytes, ways, latency, policy)
+}
+
+// NewWith is New drawing the SoA line arrays from pool (nil pool =
+// plain New).
+func NewWith(pool *recycle.Pool, name string, sizeBytes uint64, ways int, latency uint64, policy ReplPolicy) *Cache {
 	linesTotal := sizeBytes / mem.CacheLineBytes
 	sets := int(linesTotal) / ways
 	if sets == 0 || int(linesTotal)%ways != 0 {
@@ -111,12 +118,24 @@ func New(name string, sizeBytes uint64, ways int, latency uint64, policy ReplPol
 		ways:      ways,
 		latency:   latency,
 		policy:    policy,
-		tags:      make([]uint64, sets*ways),
-		lru:       make([]uint64, sets*ways),
-		meta:      make([]uint8, sets*ways),
+		tags:      pool.Uint64s(sets * ways),
+		lru:       pool.Uint64s(sets * ways),
+		meta:      pool.Uint8s(sets * ways),
 		setMask:   uint64(sets - 1),
 		setsShift: uint(bits.TrailingZeros(uint(sets))),
 	}
+}
+
+// Recycle hands the line arrays back to pool; the cache must not be
+// used afterwards.
+func (c *Cache) Recycle(pool *recycle.Pool) {
+	if pool == nil {
+		return
+	}
+	pool.PutUint64s(c.tags)
+	pool.PutUint64s(c.lru)
+	pool.PutUint8s(c.meta)
+	c.tags, c.lru, c.meta = nil, nil, nil
 }
 
 // Name returns the cache's configured name.

@@ -3,6 +3,7 @@ package cache
 import (
 	"repro/internal/dram"
 	"repro/internal/mem"
+	"repro/internal/recycle"
 )
 
 // HierarchyConfig sizes the three cache levels (Table 4 defaults via
@@ -46,11 +47,17 @@ type Hierarchy struct {
 
 // NewHierarchy builds the hierarchy over the given DRAM controller.
 func NewHierarchy(cfg HierarchyConfig, d *dram.Controller) *Hierarchy {
+	return NewHierarchyWith(cfg, d, nil)
+}
+
+// NewHierarchyWith is NewHierarchy drawing each level's line arrays
+// from pool (nil pool = plain NewHierarchy).
+func NewHierarchyWith(cfg HierarchyConfig, d *dram.Controller, pool *recycle.Pool) *Hierarchy {
 	h := &Hierarchy{
-		L1I:  New("L1I", cfg.L1ISize, cfg.L1Ways, cfg.L1Latency, LRU),
-		L1D:  New("L1D", cfg.L1DSize, cfg.L1Ways, cfg.L1Latency, LRU),
-		L2:   New("L2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency, SRRIP),
-		L3:   New("L3", cfg.L3Size, cfg.L3Ways, cfg.L3Latency, SRRIP),
+		L1I:  NewWith(pool, "L1I", cfg.L1ISize, cfg.L1Ways, cfg.L1Latency, LRU),
+		L1D:  NewWith(pool, "L1D", cfg.L1DSize, cfg.L1Ways, cfg.L1Latency, LRU),
+		L2:   NewWith(pool, "L2", cfg.L2Size, cfg.L2Ways, cfg.L2Latency, SRRIP),
+		L3:   NewWith(pool, "L3", cfg.L3Size, cfg.L3Ways, cfg.L3Latency, SRRIP),
 		Dram: d,
 		cfg:  cfg,
 	}
@@ -59,6 +66,18 @@ func NewHierarchy(cfg HierarchyConfig, d *dram.Controller) *Hierarchy {
 		h.stream = NewStream(16, 4)
 	}
 	return h
+}
+
+// Recycle hands every level's line arrays back to pool; the hierarchy
+// must not be used afterwards.
+func (h *Hierarchy) Recycle(pool *recycle.Pool) {
+	if pool == nil {
+		return
+	}
+	h.L1I.Recycle(pool)
+	h.L1D.Recycle(pool)
+	h.L2.Recycle(pool)
+	h.L3.Recycle(pool)
 }
 
 // Config returns the hierarchy configuration.

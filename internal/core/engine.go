@@ -13,6 +13,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/mimicos"
 	"repro/internal/mmu"
+	"repro/internal/recycle"
 	"repro/internal/registry"
 	"repro/internal/ssd"
 	"repro/internal/stats"
@@ -306,11 +307,27 @@ func (s *System) Interrupted() bool { return s.interrupted }
 // NewSystem wires a complete system per cfg. The kernel, one process,
 // the translation design, and the channels are all constructed; call Run
 // with a workload to simulate.
-func NewSystem(cfg Config) (*System, error) {
+func NewSystem(cfg Config) (*System, error) { return NewSystemPooled(cfg, nil) }
+
+// batchKey pools the fast lane's frontend read-ahead buffer.
+const batchKey = "core.batch"
+
+// NewSystemPooled is NewSystem drawing the system's large allocations —
+// cache and TLB SoA arrays, the free-page bitmap, page-table arena
+// chunks, the batch buffer — from pool. Construction logic is shared
+// with NewSystem (only memory provenance differs, and pooled slices are
+// scrubbed to fresh-make state), so a pooled system is deterministic
+// and byte-identical in its results to a fresh one; the sweep runner
+// relies on this and TestSweepReuseEquivalence locks it in. A nil pool
+// is exactly NewSystem.
+func NewSystemPooled(cfg Config, pool *recycle.Pool) (*System, error) {
 	if cfg.CoreCfg.Width == 0 {
 		cfg.CoreCfg = cpu.DefaultConfig()
 	}
 	s := &System{Cfg: cfg, noise: xrand.New(cfg.Seed ^ 0x0A15E)}
+	if b, ok := pool.Take(batchKey); ok {
+		s.batch = b.([]isa.Inst)
+	}
 	if cfg.WithDisk {
 		s.Disk = ssd.New(ssd.Config{})
 	}
@@ -330,7 +347,7 @@ func NewSystem(cfg Config) (*System, error) {
 	default:
 		oscfg.PTKind = mimicos.PTRadix
 	}
-	s.OS = mimicos.New(oscfg, s.Disk)
+	s.OS = mimicos.NewWith(oscfg, s.Disk, pool)
 	s.Proc = s.OS.CreateProcess(1)
 
 	// Design-specific OS state.
@@ -392,7 +409,7 @@ func NewSystem(cfg Config) (*System, error) {
 
 	// Memory side.
 	s.Dram = dram.NewController(cfg.DramCfg)
-	s.Hier = cache.NewHierarchy(cfg.CacheCfg, s.Dram)
+	s.Hier = cache.NewHierarchyWith(cfg.CacheCfg, s.Dram, pool)
 
 	// Translation design.
 	design, err := s.buildDesignFor(s.Proc)
@@ -400,7 +417,7 @@ func NewSystem(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s.design = design
-	s.MMU = mmu.New(cfg.MMUCfg, design, s.Proc.ASID)
+	s.MMU = mmu.NewWith(cfg.MMUCfg, design, s.Proc.ASID, pool)
 	s.Core = cpu.New(cfg.CoreCfg, s.Hier, s.MMU)
 
 	// Channels and callbacks.
@@ -449,6 +466,26 @@ func MustNewSystem(cfg Config) *System {
 		panic(err)
 	}
 	return s
+}
+
+// Recycle harvests a retired system's large allocations into pool for
+// the next NewSystemPooled call: cache and TLB arrays, the free-page
+// bitmap and extent maps, surviving page-table arenas, and the batch
+// buffer. Call it only after Run/RunMulti returned and the Metrics have
+// been extracted — the system is unusable afterwards. A nil pool is a
+// no-op.
+func (s *System) Recycle(pool *recycle.Pool) {
+	if pool == nil {
+		return
+	}
+	s.Hier.Recycle(pool)
+	s.MMU.Recycle(pool)
+	s.OS.Recycle(pool)
+	if s.batch != nil {
+		clear(s.batch)
+		pool.Give(batchKey, s.batch)
+		s.batch = nil
+	}
 }
 
 // buildDesignFor constructs the configured translation design bound to
@@ -723,13 +760,21 @@ func (s *System) makeFrontend(w *workloads.Workload) isa.Source {
 // (recorded traces replay unchanged).
 func (s *System) makeFrontendSeeded(w *workloads.Workload, salt uint64) isa.Source {
 	if s.Cfg.TracePath != "" {
+		// The fast lane decodes ahead of the simulation on a filler
+		// goroutine; the reference path keeps the plain inline-decode
+		// source, so TestFastPathEquivalenceReplay also proves the
+		// prefetcher stream-identical.
+		open := trace.MustOpenSource
+		if !s.Cfg.ReferencePath {
+			open = trace.MustOpenPrefetchSource
+		}
 		switch s.Cfg.Frontend {
 		case FrontendTrace:
 			// NewSystem validated the file; a failure here means it
-			// changed since, which MustOpenSource reports by panicking.
-			return trace.MustOpenSource(s.Cfg.TracePath)
+			// changed since, which the source reports by panicking.
+			return open(s.Cfg.TracePath)
 		case FrontendMemTrace:
-			return &memTraceSource{inner: trace.MustOpenSource(s.Cfg.TracePath)}
+			return &memTraceSource{inner: open(s.Cfg.TracePath)}
 		}
 	}
 	base := w.Source(s.Cfg.Seed ^ 0xF00D ^ salt)

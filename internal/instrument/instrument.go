@@ -59,6 +59,24 @@ func (t *Tracer) Begin() {
 	t.insts = 0
 }
 
+// Adopt replaces the tracer's stream storage with buf, truncated. The
+// buffer grows to the largest single kernel event (a 2 MB ZeroRange is
+// 32 Ki records), so recycling it across kernels avoids regrowing —
+// and re-copying — megabytes per simulation. Contents are irrelevant:
+// every record below len is overwritten by emit before a reader sees
+// it, and isa.Inst holds no pointers.
+func (t *Tracer) Adopt(buf isa.Stream) {
+	t.stream = buf[:0]
+}
+
+// Release surrenders the stream storage for recycling. The tracer must
+// not be used afterwards.
+func (t *Tracer) Release() isa.Stream {
+	buf := t.stream
+	t.stream = nil
+	return buf
+}
+
 // Take returns the recorded stream for the completed event. The returned
 // slice is valid until the next Begin; callers that retain it must copy.
 func (t *Tracer) Take() isa.Stream { return t.stream }

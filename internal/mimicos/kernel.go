@@ -23,6 +23,7 @@ import (
 	"repro/internal/midgard"
 	"repro/internal/pagetable"
 	"repro/internal/phys"
+	"repro/internal/recycle"
 	"repro/internal/rmm"
 	"repro/internal/ssd"
 	"repro/internal/utopia"
@@ -39,6 +40,11 @@ const (
 	PTHDC   PTKind = "hdc"
 	PTHT    PTKind = "ht"
 )
+
+// tracerStreamKey recycles the Tracer's kernel-event stream buffer —
+// megabytes once a 2 MB ZeroRange has been recorded — across pooled
+// kernels.
+const tracerStreamKey = "mimicos.tracer.stream"
 
 // Config configures a MimicOS instance.
 type Config struct {
@@ -248,6 +254,11 @@ type Kernel struct {
 	unmapNotify func(pid int, va mem.VAddr, size mem.PageSize)
 	exitNotify  func(pid int, asid uint16)
 
+	// pool, when non-nil, recycles page-table arena chunks across
+	// pooled kernel lifetimes (NewWith); construction-only, never
+	// consulted on simulation paths.
+	pool *recycle.Pool
+
 	// Utopia is set when the utopia design is active; allocation and
 	// eviction consult the RestSegs.
 	Utopia *utopia.System
@@ -263,7 +274,12 @@ type pcKey struct {
 // New constructs a kernel with its own physical memory, slab, and swap
 // state. disk may be nil (swap and page-cache misses then cost a fixed
 // stand-in latency).
-func New(cfg Config, disk *ssd.Device) *Kernel {
+func New(cfg Config, disk *ssd.Device) *Kernel { return NewWith(cfg, disk, nil) }
+
+// NewWith is New drawing the kernel's large allocations — the physical
+// memory map and every page table built over the kernel's lifetime —
+// from pool (nil pool = plain New).
+func NewWith(cfg Config, disk *ssd.Device, pool *recycle.Pool) *Kernel {
 	if cfg.PhysBytes == 0 {
 		cfg.PhysBytes = DefaultConfig().PhysBytes
 	}
@@ -273,7 +289,7 @@ func New(cfg Config, disk *ssd.Device) *Kernel {
 	if cfg.PTKind == "" {
 		cfg.PTKind = PTRadix
 	}
-	pm := phys.New(cfg.PhysBytes)
+	pm := phys.NewWith(cfg.PhysBytes, pool)
 	k := &Kernel{
 		Cfg:       cfg,
 		Phys:      pm,
@@ -283,6 +299,12 @@ func New(cfg Config, disk *ssd.Device) *Kernel {
 		procs:     make(map[int]*Process),
 		pageCache: make(map[pcKey]mem.PAddr),
 		rng:       xrand.New(cfg.Seed ^ 0x5eed),
+		pool:      pool,
+	}
+	if pool != nil {
+		if b, ok := pool.Take(tracerStreamKey); ok {
+			k.Tracer.Adopt(b.(isa.Stream))
+		}
 	}
 	k.swap = newSwapState(k, cfg.SwapBytes)
 	k.khuge = newKhugepaged(k)
@@ -295,6 +317,25 @@ func New(cfg Config, disk *ssd.Device) *Kernel {
 	}
 	k.policy = &BuddyPolicy{}
 	return k
+}
+
+// Recycle harvests the kernel's large allocations — the phys map and
+// the page tables of still-live processes — into pool. The kernel must
+// not be used afterwards.
+func (k *Kernel) Recycle(pool *recycle.Pool) {
+	if pool == nil {
+		return
+	}
+	for _, p := range k.procs {
+		if r, ok := p.PT.(recycle.Recycler); ok {
+			r.Recycle(pool)
+		}
+	}
+	k.procs = nil
+	if buf := k.Tracer.Release(); buf != nil {
+		pool.Give(tracerStreamKey, buf)
+	}
+	k.Phys.Recycle(pool)
 }
 
 // kalloc allocates a kernel object, panicking on OOM (init-time only).
@@ -341,7 +382,7 @@ func (k *Kernel) Process(pid int) *Process { return k.procs[pid] }
 func (k *Kernel) newPageTable() pagetable.PageTable {
 	switch k.Cfg.PTKind {
 	case PTRadix:
-		return pagetable.NewRadix(k.Slab)
+		return pagetable.NewRadixWith(k.Slab, k.pool)
 	case PTECH:
 		return pagetable.NewECH(k.Slab)
 	case PTHDC:
@@ -450,6 +491,15 @@ func (k *Kernel) ExitProcess(pid int) {
 		tr.ALU(uint32(40 * len(slots))) // swap_entry_free per slot
 	}
 	k.khuge.dropPID(pid)
+	// Pooled kernels harvest the dead process's page-table arenas now
+	// (scrubbed in Recycle), so its chunks seed the next process's
+	// table instead of becoming garbage.
+	if k.pool != nil {
+		if r, ok := p.PT.(recycle.Recycler); ok {
+			r.Recycle(k.pool)
+		}
+		p.PT = nil
+	}
 	delete(k.procs, pid)
 	k.freeASIDs = append(k.freeASIDs, p.ASID)
 	k.stats.Exits++

@@ -3,6 +3,7 @@ package pagetable
 import (
 	"repro/internal/instrument"
 	"repro/internal/mem"
+	"repro/internal/recycle"
 )
 
 // Radix is the x86-64 4-level radix page table (Table 4's "Radix"
@@ -33,9 +34,26 @@ type radixNode struct {
 type entryArena struct {
 	chunks [][]Entry
 	freel  []*Entry
+	pool   *recycle.Pool
 }
 
 const entryChunk = 512
+
+// Pool keys for recycled arena chunks. A recycled chunk is truncated to
+// length zero with its capacity scrubbed, and get() writes the full
+// element value on append, so reuse is equivalent to a fresh make.
+const (
+	entChunkKey  = "pagetable.radix.entchunk"
+	nodeChunkKey = "pagetable.radix.nodechunk"
+)
+
+func (a *entryArena) grow() {
+	if c, ok := a.pool.Take(entChunkKey); ok {
+		a.chunks = append(a.chunks, c.([]Entry))
+		return
+	}
+	a.chunks = append(a.chunks, make([]Entry, 0, entryChunk))
+}
 
 func (a *entryArena) get(e Entry) *Entry {
 	if n := len(a.freel); n > 0 {
@@ -45,7 +63,7 @@ func (a *entryArena) get(e Entry) *Entry {
 		return p
 	}
 	if len(a.chunks) == 0 || len(a.chunks[len(a.chunks)-1]) == entryChunk {
-		a.chunks = append(a.chunks, make([]Entry, 0, entryChunk))
+		a.grow()
 	}
 	c := &a.chunks[len(a.chunks)-1]
 	*c = append(*c, e)
@@ -59,13 +77,22 @@ func (a *entryArena) put(p *Entry) { a.freel = append(a.freel, p) }
 // freelist is needed.
 type nodeArena struct {
 	chunks [][]radixNode
+	pool   *recycle.Pool
 }
 
 const nodeChunk = 32
 
+func (a *nodeArena) grow() {
+	if c, ok := a.pool.Take(nodeChunkKey); ok {
+		a.chunks = append(a.chunks, c.([]radixNode))
+		return
+	}
+	a.chunks = append(a.chunks, make([]radixNode, 0, nodeChunk))
+}
+
 func (a *nodeArena) get(frame mem.PAddr) *radixNode {
 	if len(a.chunks) == 0 || len(a.chunks[len(a.chunks)-1]) == nodeChunk {
-		a.chunks = append(a.chunks, make([]radixNode, 0, nodeChunk))
+		a.grow()
 	}
 	c := &a.chunks[len(a.chunks)-1]
 	*c = append(*c, radixNode{frame: frame})
@@ -74,8 +101,14 @@ func (a *nodeArena) get(frame mem.PAddr) *radixNode {
 
 // NewRadix builds an empty radix table; the root frame is allocated
 // immediately (as the kernel does for a new mm_struct).
-func NewRadix(alloc FrameAllocator) *Radix {
+func NewRadix(alloc FrameAllocator) *Radix { return NewRadixWith(alloc, nil) }
+
+// NewRadixWith is NewRadix drawing arena chunks from pool (nil pool =
+// plain NewRadix).
+func NewRadixWith(alloc FrameAllocator, pool *recycle.Pool) *Radix {
 	r := &Radix{alloc: alloc}
+	r.ents.pool = pool
+	r.narena.pool = pool
 	frame, ok := alloc.AllocFrame()
 	if !ok {
 		panic("pagetable: cannot allocate radix root")
@@ -83,6 +116,27 @@ func NewRadix(alloc FrameAllocator) *Radix {
 	r.root = r.narena.get(frame)
 	r.nodes = 1
 	return r
+}
+
+// Recycle hands the table's arena chunks back to pool, scrubbed to
+// their empty state. The table must not be used afterwards.
+func (r *Radix) Recycle(pool *recycle.Pool) {
+	if pool == nil {
+		return
+	}
+	for _, c := range r.ents.chunks {
+		c = c[:cap(c)]
+		clear(c)
+		pool.Give(entChunkKey, c[:0])
+	}
+	for _, c := range r.narena.chunks {
+		c = c[:cap(c)]
+		clear(c)
+		pool.Give(nodeChunkKey, c[:0])
+	}
+	r.ents = entryArena{}
+	r.narena = nodeArena{}
+	r.root = nil
 }
 
 // Kind implements PageTable.

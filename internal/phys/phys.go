@@ -16,6 +16,7 @@ import (
 	"math/bits"
 
 	"repro/internal/mem"
+	"repro/internal/recycle"
 	"repro/internal/xrand"
 )
 
@@ -49,21 +50,57 @@ type Mem struct {
 }
 
 // New builds a physical memory of totalBytes (must be 2 MB-aligned).
-func New(totalBytes uint64) *Mem {
+func New(totalBytes uint64) *Mem { return NewWith(totalBytes, nil) }
+
+// extentsKey holds the recycled extent-map/candidate-stack bundle in a
+// pool; the maps come back cleared and the stacks truncated, so reuse
+// is indistinguishable from fresh construction.
+const extentsKey = "phys.extents"
+
+type extentState struct {
+	free, byEnd  map[uint64]uint64
+	small, large []uint64
+}
+
+// NewWith is New drawing the free-page bitmap and extent maps from
+// pool (nil pool = plain New).
+func NewWith(totalBytes uint64, pool *recycle.Pool) *Mem {
 	if totalBytes == 0 || totalBytes%(2*mem.MB) != 0 {
 		panic(fmt.Sprintf("phys: total bytes %d not 2MB-aligned", totalBytes))
 	}
 	pages := totalBytes / (4 * mem.KB)
 	m := &Mem{
 		totalPages: pages,
-		free:       make(map[uint64]uint64),
-		byEnd:      make(map[uint64]uint64),
-		bitmap:     make([]uint64, (pages+63)/64),
+		bitmap:     pool.Uint64s(int((pages + 63) / 64)),
 		total2M:    pages / pagesPer2M,
+	}
+	if st, ok := pool.Take(extentsKey); ok {
+		e := st.(*extentState)
+		m.free, m.byEnd = e.free, e.byEnd
+		m.smallStack, m.largeStack = e.small, e.large
+	} else {
+		m.free = make(map[uint64]uint64)
+		m.byEnd = make(map[uint64]uint64)
 	}
 	m.insertExtent(0, pages)
 	m.setRange(0, pages)
 	return m
+}
+
+// Recycle harvests the memory map's large allocations into pool. The
+// Mem must not be used afterwards.
+func (m *Mem) Recycle(pool *recycle.Pool) {
+	if pool == nil {
+		return
+	}
+	pool.PutUint64s(m.bitmap)
+	clear(m.free)
+	clear(m.byEnd)
+	pool.Give(extentsKey, &extentState{
+		free: m.free, byEnd: m.byEnd,
+		small: m.smallStack[:0], large: m.largeStack[:0],
+	})
+	m.bitmap, m.free, m.byEnd, m.smallStack, m.largeStack = nil, nil, nil, nil, nil
 }
 
 // TotalBytes returns the physical memory size.
@@ -243,8 +280,13 @@ func (m *Mem) Alloc1G() (mem.PAddr, bool) {
 }
 
 // AllocContig allocates pages contiguous frames aligned to alignPages,
-// scanning all free extents (first fit). Used for 1 GB pages, RestSeg
-// carve-outs, and hash page-table regions.
+// scanning all free extents for the lowest-addressed fit. Used for 1 GB
+// pages, RestSeg carve-outs, and hash page-table regions. Address-order
+// first fit — not take-whatever-the-map-yields-first — because map
+// iteration order is randomized: when several extents fit (an ECH
+// resize against a fragmented free map, mid-run), the choice must be a
+// pure function of the allocator state or simulations stop being
+// reproducible.
 func (m *Mem) AllocContig(pages, alignPages uint64) (mem.PAddr, bool) {
 	if pages == 0 {
 		return 0, false
@@ -252,17 +294,24 @@ func (m *Mem) AllocContig(pages, alignPages uint64) (mem.PAddr, bool) {
 	if alignPages == 0 {
 		alignPages = 1
 	}
+	var bestBase, bestLen uint64
+	found := false
 	for base, length := range m.free {
 		head := mem.AlignUp(base, alignPages)
-		if head+pages <= base+length {
-			m.removeExtent(base)
-			m.insertExtent(base, head-base)
-			m.insertExtent(head+pages, base+length-(head+pages))
-			m.clearRange(head, pages)
-			return pageAddr(head), true
+		if head+pages <= base+length && (!found || base < bestBase) {
+			bestBase, bestLen = base, length
+			found = true
 		}
 	}
-	return 0, false
+	if !found {
+		return 0, false
+	}
+	head := mem.AlignUp(bestBase, alignPages)
+	m.removeExtent(bestBase)
+	m.insertExtent(bestBase, head-bestBase)
+	m.insertExtent(head+pages, bestBase+bestLen-(head+pages))
+	m.clearRange(head, pages)
+	return pageAddr(head), true
 }
 
 // AllocLargestRange allocates the largest contiguous free range of at
@@ -270,9 +319,11 @@ func (m *Mem) AllocContig(pages, alignPages uint64) (mem.PAddr, bool) {
 // This is the eager-paging primitive of RMM (§7.6.3): allocate the biggest
 // available contiguous chunk for a growing VMA.
 func (m *Mem) AllocLargestRange(minPages, maxPages uint64) (mem.PAddr, uint64, bool) {
+	// Ties broken by lowest base: map iteration order is randomized and
+	// must never decide which frames an allocation gets.
 	var bestBase, bestLen uint64
 	for base, length := range m.free {
-		if length > bestLen {
+		if length > bestLen || (length == bestLen && length > 0 && base < bestBase) {
 			bestBase, bestLen = base, length
 		}
 	}

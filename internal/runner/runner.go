@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/recycle"
 	"repro/internal/workloads"
 )
 
@@ -58,6 +59,24 @@ type Outcome struct {
 	Err error
 }
 
+// Options tunes a batch run beyond the job list itself.
+type Options struct {
+	// Parallel bounds concurrent workers (<= 0 means GOMAXPROCS).
+	Parallel int
+	// NoReuse disables per-worker System pooling: every job then
+	// constructs a fully fresh system, as Run always did before pooling
+	// existed. Pooling is deterministic by construction (pooled systems
+	// produce byte-identical results — see core.NewSystemPooled and
+	// TestSweepReuseEquivalence), so this knob exists for the
+	// equivalence harness itself and for memory-profiling runs, not for
+	// correctness.
+	NoReuse bool
+	// Progress, if non-nil, is invoked once per finished job from
+	// worker goroutines; calls are serialised, so the callback needs no
+	// locking of its own.
+	Progress func(done, total int, out Outcome)
+}
+
 // Run executes jobs on at most parallel concurrent workers (<= 0 means
 // runtime.GOMAXPROCS(0)) and returns one Outcome per job, in job order.
 //
@@ -66,17 +85,24 @@ type Outcome struct {
 // pending jobs are marked with the error context. The returned error is
 // that first failure; it is nil iff every job completed.
 //
-// The progress callback, if non-nil, is invoked once per finished job
-// from worker goroutines; calls are serialised, so the callback needs
-// no locking of its own.
+// Each worker keeps a recycle.Pool and reuses the previous system's
+// large allocations for the next point (see Options.NoReuse to opt
+// out); results are byte-identical either way.
 func Run(ctx context.Context, jobs []Job, parallel int, progress func(done, total int, out Outcome)) ([]Outcome, error) {
+	return RunOpts(ctx, jobs, Options{Parallel: parallel, Progress: progress})
+}
+
+// RunOpts is Run with the full option set.
+func RunOpts(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	progress := opts.Progress
 	outs := make([]Outcome, len(jobs))
 	if len(jobs) == 0 {
 		return outs, ctx.Err()
 	}
+	parallel := opts.Parallel
 	if parallel <= 0 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
@@ -125,8 +151,15 @@ func Run(ctx context.Context, jobs []Job, parallel int, progress func(done, tota
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pool per worker goroutine: recycled allocations never
+			// cross workers, so pooling adds no synchronisation and no
+			// cross-job ordering sensitivity.
+			var pool *recycle.Pool
+			if !opts.NoReuse {
+				pool = recycle.New()
+			}
 			for i := range idx {
-				out := runJob(jobs[i], i, cancelled)
+				out := runJob(jobs[i], i, cancelled, pool)
 				outs[i] = out
 				if out.Err != nil {
 					fail(out.Err)
@@ -164,8 +197,12 @@ feed:
 	return outs, err
 }
 
-// runJob builds and runs one point.
-func runJob(j Job, i int, cancelled func() bool) Outcome {
+// runJob builds and runs one point. With a non-nil pool the system is
+// built from recycled allocations and harvested back into the pool when
+// the point finishes — Outcomes never reference pooled memory (Metrics
+// are value copies), so the harvest is safe on every path, including
+// interrupted runs.
+func runJob(j Job, i int, cancelled func() bool, pool *recycle.Pool) Outcome {
 	if cancelled() {
 		return Outcome{Index: i, Err: context.Canceled}
 	}
@@ -175,10 +212,11 @@ func runJob(j Job, i int, cancelled func() bool) Outcome {
 	if j.Workload != nil && j.Mix != nil {
 		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d sets both Workload and Mix", i)}
 	}
-	sys, err := core.NewSystem(j.Cfg)
+	sys, err := core.NewSystemPooled(j.Cfg, pool)
 	if err != nil {
 		return Outcome{Index: i, Err: fmt.Errorf("runner: job %d config: %w", i, err)}
 	}
+	defer sys.Recycle(pool)
 	sys.SetCancelCheck(cancelled)
 	if j.Observer != nil {
 		sys.SetObserver(j.Observer, j.ObserveEvery)

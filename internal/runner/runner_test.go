@@ -2,6 +2,8 @@ package runner
 
 import (
 	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -20,6 +22,17 @@ func tinyJob(seed uint64) Job {
 			return w, nil
 		},
 	}
+}
+
+func tinyMixJob(seed uint64) Job {
+	j := tinyJob(seed)
+	j.Workload = nil
+	j.Mix = func() ([]*workloads.Workload, error) {
+		a, _ := workloads.ByNameWith("2D-Sum", workloads.Params{Scale: 0.05})
+		b, _ := workloads.ByNameWith("RND", workloads.Params{Scale: 0.05})
+		return []*workloads.Workload{a, b}, nil
+	}
+	return j
 }
 
 func TestRunEmpty(t *testing.T) {
@@ -51,6 +64,101 @@ func TestRunOrderAndProgress(t *testing.T) {
 		if out.Err != nil || out.Metrics.AppInsts == 0 {
 			t.Errorf("outcome %d: err=%v insts=%d", i, out.Err, out.Metrics.AppInsts)
 		}
+	}
+}
+
+// TestRunCancelMidMulti interrupts a multiprogrammed point from inside
+// its own run: the job's Observer cancels the batch context at the
+// first interval snapshot, and the in-flight RunMulti must stop at the
+// next cancellation poll rather than complete the truncated point.
+func TestRunCancelMidMulti(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	j := tinyMixJob(1)
+	j.Cfg.MaxAppInsts = 2_000_000
+	j.ObserveEvery = 5_000
+	j.Observer = func(core.Snapshot) { cancel() }
+
+	outs, err := RunOpts(ctx, []Job{j, tinyMixJob(2)}, Options{Parallel: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunOpts = %v, want context.Canceled", err)
+	}
+	if !errors.Is(outs[0].Err, context.Canceled) {
+		t.Errorf("interrupted mix job err = %v, want context.Canceled", outs[0].Err)
+	}
+	if outs[0].Multi != nil {
+		t.Error("interrupted mix job must not report a per-process breakdown")
+	}
+	if outs[1].Err == nil {
+		t.Error("job behind the cancellation should carry the cancel error")
+	}
+}
+
+// TestRunObserverThroughPooledWorkers pins that the streaming Observer
+// and the per-worker System pooling compose: every job run on a pooled
+// worker still streams its own snapshots, and the metrics match a
+// NoReuse batch of the same jobs exactly.
+func TestRunObserverThroughPooledWorkers(t *testing.T) {
+	const n = 4
+	makeJobs := func(counts []int) []Job {
+		jobs := make([]Job, n)
+		for i := range jobs {
+			i := i
+			jobs[i] = tinyJob(uint64(i + 1))
+			jobs[i].ObserveEvery = 10_000
+			jobs[i].Observer = func(core.Snapshot) { counts[i]++ }
+		}
+		return jobs
+	}
+
+	// Parallel 1 forces all four jobs through one worker's pool, the
+	// shape where stale recycled state would leak between points.
+	pooledCounts := make([]int, n)
+	pooled, err := RunOpts(context.Background(), makeJobs(pooledCounts), Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshCounts := make([]int, n)
+	fresh, err := RunOpts(context.Background(), makeJobs(freshCounts), Options{Parallel: 1, NoReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		if pooledCounts[i] == 0 {
+			t.Errorf("job %d on a pooled worker streamed no snapshots", i)
+		}
+		if pooledCounts[i] != freshCounts[i] {
+			t.Errorf("job %d: %d snapshots pooled vs %d fresh", i, pooledCounts[i], freshCounts[i])
+		}
+		// WallTime and SimHeapBytes measure the host, not the simulated
+		// machine (Report.CanonicalJSON zeroes them for the same reason).
+		p, f := pooled[i].Metrics, fresh[i].Metrics
+		p.WallTime, f.WallTime = 0, 0
+		p.SimHeapBytes, f.SimHeapBytes = 0, 0
+		if !reflect.DeepEqual(p, f) {
+			t.Errorf("job %d: pooled metrics differ from fresh", i)
+		}
+	}
+}
+
+// TestRunMixFactoryError pins the Mix-factory failure path: the error is
+// attributed to the job, wrapped with its index, and stops the batch.
+func TestRunMixFactoryError(t *testing.T) {
+	boom := errors.New("boom")
+	bad := tinyMixJob(1)
+	bad.Mix = func() ([]*workloads.Workload, error) { return nil, boom }
+
+	outs, err := RunOpts(context.Background(), []Job{bad, tinyJob(2)}, Options{Parallel: 1})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "job 0 mix") {
+		t.Fatalf("RunOpts = %v, want wrapped mix factory error", err)
+	}
+	if !errors.Is(outs[0].Err, boom) {
+		t.Errorf("bad job err = %v, want boom", outs[0].Err)
+	}
+	if outs[1].Err == nil {
+		t.Error("job behind the mix failure should carry the stop error")
 	}
 }
 

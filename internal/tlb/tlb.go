@@ -7,6 +7,7 @@ package tlb
 
 import (
 	"repro/internal/mem"
+	"repro/internal/recycle"
 )
 
 // Entry is one cached translation.
@@ -63,6 +64,12 @@ func packMeta(asid uint16, ps mem.PageSize) uint32 {
 // New builds a TLB with the given total entries and associativity
 // supporting the listed page sizes.
 func New(name string, entries, ways int, latency uint64, sizes ...mem.PageSize) *TLB {
+	return NewWith(nil, name, entries, ways, latency, sizes...)
+}
+
+// NewWith is New drawing the SoA entry arrays from pool (nil pool =
+// plain New).
+func NewWith(pool *recycle.Pool, name string, entries, ways int, latency uint64, sizes ...mem.PageSize) *TLB {
 	if len(sizes) == 0 {
 		sizes = []mem.PageSize{mem.Page4K}
 	}
@@ -76,11 +83,24 @@ func New(name string, entries, ways int, latency uint64, sizes ...mem.PageSize) 
 		ways:    ways,
 		latency: latency,
 		sizes:   sizes,
-		vpns:    make([]uint64, entries),
-		metas:   make([]uint32, entries),
-		frames:  make([]mem.PAddr, entries),
-		lru:     make([]uint64, entries),
+		vpns:    pool.Uint64s(entries),
+		metas:   pool.Uint32s(entries),
+		frames:  pool.PAddrs(entries),
+		lru:     pool.Uint64s(entries),
 	}
+}
+
+// Recycle hands the entry arrays back to pool; the TLB must not be
+// used afterwards.
+func (t *TLB) Recycle(pool *recycle.Pool) {
+	if pool == nil {
+		return
+	}
+	pool.PutUint64s(t.vpns)
+	pool.PutUint32s(t.metas)
+	pool.PutPAddrs(t.frames)
+	pool.PutUint64s(t.lru)
+	t.vpns, t.metas, t.frames, t.lru = nil, nil, nil, nil
 }
 
 // Name returns the TLB's name.

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/isa"
+)
+
+// prefetchBatch is the decode granularity of the prefetcher; depth is
+// the ring size. depth*prefetchBatch records of read-ahead is enough to
+// hide gzip+varint decode behind simulation without holding megabytes
+// of decoded instructions per replay point.
+const (
+	prefetchBatch = 1024
+	prefetchDepth = 4
+)
+
+// pfItem is one decoded batch handed from the filler goroutine to the
+// consumer. err is io.EOF at a clean end of stream, or the decode error
+// that stopped the filler; either way it is the stream's final item.
+type pfItem struct {
+	buf []isa.Inst
+	n   int
+	err error
+}
+
+// prefetchSource is a decode-ahead isa.Source over a trace file: a
+// filler goroutine owns the Reader and decodes fixed-size batches into
+// a bounded ring of buffers, so replay-heavy sweep points overlap
+// gzip/varint decode with simulation instead of paying it inline on the
+// hot thread.
+//
+// The consumer side (Next/NextBatch/Close) is single-goroutine, like
+// every isa.Source. Decoded batches arrive in order through ch; drained
+// buffers return through free. The stream is byte-for-byte the one a
+// plain fileSource would produce — only the thread doing the decode
+// differs — and it honours the same contract: panic on mid-stream
+// corruption (raised on the consumer, where the engine can report it),
+// self-close on exhaustion.
+type prefetchSource struct {
+	path string
+	r    *Reader
+
+	ch   chan pfItem
+	free chan []isa.Inst
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	cur    pfItem
+	pos    int
+	done   bool
+	closed bool
+	once   sync.Once // reader close
+}
+
+// OpenPrefetchSource opens path as a decode-ahead streaming source.
+func OpenPrefetchSource(path string) (isa.Source, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &prefetchSource{
+		path: path,
+		r:    r,
+		ch:   make(chan pfItem, prefetchDepth),
+		free: make(chan []isa.Inst, prefetchDepth),
+		quit: make(chan struct{}),
+	}
+	for i := 0; i < prefetchDepth; i++ {
+		s.free <- make([]isa.Inst, prefetchBatch)
+	}
+	s.wg.Add(1)
+	go s.fill()
+	return s, nil
+}
+
+// MustOpenPrefetchSource is OpenPrefetchSource, panicking on error (the
+// engine validates the file header at system construction).
+func MustOpenPrefetchSource(path string) isa.Source {
+	s, err := OpenPrefetchSource(path)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// fill runs on the filler goroutine: decode batches until EOF, error,
+// or Close. The terminal item (err != nil) is the filler's last send;
+// it never closes ch (Close may race a send otherwise) and never
+// touches the Reader again after returning.
+func (s *prefetchSource) fill() {
+	defer s.wg.Done()
+	for {
+		var buf []isa.Inst
+		select {
+		case buf = <-s.free:
+		case <-s.quit:
+			return
+		}
+		n := 0
+		var ferr error
+		for n < len(buf) {
+			if err := s.r.Read(&buf[n]); err != nil {
+				ferr = err
+				break
+			}
+			n++
+		}
+		select {
+		case s.ch <- pfItem{buf: buf, n: n, err: ferr}:
+		case <-s.quit:
+			return
+		}
+		if ferr != nil {
+			return
+		}
+	}
+}
+
+func (s *prefetchSource) closeReader() error {
+	var err error
+	s.once.Do(func() { err = s.r.Close() })
+	return err
+}
+
+// advance makes cur hold at least one undelivered instruction, or
+// reports the end of the stream. Terminal errors surface here, on the
+// consumer goroutine, with fileSource's panic contract.
+func (s *prefetchSource) advance() bool {
+	for {
+		if s.pos < s.cur.n {
+			return true
+		}
+		if s.done {
+			return false
+		}
+		if s.cur.err != nil {
+			// Batch drained and the filler stopped behind it.
+			s.done = true
+			s.closeReader()
+			if s.cur.err != io.EOF {
+				panic(fmt.Sprintf("trace: %s: %v", s.path, s.cur.err))
+			}
+			return false
+		}
+		if s.cur.buf != nil {
+			s.free <- s.cur.buf
+			s.cur.buf = nil
+		}
+		s.cur = <-s.ch
+		s.pos = 0
+	}
+}
+
+// Next implements isa.Source.
+func (s *prefetchSource) Next(out *isa.Inst) bool {
+	if !s.advance() {
+		return false
+	}
+	*out = s.cur.buf[s.pos]
+	s.pos++
+	return true
+}
+
+// NextBatch implements isa.BatchSource by copying from the pre-decoded
+// ring.
+func (s *prefetchSource) NextBatch(out []isa.Inst) int {
+	n := 0
+	for n < len(out) {
+		if !s.advance() {
+			break
+		}
+		c := copy(out[n:], s.cur.buf[s.pos:s.cur.n])
+		s.pos += c
+		n += c
+	}
+	return n
+}
+
+// Close stops the filler and releases the reader; safe after
+// exhaustion and idempotent.
+func (s *prefetchSource) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.done = true
+	// quit unblocks a filler parked on either channel; wait it out
+	// before closing the Reader it owns.
+	close(s.quit)
+	s.wg.Wait()
+	return s.closeReader()
+}

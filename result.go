@@ -56,6 +56,16 @@ type Report struct {
 	Shard string `json:"shard,omitempty"`
 	// Wall is the host time the whole sweep took.
 	Wall time.Duration `json:"wall_ns"`
+
+	// Provenance counters for this run: how many of Results were
+	// actually simulated (Executed) versus restored from the resume
+	// checkpoint (FromCheckpoint) or answered by the content-addressed
+	// cache (FromCache). Run-shape metadata, not results — excluded
+	// from the JSON encodings so cached and fresh reports stay
+	// byte-identical.
+	Executed       int `json:"-"`
+	FromCache      int `json:"-"`
+	FromCheckpoint int `json:"-"`
 }
 
 // JSON renders the report as indented JSON.

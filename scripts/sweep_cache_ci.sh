@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# CI smoke for the content-addressed point cache: run the same small
+# grid twice against one -cache directory. The first run simulates
+# every point and warms the cache; the second must simulate nothing —
+# every point answered from cache — and still produce a byte-identical
+# canonical report.
+#
+# Usage: bash scripts/sweep_cache_ci.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+echo "sweep-cache smoke in $work"
+
+go build -o "$work/virtuoso" ./cmd/virtuoso
+v="$work/virtuoso"
+
+cat > "$work/spec.json" <<'EOF'
+{"workloads": ["JSON", "2D-Sum"], "seeds": [1, 2], "scale": 0.25, "max_app_insts": 2000000}
+EOF
+
+# Cold run: everything simulates, the cache warms.
+"$v" sweep run -spec "$work/spec.json" -cache "$work/cache" -canonical -o "$work/cold.json" 2> "$work/cold.log"
+grep -E ', 4 simulated$' "$work/cold.log" || {
+  echo "ERROR: cold run did not simulate all 4 points" >&2
+  cat "$work/cold.log" >&2
+  exit 1
+}
+
+# Warm run: the identical grid must be answered entirely from cache.
+"$v" sweep run -spec "$work/spec.json" -cache "$work/cache" -canonical -o "$work/warm.json" 2> "$work/warm.log"
+grep -E '4 from cache, 0 simulated$' "$work/warm.log" || {
+  echo "ERROR: warm run re-simulated cached points" >&2
+  cat "$work/warm.log" >&2
+  exit 1
+}
+
+# The cache must be invisible in the results.
+if ! cmp "$work/cold.json" "$work/warm.json"; then
+  echo "ERROR: cache-answered report differs from the simulated run" >&2
+  exit 1
+fi
+echo "OK: warm run simulated 0 points; cached == simulated (byte-identical canonical reports)"

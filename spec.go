@@ -64,6 +64,47 @@ func (s *Sweep) SpecHash() string {
 	return sweepjob.Hash(b)
 }
 
+// pointKey fingerprints one fully resolved point for the
+// content-addressed result cache (Sweep.Cache): the executed config
+// (after grid axes and Configure), the workload or mix, the workload
+// params, Label, and the spec version. Deliberately absent: grid
+// position, Shard, Parallel, Checkpoint — execution shape, not results
+// — so overlapping grids share entries. Like SpecHash, the key cannot
+// see into a WorkloadFactory hook; Label is the escape hatch.
+func pointKey(cfg Config, p Point, params WorkloadParams, label string) string {
+	payload := struct {
+		Module      string         `json:"module"`
+		SpecVersion int            `json:"spec_version"`
+		Config      Config         `json:"config"`
+		Workload    string         `json:"workload,omitempty"`
+		Mix         []string       `json:"mix,omitempty"`
+		Params      WorkloadParams `json:"params"`
+		Label       string         `json:"label,omitempty"`
+	}{"repro", specVersion, cfg, p.Workload, p.Mix, params, label}
+	b, err := json.Marshal(payload)
+	if err != nil {
+		b = []byte(fmt.Sprintf("%#v", payload))
+	}
+	return sweepjob.Hash(b)
+}
+
+// PointKey returns the cache key Run would use for point p: the
+// introspection hook for cache management tooling (pre-warming,
+// targeted invalidation). It resolves p's config exactly as Run does,
+// including the Configure hook, and so can return that hook's error.
+func (s *Sweep) PointKey(p Point) (string, error) {
+	cfg := s.Base
+	cfg.Design = p.Design
+	cfg.Policy = p.Policy
+	cfg.Seed = p.Seed
+	if s.Configure != nil {
+		if err := s.Configure(&cfg, p); err != nil {
+			return "", err
+		}
+	}
+	return pointKey(cfg, p, s.Params, s.Label), nil
+}
+
 // SweepSpec is the declarative, JSON-serialisable form of a Sweep —
 // what `virtuoso sweep run -spec` executes and `virtuoso sweep serve`
 // accepts over HTTP or stdin. It covers the grid axes and the base-
@@ -100,10 +141,13 @@ type SweepSpec struct {
 	CtxSwitchCost uint64   `json:"ctx_switch_cycles,omitempty"`
 	ASIDRetention bool     `json:"asid_retention,omitempty"`
 
-	// Execution knobs. Shard ("i/N") and Parallel do not affect results
-	// or the spec hash; Label salts the hash (see Sweep.Label).
+	// Execution knobs. Shard ("i/N"), Parallel, and Cache do not affect
+	// results or the spec hash; Label salts the hash (see Sweep.Label).
+	// Cache names a content-addressed point-result cache directory
+	// (Sweep.Cache): warm points are answered without simulating.
 	Parallel int    `json:"parallel,omitempty"`
 	Shard    string `json:"shard,omitempty"`
+	Cache    string `json:"cache,omitempty"`
 	Label    string `json:"label,omitempty"`
 }
 
@@ -189,6 +233,7 @@ func (sp *SweepSpec) Sweep() (*Sweep, error) {
 		Params:    WorkloadParams{Scale: sp.Scale, LongIters: sp.LongIters},
 		Parallel:  sp.Parallel,
 		Shard:     shard,
+		Cache:     sp.Cache,
 		Label:     sp.Label,
 	}
 	if len(s.Workloads) == 0 && len(s.Mixes) == 0 {

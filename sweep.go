@@ -46,7 +46,11 @@ type SweepEvent struct {
 	// is set. Streaming consumers (`virtuoso sweep serve`) forward it
 	// verbatim so clients never wait for the sweep to finish.
 	Result *Result
-	Err    error
+	// FromCache marks a point answered by the content-addressed result
+	// cache (Sweep.Cache) instead of being simulated. Cache-hit events
+	// fire in point order before the first worker starts.
+	FromCache bool
+	Err       error
 }
 
 // Sweep expands a design-space grid into run points and executes them
@@ -134,6 +138,27 @@ type Sweep struct {
 	// affect results, set Label so incompatible runs cannot resume each
 	// other's checkpoints.
 	Checkpoint string
+
+	// Cache, when non-empty, names a directory used as a
+	// content-addressed point-result cache. Before a point is
+	// scheduled, its key — a hash of the fully resolved per-point
+	// Config (after the grid axes and Configure are applied), the
+	// workload or mix, Params, Label, and the spec version — is looked
+	// up; a hit restores the Result without simulating, a fresh result
+	// is written back after the point completes. Keys are independent
+	// of grid position, Shard, and Parallel, so repeated, overlapping,
+	// and served sweeps share entries. Unlike Checkpoint, which is
+	// stamped with this sweep's SpecHash, the cache is shared across
+	// sweeps — and, like SpecHash, the key cannot see into a
+	// WorkloadFactory hook: set Label when such hooks change results.
+	// See docs/sweep-service.md for key semantics and invalidation.
+	Cache string
+
+	// NoReuse disables per-worker System pooling, forcing fresh
+	// construction for every point. Pooling changes only memory
+	// provenance, never results (TestSweepReuseEquivalence); the knob
+	// exists for that harness and for memory profiling.
+	NoReuse bool
 
 	// Label is an opaque salt mixed into SpecHash — the escape hatch
 	// for sweeps whose Configure/WorkloadFactory hooks change results
@@ -239,15 +264,31 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 
-	// Build jobs for the points still pending in this shard.
-	pending := make([]int, 0, len(sel))
-	for _, idx := range sel {
-		if _, done := completed[idx]; !done {
-			pending = append(pending, idx)
+	// Open the content-addressed result cache, if configured. Lookups
+	// need each point's fully resolved config, so the job-build loop
+	// below resolves configs first and consults the cache before
+	// scheduling anything.
+	var cache *sweepjob.Cache
+	if s.Cache != "" {
+		c, err := sweepjob.OpenCache(s.Cache)
+		if err != nil {
+			return nil, err
 		}
+		cache = c
 	}
-	jobs := make([]runner.Job, len(pending))
-	for ji, idx := range pending {
+	fromCheckpoint := len(completed)
+
+	// Build jobs for the points still pending in this shard, answering
+	// from the cache where possible. pending maps job position back to
+	// point index; keys holds each scheduled point's cache key.
+	pending := make([]int, 0, len(sel))
+	keys := make([]string, 0, len(sel))
+	jobs := make([]runner.Job, 0, len(sel))
+	var cacheHits []int
+	for _, idx := range sel {
+		if _, done := completed[idx]; done {
+			continue
+		}
 		p := pts[idx]
 		cfg := s.Base
 		cfg.Design = p.Design
@@ -258,15 +299,60 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 				return nil, fmt.Errorf("virtuoso: point %d (%s/%s/%s): %w", p.Index, p.Workload, p.Design, p.Policy, err)
 			}
 		}
+		var key string
+		if cache != nil {
+			key = pointKey(cfg, p, s.Params, s.Label)
+			if raw, ok := cache.Get(key); ok {
+				var r Result
+				if err := json.Unmarshal(raw, &r); err == nil {
+					// Cache entries are shared across grids, so the
+					// stored index is whatever grid wrote the entry;
+					// restore this grid's position.
+					r.Index = idx
+					if ckpt != nil {
+						rr, err := json.Marshal(r)
+						if err == nil {
+							err = ckpt.Append(idx, rr)
+						}
+						if err != nil {
+							return nil, fmt.Errorf("virtuoso: sweep checkpoint %s: %w", s.Checkpoint, err)
+						}
+					}
+					completed[idx] = r
+					cacheHits = append(cacheHits, idx)
+					continue
+				}
+				// An entry that does not decode is a miss: simulate,
+				// and the Put below rewrites it.
+			}
+		}
+		job := runner.Job{Cfg: cfg}
 		if p.Mix != nil {
-			jobs[ji] = runner.Job{Cfg: cfg, Mix: s.mixFactory(p)}
+			job.Mix = s.mixFactory(p)
 		} else {
-			jobs[ji] = runner.Job{Cfg: cfg, Workload: s.workloadFactory(p)}
+			job.Workload = s.workloadFactory(p)
 		}
 		if s.Observe != nil {
 			if obs := s.Observe(p); obs != nil {
-				jobs[ji].Observer = obs.Observe
+				job.Observer = obs.Observe
 			}
+		}
+		pending = append(pending, idx)
+		keys = append(keys, key)
+		jobs = append(jobs, job)
+	}
+
+	// Cache hits are complete before the first worker starts; report
+	// them in point order so streaming consumers see a monotonic Done.
+	if s.Progress != nil {
+		hitDone := fromCheckpoint
+		for _, idx := range cacheHits {
+			r := completed[idx]
+			hitDone++
+			s.Progress(SweepEvent{
+				Point: pts[idx], Done: hitDone, Total: len(sel),
+				Metrics: &r.Metrics, Result: &r, FromCache: true,
+			})
 		}
 	}
 
@@ -277,23 +363,41 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	// after Run returns.
 	runCtx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
-	var ckptErr error
+	var ckptErr, cacheErr error
 
 	baseDone := len(completed)
 	var progress func(done, total int, out runner.Outcome)
-	if s.Progress != nil || ckpt != nil {
+	if s.Progress != nil || ckpt != nil || cache != nil {
 		progress = func(done, total int, out runner.Outcome) {
 			idx := pending[out.Index]
 			var res Result
 			if out.Err == nil {
 				res = buildResult(pts[idx], jobs[out.Index].Cfg, out)
+				var raw json.RawMessage
+				var marshalErr error
+				if ckpt != nil || cache != nil {
+					raw, marshalErr = json.Marshal(res)
+				}
 				if ckpt != nil && ckptErr == nil {
-					raw, err := json.Marshal(res)
+					err := marshalErr
 					if err == nil {
 						err = ckpt.Append(idx, raw)
 					}
 					if err != nil {
 						ckptErr = err
+						cancelRun()
+					}
+				}
+				// A cache write failure stops the sweep just like a
+				// checkpoint failure: a run told to warm a cache must
+				// not silently leave it cold.
+				if cache != nil && cacheErr == nil {
+					err := marshalErr
+					if err == nil {
+						err = cache.Put(keys[out.Index], raw)
+					}
+					if err != nil {
+						cacheErr = err
 						cancelRun()
 					}
 				}
@@ -310,11 +414,16 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	}
 
 	start := time.Now()
-	outs, err := runner.Run(runCtx, jobs, s.Parallel, progress)
+	outs, err := runner.RunOpts(runCtx, jobs, runner.Options{
+		Parallel: s.Parallel, NoReuse: s.NoReuse, Progress: progress,
+	})
 
 	// Assemble the report in point order: checkpointed results where
 	// the point was restored, fresh outcomes where it ran.
-	rep := &Report{Points: len(pts), SpecHash: hash, Shard: s.Shard.String(), Wall: time.Since(start)}
+	rep := &Report{
+		Points: len(pts), SpecHash: hash, Shard: s.Shard.String(), Wall: time.Since(start),
+		FromCheckpoint: fromCheckpoint, FromCache: len(cacheHits),
+	}
 	fresh := make(map[int]Result, len(outs))
 	for ji, out := range outs {
 		if out.Err != nil {
@@ -322,6 +431,7 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 		}
 		fresh[pending[ji]] = buildResult(pts[pending[ji]], jobs[ji].Cfg, out)
 	}
+	rep.Executed = len(fresh)
 	for _, idx := range sel {
 		if r, ok := completed[idx]; ok {
 			rep.Results = append(rep.Results, r)
@@ -340,6 +450,9 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	}
 	if ckptErr != nil {
 		return rep, fmt.Errorf("virtuoso: sweep checkpoint %s: %w", s.Checkpoint, ckptErr)
+	}
+	if cacheErr != nil {
+		return rep, fmt.Errorf("virtuoso: sweep cache %s: %w", s.Cache, cacheErr)
 	}
 	return rep, err
 }
