@@ -341,12 +341,14 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkTraceReplay measures the trace-driven frontend: one recorded
-// trace (made outside the timed loop) replayed per iteration. Replay
-// skips workload instruction generation, so this isolates the decode +
-// simulate path that ChampSim-style studies pay per run.
-func BenchmarkTraceReplay(b *testing.B) {
-	path := filepath.Join(b.TempDir(), "bench.trc.gz")
+// benchTraceReplay is the shared harness of the trace-replay
+// benchmarks: one recorded trace (made outside the timed loop, in the
+// format ropts selects) replayed per iteration with the given extra
+// session options. Replay skips workload instruction generation, so
+// this isolates the decode + simulate path that ChampSim-style studies
+// pay per run.
+func benchTraceReplay(b *testing.B, name string, ropts []virtuoso.RecordOption, extra ...virtuoso.Option) {
+	path := filepath.Join(b.TempDir(), name)
 	opts := []virtuoso.Option{
 		virtuoso.WithScaledConfig(),
 		virtuoso.WithDesign(virtuoso.DesignRadix),
@@ -361,20 +363,53 @@ func BenchmarkTraceReplay(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, _, err := rec.Record(path); err != nil {
+	if _, _, err := rec.Record(path, ropts...); err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	var m virtuoso.Metrics
-	for i := 0; i < b.N; i++ {
+	opts = append(opts, extra...)
+	replay := func() virtuoso.Metrics {
 		sess, err := virtuoso.Open(append(opts, virtuoso.WithTrace(path))...)
 		if err != nil {
 			b.Fatal(err)
 		}
-		m, err = sess.Run()
+		m, err := sess.Run()
 		if err != nil {
 			b.Fatal(err)
 		}
+		return m
+	}
+	// One untimed replay first: the timed iterations then measure the
+	// steady state — for the shared-store variant, the marginal cost of
+	// a repeat replay (the one-time decode into the store is excluded,
+	// exactly as for the second and later points of a sweep).
+	replay()
+	b.ResetTimer()
+	var m virtuoso.Metrics
+	for i := 0; i < b.N; i++ {
+		m = replay()
 	}
 	b.ReportMetric(float64(m.AppInsts+m.KernelInsts)/m.WallTime.Seconds(), "sim-inst/s")
+}
+
+// BenchmarkTraceReplay measures the default replay path: a v2
+// (seekable block-compressed) trace through OpenReplaySource — the
+// parallel block decoder on multi-core hosts, inline block decode on a
+// single core.
+func BenchmarkTraceReplay(b *testing.B) {
+	benchTraceReplay(b, "bench.trc", nil)
+}
+
+// BenchmarkTraceReplayV1 measures the legacy v1 gzip-enveloped format
+// through its streaming decoder — the before side of the v2 migration.
+func BenchmarkTraceReplayV1(b *testing.B) {
+	benchTraceReplay(b, "bench.trc.gz", []virtuoso.RecordOption{virtuoso.RecordFormatV1()})
+}
+
+// BenchmarkTraceReplayShared measures warm replays through the shared
+// decoded-trace store: the trace is decoded once (first iteration, or
+// a prior point in a sweep) and every timed replay streams the
+// in-memory records — the per-point cost the sweep path pays.
+func BenchmarkTraceReplayShared(b *testing.B) {
+	store := virtuoso.NewTraceStore(0)
+	benchTraceReplay(b, "bench.trc", nil, virtuoso.WithTraceStore(store))
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	virtuoso "repro"
 )
@@ -12,12 +15,16 @@ import (
 const traceUsage = `usage: virtuoso trace <verb> [flags]
 
 verbs:
-  record  -workload NAME -o FILE   record a workload's instruction stream
-  replay  FILE                     replay a recorded trace through the simulator
-  info    FILE                     print a trace file's header and counts
+  record   -workload NAME -o FILE   record a workload's instruction stream
+  replay   FILE                     replay a recorded trace through the simulator
+  convert  SRC DST                  rewrite a trace into the current (v2) format
+  info     FILE                     print a trace file's header, counts, and blocks
 
-A ".gz" output extension selects gzip compression. Run
-"virtuoso trace <verb> -h" for per-verb flags.
+Traces are written in the seekable block-compressed v2 format by
+default ("record -format v1" selects the legacy format, where a ".gz"
+extension picks the gzip envelope). Readers detect the format from the
+file's bytes, never its name. Run "virtuoso trace <verb> -h" for
+per-verb flags.
 `
 
 // traceCmd dispatches the `virtuoso trace` subcommand.
@@ -31,6 +38,8 @@ func traceCmd(args []string) {
 		traceRecord(args[1:])
 	case "replay":
 		traceReplay(args[1:])
+	case "convert":
+		traceConvert(args[1:])
 	case "info":
 		traceInfo(args[1:])
 	default:
@@ -91,12 +100,22 @@ func traceRecord(args []string) {
 	fs := flag.NewFlagSet("virtuoso trace record", flag.ExitOnError)
 	var f simFlags
 	workload := fs.String("workload", "", "workload to record (required; see virtuoso -list)")
-	out := fs.String("o", "", "output trace file (required; .gz compresses)")
+	out := fs.String("o", "", "output trace file (required)")
+	format := fs.String("format", "v2", "trace format: v2 (seekable block-compressed) or v1 (legacy; .gz compresses)")
 	addSimFlags(fs, &f, 1, "simulation seed (stored in the trace header)")
 	fs.Parse(args)
 	if *workload == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "virtuoso trace record: -workload and -o are required")
 		fs.Usage()
+		os.Exit(2)
+	}
+	var ropts []virtuoso.RecordOption
+	switch *format {
+	case "v2":
+	case "v1":
+		ropts = append(ropts, virtuoso.RecordFormatV1())
+	default:
+		fmt.Fprintf(os.Stderr, "virtuoso trace record: unknown -format %q (known: v1, v2)\n", *format)
 		os.Exit(2)
 	}
 
@@ -108,7 +127,7 @@ func traceRecord(args []string) {
 	)
 	sess, err := virtuoso.Open(opts...)
 	check(err)
-	m, info, err := sess.Record(*out)
+	m, info, err := sess.Record(*out, ropts...)
 	check(err)
 
 	st, err := os.Stat(*out)
@@ -116,9 +135,55 @@ func traceRecord(args []string) {
 	fmt.Printf("recorded        %s -> %s\n", info.Workload, *out)
 	fmt.Printf("records         %d (%d insts, %d mem ops, %d segments)\n",
 		info.Records, info.Instructions, info.MemOps, info.Segments)
-	fmt.Printf("size            %d bytes (%.2f bits/inst, gzip=%v)\n",
+	fmt.Printf("format          v%d%s\n", info.Version, blockSummary(info))
+	fmt.Printf("size            %d bytes (%.2f bits/inst, compressed=%v)\n",
 		st.Size(), float64(st.Size()*8)/float64(max(info.Instructions, 1)), info.Compressed)
 	fmt.Printf("recording run   IPC %.3f, %d minor faults, seed %d\n", m.IPC, m.MinorFaults, info.Seed)
+}
+
+// blockSummary renders the v2 block/index line fragment ("" for v1).
+func blockSummary(info virtuoso.TraceInfo) string {
+	if info.Version < 2 {
+		return ""
+	}
+	return fmt.Sprintf(" (%d blocks, index %d bytes, block ratio %.3f)",
+		info.Blocks, info.IndexBytes, compRatio(info))
+}
+
+// compRatio is the mean per-block compression ratio: compressed block
+// payload bytes over raw.
+func compRatio(info virtuoso.TraceInfo) float64 {
+	if info.RawBytes == 0 {
+		return 0
+	}
+	return float64(info.CompBytes) / float64(info.RawBytes)
+}
+
+func traceConvert(args []string) {
+	fs := flag.NewFlagSet("virtuoso trace convert", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the written file's summary as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "virtuoso trace convert: exactly two arguments required: SRC DST")
+		fs.Usage()
+		os.Exit(2)
+	}
+	src, dst := fs.Arg(0), fs.Arg(1)
+	info, err := virtuoso.ConvertTrace(src, dst)
+	check(err)
+	if *jsonOut {
+		data, err := json.MarshalIndent(info, "", "  ")
+		check(err)
+		fmt.Println(string(data))
+		return
+	}
+	st, err := os.Stat(dst)
+	check(err)
+	fmt.Printf("converted       %s -> %s\n", src, dst)
+	fmt.Printf("records         %d (%d insts, %d mem ops)\n", info.Records, info.Instructions, info.MemOps)
+	fmt.Printf("format          v%d%s\n", info.Version, blockSummary(info))
+	fmt.Printf("size            %d bytes (%.2f bits/inst)\n",
+		st.Size(), float64(st.Size()*8)/float64(max(info.Instructions, 1)))
 }
 
 func traceReplay(args []string) {
@@ -126,6 +191,11 @@ func traceReplay(args []string) {
 	var f simFlags
 	memtrace := fs.Bool("memtrace", false, "memory-trace-driven replay (Ramulator-style: only memory ops simulated)")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON")
+	canonical := fs.Bool("canonical", false, "emit the result as canonical (determinism-comparison) JSON")
+	outFile := fs.String("o", "", "write the JSON report to FILE instead of stdout")
+	seedsFlag := fs.String("seeds", "", "comma-separated seed list: replay once per seed through a shared decoded-trace store (a 0 entry means the recorded seed)")
+	storeMB := fs.Int64("store-mb", 0, "decoded-trace store budget in MiB for -seeds replays (0 = the ~1 GiB default)")
+	rounds := fs.Int("rounds", 1, "repeat the -seeds replay set; rounds after the first must decode nothing and reproduce round 1 byte-identically")
 	addSimFlags(fs, &f, 0, "simulation seed (0 = the seed recorded in the trace)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -135,33 +205,119 @@ func traceReplay(args []string) {
 	}
 	path := fs.Arg(0)
 
+	// Header-only read: no point decoding the whole record section just
+	// to learn the recorded seed.
+	hdr, err := virtuoso.ReadTraceHeader(path)
+	check(err)
 	if f.seed == 0 {
-		// Header-only read: no point decoding the whole record section
-		// just to learn the recorded seed.
-		hdr, err := virtuoso.ReadTraceHeader(path)
-		check(err)
 		f.seed = hdr.Seed
 	}
-	opts, err := f.options()
-	check(err)
-	if *memtrace {
-		opts = append(opts, virtuoso.WithFrontend(virtuoso.FrontendMemTrace))
-	}
-	opts = append(opts, virtuoso.WithTrace(path))
-	sess, err := virtuoso.Open(opts...)
-	check(err)
-	m, err := sess.Run()
-	check(err)
 
-	r := sess.Result(m)
-	if *jsonOut {
-		rep := &virtuoso.Report{Results: []virtuoso.Result{r}, Points: 1}
-		data, err := rep.JSON()
+	if *seedsFlag == "" {
+		opts, err := f.options()
 		check(err)
-		fmt.Println(string(data))
+		if *memtrace {
+			opts = append(opts, virtuoso.WithFrontend(virtuoso.FrontendMemTrace))
+		}
+		opts = append(opts, virtuoso.WithTrace(path))
+		sess, err := virtuoso.Open(opts...)
+		check(err)
+		m, err := sess.Run()
+		check(err)
+
+		r := sess.Result(m)
+		if *jsonOut || *canonical || *outFile != "" {
+			rep := &virtuoso.Report{Results: []virtuoso.Result{r}, Points: 1}
+			check(emitReport(rep, *canonical, *outFile))
+			return
+		}
+		printSingle(r)
 		return
 	}
-	printSingle(r)
+
+	seeds, err := parseReplaySeeds(*seedsFlag, hdr.Seed)
+	check(err)
+	if *rounds < 1 {
+		*rounds = 1
+	}
+	store := virtuoso.NewTraceStore(*storeMB << 20)
+	var first []byte
+	for round := 1; round <= *rounds; round++ {
+		before := store.Stats()
+		rep := &virtuoso.Report{Points: len(seeds)}
+		for _, seed := range seeds {
+			f.seed = seed
+			opts, err := f.options()
+			check(err)
+			if *memtrace {
+				opts = append(opts, virtuoso.WithFrontend(virtuoso.FrontendMemTrace))
+			}
+			opts = append(opts, virtuoso.WithTrace(path), virtuoso.WithTraceStore(store))
+			sess, err := virtuoso.Open(opts...)
+			check(err)
+			m, err := sess.Run()
+			check(err)
+			rep.Results = append(rep.Results, sess.Result(m))
+		}
+		after := store.Stats()
+		fmt.Fprintf(os.Stderr, "round %d: %d points, %d decoded, %d from store\n",
+			round, len(seeds), after.Decodes-before.Decodes, after.Hits-before.Hits)
+		canon, err := rep.CanonicalJSON()
+		check(err)
+		if round == 1 {
+			first = canon
+			check(emitReport(rep, *canonical, *outFile))
+		} else if !bytes.Equal(canon, first) {
+			check(fmt.Errorf("virtuoso trace replay: round %d diverged from round 1 (determinism violation)", round))
+		}
+	}
+	st := store.Stats()
+	fmt.Fprintf(os.Stderr, "trace store: %d decodes, %d hits, %d bytes retained (budget %d)\n",
+		st.Decodes, st.Hits, st.UsedBytes, st.BudgetBytes)
+}
+
+// parseReplaySeeds expands a comma-separated seed list; 0 entries
+// resolve to the recorded seed.
+func parseReplaySeeds(list string, recorded uint64) ([]uint64, error) {
+	var out []uint64
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(tok, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("virtuoso trace replay: bad -seeds entry %q: %v", tok, err)
+		}
+		if v == 0 {
+			v = recorded
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("virtuoso trace replay: -seeds is empty")
+	}
+	return out, nil
+}
+
+// emitReport writes rep as (canonical or indented) JSON to path, or to
+// stdout when path is empty.
+func emitReport(rep *virtuoso.Report, canonical bool, path string) error {
+	var data []byte
+	var err error
+	if canonical {
+		data, err = rep.CanonicalJSON()
+	} else {
+		data, err = rep.JSON()
+	}
+	if err != nil {
+		return err
+	}
+	if path == "" {
+		fmt.Println(string(data))
+		return nil
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func traceInfo(args []string) {
@@ -184,11 +340,15 @@ func traceInfo(args []string) {
 	}
 	st, err := os.Stat(path)
 	check(err)
-	fmt.Printf("trace           %s (gzip=%v, %d bytes)\n", path, info.Compressed, st.Size())
+	fmt.Printf("trace           %s (v%d, compressed=%v, %d bytes)\n", path, info.Version, info.Compressed, st.Size())
 	fmt.Printf("workload        %s (%s-running, footprint %d MB)\n", info.Workload, info.Class, info.FootprintBytes>>20)
 	fmt.Printf("seed            %d\n", info.Seed)
 	fmt.Printf("layout          %d segments\n", info.Segments)
 	fmt.Printf("records         %d (%d insts, %d mem ops, %.2f bits/inst)\n",
 		info.Records, info.Instructions, info.MemOps,
 		float64(st.Size()*8)/float64(max(info.Instructions, 1)))
+	if info.Version >= 2 {
+		fmt.Printf("blocks          %d (index %d bytes, payload %d -> %d bytes, block ratio %.3f)\n",
+			info.Blocks, info.IndexBytes, info.RawBytes, info.CompBytes, compRatio(info))
+	}
 }

@@ -143,7 +143,7 @@ func TestFastPathEquivalenceReplay(t *testing.T) {
 	// Record the same workload under both loops: the trace files must be
 	// byte-identical (the frontend tap sees the same stream in the same
 	// order), and so must the recording runs' metrics.
-	record := func(ref bool, name string) ([]byte, []byte) {
+	record := func(ref bool, name string, ropts ...virtuoso.RecordOption) ([]byte, []byte) {
 		path := filepath.Join(dir, name)
 		sess, err := virtuoso.Open(
 			virtuoso.WithScaledConfig(),
@@ -155,7 +155,7 @@ func TestFastPathEquivalenceReplay(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		m, _, err := sess.Record(path)
+		m, _, err := sess.Record(path, ropts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,17 +177,29 @@ func TestFastPathEquivalenceReplay(t *testing.T) {
 		t.Fatal("trace recorded through the fast lane differs from the reference recording")
 	}
 
-	// Replay the recorded trace under both loops; the batched decode
-	// (Reader fast path + NextBatch) must reproduce the reference replay
-	// byte for byte.
-	replay := func(ref bool) []byte {
-		sess, err := virtuoso.Open(
+	// The same recording equivalence holds for the legacy v1 format —
+	// and the run's metrics are format-independent.
+	fastRep1, fastRaw1 := record(false, "fast1.trc", virtuoso.RecordFormatV1())
+	refRep1, refRaw1 := record(true, "ref1.trc", virtuoso.RecordFormatV1())
+	diffReports(t, fastRep1, refRep1)
+	if !bytes.Equal(fastRaw1, refRaw1) {
+		t.Fatal("v1 trace recorded through the fast lane differs from the reference recording")
+	}
+	diffReports(t, fastRep, fastRep1)
+
+	// Replay the recorded traces under both loops and through every
+	// decode strategy — v2 (block decoder), v1 (streaming), a v1→v2
+	// conversion, and the shared decoded-trace store (cold, then from
+	// memory). Each must reproduce the reference replay byte for byte.
+	replay := func(name string, ref bool, extra ...virtuoso.Option) []byte {
+		opts := []virtuoso.Option{
 			virtuoso.WithScaledConfig(),
 			tinyScale(),
-			virtuoso.WithTrace(filepath.Join(dir, "fast.trc")),
+			virtuoso.WithTrace(filepath.Join(dir, name)),
 			virtuoso.WithMaxInstructions(fastpathInsts),
 			virtuoso.WithReferencePath(ref),
-		)
+		}
+		sess, err := virtuoso.Open(append(opts, extra...)...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,7 +214,20 @@ func TestFastPathEquivalenceReplay(t *testing.T) {
 		}
 		return data
 	}
-	diffReports(t, replay(false), replay(true))
+	ref := replay("fast.trc", true)
+	diffReports(t, replay("fast.trc", false), ref)
+	diffReports(t, replay("fast1.trc", false), ref)
+	if _, err := virtuoso.ConvertTrace(filepath.Join(dir, "fast1.trc"), filepath.Join(dir, "conv.trc")); err != nil {
+		t.Fatal(err)
+	}
+	diffReports(t, replay("conv.trc", false), ref)
+	store := virtuoso.NewTraceStore(0)
+	diffReports(t, replay("fast.trc", false, virtuoso.WithTraceStore(store)), ref)
+	diffReports(t, replay("fast.trc", false, virtuoso.WithTraceStore(store)), ref)
+	st := store.Stats()
+	if st.Decodes != 1 || st.Hits != 1 {
+		t.Errorf("store replays: decodes=%d hits=%d, want 1/1", st.Decodes, st.Hits)
+	}
 }
 
 func TestFastPathEquivalenceVirtualized(t *testing.T) {

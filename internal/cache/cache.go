@@ -85,11 +85,15 @@ type Cache struct {
 	tags      []uint64 // sets*ways, row-major; (tag<<1)|valid
 	lru       []uint64
 	meta      []uint8
+	rrpv      []uint64 // packed SRRIP only: one word per set, 2 bits per way
 	tick      uint64
 	stats     Stats
 	setShift  uint
 	setMask   uint64
 	setsShift uint // log2(sets): tag extraction shifts instead of dividing
+	packed    bool // SRRIP with ways <= 32: RRPVs live in rrpv, not meta
+	rrpvLo    uint64
+	rrpvHi    uint64
 }
 
 // New builds a cache with the given geometry. sizeBytes/64 must be
@@ -112,18 +116,36 @@ func NewWith(pool *recycle.Pool, name string, sizeBytes uint64, ways int, latenc
 	if mem.NumAccessTypes > 32 {
 		panic("cache: access types no longer fit the packed meta byte")
 	}
-	return &Cache{
+	c := &Cache{
 		name:      name,
 		sets:      sets,
 		ways:      ways,
 		latency:   latency,
 		policy:    policy,
 		tags:      pool.Uint64s(sets * ways),
-		lru:       pool.Uint64s(sets * ways),
 		meta:      pool.Uint8s(sets * ways),
 		setMask:   uint64(sets - 1),
 		setsShift: uint(bits.TrailingZeros(uint(sets))),
 	}
+	// LRU stamps are replacement state only under LRU; SRRIP caches
+	// never read them, so the largest levels skip the allocation.
+	if policy == LRU {
+		c.lru = pool.Uint64s(sets * ways)
+	}
+	// Up to 32 ways the per-way 2-bit RRPVs of an SRRIP set fit one
+	// uint64, so victim selection and aging become a handful of bit
+	// operations instead of a byte loop (wider SRRIP caches keep the
+	// per-way meta loop). Behavior is identical either way.
+	if policy == SRRIP && ways <= 32 {
+		c.packed = true
+		c.rrpv = pool.Uint64s(sets)
+		c.rrpvLo = 0x5555555555555555
+		if ways < 32 {
+			c.rrpvLo &= 1<<(2*uint(ways)) - 1
+		}
+		c.rrpvHi = c.rrpvLo << 1
+	}
+	return c
 }
 
 // Recycle hands the line arrays back to pool; the cache must not be
@@ -133,9 +155,14 @@ func (c *Cache) Recycle(pool *recycle.Pool) {
 		return
 	}
 	pool.PutUint64s(c.tags)
-	pool.PutUint64s(c.lru)
+	if c.policy == LRU {
+		pool.PutUint64s(c.lru)
+	}
 	pool.PutUint8s(c.meta)
-	c.tags, c.lru, c.meta = nil, nil, nil
+	if c.packed {
+		pool.PutUint64s(c.rrpv)
+	}
+	c.tags, c.lru, c.meta, c.rrpv = nil, nil, nil, nil
 }
 
 // Name returns the cache's configured name.
@@ -187,10 +214,15 @@ func (c *Cache) Access(pa mem.PAddr, write bool, t mem.AccessType) bool {
 		if row[w] == enc {
 			c.stats.Hits[t]++
 			i := base + w
-			if c.policy == LRU {
+			switch {
+			case c.policy == LRU:
 				c.lru[i] = c.tick
+				c.meta[i] &^= metaRrpvMask
+			case c.packed:
+				c.rrpv[set] &^= 3 << (uint(w) * 2)
+			default:
+				c.meta[i] &^= metaRrpvMask
 			}
-			c.meta[i] &^= metaRrpvMask
 			if write {
 				c.meta[i] |= metaDirty
 			}
@@ -206,7 +238,29 @@ func (c *Cache) Access(pa mem.PAddr, write bool, t mem.AccessType) bool {
 // eviction occurred. prefetch marks fills triggered by a prefetcher, which
 // insert at distant re-reference (SRRIP) / colder LRU position.
 func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) (mem.PAddr, bool) {
-	c.tick++
+	wbAddr, wb, _ := c.fill(pa, write, t, prefetch, false)
+	return wbAddr, wb
+}
+
+// FillIfAbsent is a fused Lookup+Fill for the prefetch paths: when the
+// line is absent it inserts it exactly like Fill(pa, false, t, true);
+// when present it changes nothing at all (a pure probe, like Lookup).
+// It reports whether the line was already present. Writebacks of
+// evicted dirty lines are not returned — the prefetch fills drop them.
+func (c *Cache) FillIfAbsent(pa mem.PAddr, t mem.AccessType) bool {
+	_, _, present := c.fill(pa, false, t, true, true)
+	return present
+}
+
+// fill implements Fill and FillIfAbsent. probe defers the replacement
+// tick until the line is known absent, so a probe that finds the line
+// leaves the cache untouched; a non-probe fill ticks up front exactly
+// like the historical Fill (the advance on a present line keeps LRU
+// stamp values bit for bit compatible).
+func (c *Cache) fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch, probe bool) (wbAddr mem.PAddr, wb, present bool) {
+	if !probe {
+		c.tick++
+	}
 	set, tag := c.setOf(pa), c.tagOf(pa)
 	enc := tag<<1 | 1
 	base := set * c.ways
@@ -215,14 +269,14 @@ func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) 
 
 	// One pass over the set resolves presence, the first invalid way, and
 	// the policy's victim-selection input together: the LRU stamp of the
-	// oldest way, or the maximum RRPV of the set (SRRIP caches never read
-	// the stamps — see the policy guards below). Once an invalid way is
-	// known the victim is decided, so only presence still needs scanning.
+	// oldest way, or (unpacked SRRIP) the maximum RRPV of the set. Packed
+	// SRRIP scans tags alone — its RRPVs live in one word per set.
 	invalid := -1
 	lruVictim := 0
 	oldest := ^uint64(0)
 	maxR := uint8(0)
-	if c.policy == LRU {
+	switch {
+	case c.policy == LRU:
 		lruRow := c.lru[base : base+c.ways : base+c.ways]
 		for w := range row {
 			e := row[w]
@@ -231,7 +285,7 @@ func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) 
 				if write {
 					metaRow[w] |= metaDirty
 				}
-				return 0, false
+				return 0, false, true
 			}
 			if e == 0 {
 				if invalid < 0 {
@@ -247,14 +301,27 @@ func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) 
 				lruVictim = w
 			}
 		}
-	} else {
+	case c.packed:
 		for w := range row {
 			e := row[w]
 			if e == enc {
 				if write {
 					metaRow[w] |= metaDirty
 				}
-				return 0, false
+				return 0, false, true
+			}
+			if e == 0 && invalid < 0 {
+				invalid = w
+			}
+		}
+	default:
+		for w := range row {
+			e := row[w]
+			if e == enc {
+				if write {
+					metaRow[w] |= metaDirty
+				}
+				return 0, false, true
 			}
 			if e == 0 {
 				if invalid < 0 {
@@ -267,33 +334,55 @@ func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) 
 			}
 		}
 	}
+	if probe {
+		c.tick++
+	}
 
 	victim := -1
-	if invalid >= 0 {
+	switch {
+	case invalid >= 0:
 		victim = base + invalid
-	} else {
-		switch c.policy {
-		case LRU:
-			victim = base + lruVictim
-		case SRRIP:
-			// Equivalent to the textbook "age all until some way reaches
-			// srripMax" loop: every way ages by the same deficit, and the
-			// victim is the first way that started at the maximum RRPV.
-			age := uint8(srripMax) - maxR
-			for w := range metaRow {
-				r := metaRow[w] & metaRrpvMask >> metaRrpvShift
-				if victim < 0 && r == maxR {
-					victim = base + w
-				}
-				if age > 0 {
-					metaRow[w] += age << metaRrpvShift
-				}
+	case c.policy == LRU:
+		victim = base + lruVictim
+	case c.packed:
+		// Bit-parallel form of the textbook "age all until some way
+		// reaches srripMax" loop over the packed 2-bit fields: classify
+		// the maximum RRPV from the field bit planes, take the first way
+		// holding it, and age every field by the same deficit (no field
+		// can carry: all end at most at srripMax).
+		r := c.rrpv[set]
+		var age uint64
+		if f3 := r >> 1 & r & c.rrpvLo; f3 != 0 {
+			victim = base + bits.TrailingZeros64(f3)>>1
+		} else if hi := r & c.rrpvHi; hi != 0 {
+			victim = base + bits.TrailingZeros64(hi)>>1
+			age = 1
+		} else if r != 0 {
+			victim = base + bits.TrailingZeros64(r)>>1
+			age = 2
+		} else {
+			victim = base
+			age = 3
+		}
+		if age != 0 {
+			c.rrpv[set] = r + age*c.rrpvLo
+		}
+	default:
+		// Equivalent to the textbook "age all until some way reaches
+		// srripMax" loop: every way ages by the same deficit, and the
+		// victim is the first way that started at the maximum RRPV.
+		age := uint8(srripMax) - maxR
+		for w := range metaRow {
+			r := metaRow[w] & metaRrpvMask >> metaRrpvShift
+			if victim < 0 && r == maxR {
+				victim = base + w
+			}
+			if age > 0 {
+				metaRow[w] += age << metaRrpvShift
 			}
 		}
 	}
 
-	var wbAddr mem.PAddr
-	var wb bool
 	if c.tags[victim] != 0 {
 		c.stats.Evictions++
 		if c.meta[victim]&metaDirty != 0 {
@@ -303,11 +392,18 @@ func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) 
 		}
 	}
 	c.tags[victim] = enc
-	m := uint8(srripMax-1)<<metaRrpvShift | uint8(t)<<metaTypeShift
+	m := uint8(t) << metaTypeShift
+	if !c.packed {
+		m |= uint8(srripMax-1) << metaRrpvShift
+	}
 	if write {
 		m |= metaDirty
 	}
 	c.meta[victim] = m
+	if c.packed {
+		sh := uint(victim-base) * 2
+		c.rrpv[set] = c.rrpv[set]&^(3<<sh) | uint64(srripMax-1)<<sh
+	}
 	if prefetch {
 		c.stats.PrefetchFills++
 	}
@@ -319,7 +415,7 @@ func (c *Cache) Fill(pa mem.PAddr, write bool, t mem.AccessType, prefetch bool) 
 			c.lru[victim] = c.tick - uint64(c.ways) // colder LRU position
 		}
 	}
-	return wbAddr, wb
+	return wbAddr, wb, false
 }
 
 func (c *Cache) reconstruct(tag uint64, set int) mem.PAddr {
@@ -336,8 +432,13 @@ func (c *Cache) Invalidate(pa mem.PAddr) bool {
 		if c.tags[base+w] == enc {
 			d := c.meta[base+w]&metaDirty != 0
 			c.tags[base+w] = 0
-			c.lru[base+w] = 0
+			if c.policy == LRU {
+				c.lru[base+w] = 0
+			}
 			c.meta[base+w] = 0
+			if c.packed {
+				c.rrpv[set] &^= 3 << (uint(w) * 2)
+			}
 			return d
 		}
 	}

@@ -164,29 +164,32 @@ func (h *Hierarchy) fillAll(la mem.PAddr, write bool, t mem.AccessType, now uint
 
 // prefetchFill services an L1D prefetch: it pulls the line to L1D,
 // fetching from lower levels as needed (latency hidden, bandwidth and
-// occupancy modeled).
+// occupancy modeled). Each level is probed and filled in one scan via
+// FillIfAbsent; every level sees the same per-cache operation sequence
+// as the historical probe-then-fill form, so simulated state is
+// identical — the fused form just avoids rescanning each set.
 func (h *Hierarchy) prefetchFill(la mem.PAddr, t mem.AccessType, now uint64) {
-	if h.L1D.Lookup(la) {
+	if h.L1D.FillIfAbsent(la, t) {
 		return
 	}
-	if !h.L2.Lookup(la) && !h.L3.Lookup(la) {
-		h.Dram.Access(la, false, t, now)
-		h.L3.Fill(la, false, t, true)
-		h.L2.Fill(la, false, t, true)
+	// L2 and L3 are filled only when the line was in neither (an
+	// L3-only hit leaves L2 untouched), so L2 needs a separate probe.
+	if !h.L2.Lookup(la) {
+		if !h.L3.FillIfAbsent(la, t) {
+			h.Dram.Access(la, false, t, now)
+			h.L2.Fill(la, false, t, true)
+		}
 	}
-	h.L1D.Fill(la, false, t, true)
 }
 
 // prefetchFillL2 services an L2 stream prefetch.
 func (h *Hierarchy) prefetchFillL2(la mem.PAddr, t mem.AccessType, now uint64) {
-	if h.L2.Lookup(la) {
+	if h.L2.FillIfAbsent(la, t) {
 		return
 	}
-	if !h.L3.Lookup(la) {
+	if !h.L3.FillIfAbsent(la, t) {
 		h.Dram.Access(la, false, t, now)
-		h.L3.Fill(la, false, t, true)
 	}
-	h.L2.Fill(la, false, t, true)
 }
 
 // AccessPTE performs a page-table access on behalf of the hardware walker.

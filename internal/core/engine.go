@@ -138,6 +138,15 @@ type Config struct {
 	// opens its own reader, so concurrent systems may replay one file.
 	TracePath string
 
+	// TraceShared, when non-nil, serves TracePath replays from a shared
+	// decoded-trace store: each distinct trace content is decoded once
+	// per process and every replay streams from the in-memory copy.
+	// Sweeps replaying a few traces across many configurations set this;
+	// single runs leave it nil and decode on the fly. Excluded from JSON
+	// (like ReferencePath) so sweep-spec hashes do not depend on how the
+	// trace bytes reach the engine.
+	TraceShared *trace.Shared `json:"-"`
+
 	// RefNoise adds the OS-noise components of the reference ("real")
 	// system that MimicOS deliberately omits — used as ground truth in
 	// the §7.2 validation experiments.
@@ -488,6 +497,14 @@ func (s *System) Recycle(pool *recycle.Pool) {
 	}
 }
 
+// ReleaseTransients donates process-global reusable buffers — today
+// the kernel tracer's event stream, a simulation's largest repeat
+// allocation — for adoption by future unpooled systems. Single-use
+// sessions call it once their run has finished; the system stays
+// usable (a later kernel event just regrows a buffer). Pooled systems
+// use Recycle, which harvests into the worker's pool instead.
+func (s *System) ReleaseTransients() { s.OS.ReleaseStream() }
+
 // buildDesignFor constructs the configured translation design bound to
 // one process's page table and design state. Every process owns its own
 // design instance (its page-table root, walk caches, range/VMA tables),
@@ -760,13 +777,19 @@ func (s *System) makeFrontend(w *workloads.Workload) isa.Source {
 // (recorded traces replay unchanged).
 func (s *System) makeFrontendSeeded(w *workloads.Workload, salt uint64) isa.Source {
 	if s.Cfg.TracePath != "" {
-		// The fast lane decodes ahead of the simulation on a filler
-		// goroutine; the reference path keeps the plain inline-decode
-		// source, so TestFastPathEquivalenceReplay also proves the
-		// prefetcher stream-identical.
-		open := trace.MustOpenSource
-		if !s.Cfg.ReferencePath {
-			open = trace.MustOpenPrefetchSource
+		// The fast lane picks the quickest decode strategy for the file
+		// and machine (parallel block decode for v2, decode-ahead ring
+		// for v1, inline on one CPU) — or streams from the shared
+		// decoded-trace store when the caller provides one. The
+		// reference path keeps the plain inline-decode source, so
+		// TestFastPathEquivalenceReplay also proves every variant
+		// stream-identical.
+		open := trace.MustOpenReplaySource
+		switch {
+		case s.Cfg.ReferencePath:
+			open = trace.MustOpenSource
+		case s.Cfg.TraceShared != nil:
+			open = s.Cfg.TraceShared.MustOpen
 		}
 		switch s.Cfg.Frontend {
 		case FrontendTrace:

@@ -268,22 +268,23 @@ func (s *System) RunMulti(ws []*workloads.Workload) (MultiMetrics, error) {
 		p.W.Setup(s.OS, p.PID)
 	}
 	s.OS.Tracer.Begin()
+	// Finished processes close their sources (and nil them) at exit;
+	// this releases the rest when cancellation stops the schedule early
+	// or a frontend fails to open partway through the loop below
+	// (file-backed sources hold descriptors and decode goroutines).
+	defer func() {
+		for _, p := range s.procs {
+			if p.src != nil {
+				closeSource(p.src)
+			}
+		}
+	}()
 	for _, p := range s.procs {
 		p.src = s.makeFrontendSeeded(p.W, frontendSalt(p.PID))
 		if !s.Cfg.ReferencePath {
 			p.buf = make([]isa.Inst, batchSize)
 		}
 	}
-	// Finished processes close their sources at exit; this releases the
-	// rest when cancellation stops the schedule early (file-backed
-	// sources hold descriptors).
-	defer func() {
-		for _, p := range s.procs {
-			if !p.finished && p.src != nil {
-				closeSource(p.src)
-			}
-		}
-	}()
 
 	mm := MultiMetrics{Mix: mix, Quantum: quantum, ASIDRetention: s.Cfg.ASIDRetention}
 
@@ -349,6 +350,7 @@ sched:
 		p.addSlice(snapCore, *s.Core.Stats(), snapMMU, *s.MMU.Stats())
 		if p.finished {
 			closeSource(p.src)
+			p.src = nil
 			// Exit and reap: VMAs torn down, frames freed, the ASID
 			// flushed hierarchy-wide (exit notifier) and recycled. In
 			// imitation mode the traced do_exit/teardown stream is

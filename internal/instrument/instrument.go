@@ -46,6 +46,7 @@ type frame struct {
 	name  string
 	start uint64
 	pc    uint64
+	st    *RoutineStat // resolved once at Enter; memStat runs per kernel mem-op
 }
 
 // NewTracer returns an empty tracer.
@@ -102,7 +103,7 @@ func (t *Tracer) Enter(name string) func() {
 	// Each routine occupies a 16 KB synthetic code region derived from
 	// its name.
 	t.pc = 0xffff_8000_0000_0000 | (xrand.Hash64(hashName(name), 0x05) & 0x3fff_ffff << 14)
-	t.routine = append(t.routine, frame{name: name, start: start, pc: prevPC})
+	t.routine = append(t.routine, frame{name: name, start: start, pc: prevPC, st: st})
 	t.emit(isa.Inst{Op: isa.OpBranch, Count: 1, PC: t.pc, Phys: true}) // call
 	return func() {
 		t.emit(isa.Inst{Op: isa.OpBranch, Count: 1, PC: t.pc, Phys: true}) // ret
@@ -194,8 +195,8 @@ func (t *Tracer) Magic() {
 }
 
 func (t *Tracer) memStat() {
-	if len(t.routine) > 0 {
-		t.stats[t.routine[len(t.routine)-1].name].MemOps++
+	if n := len(t.routine); n > 0 {
+		t.routine[n-1].st.MemOps++
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/recycle"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -75,6 +76,12 @@ type Options struct {
 	// worker goroutines; calls are serialised, so the callback needs no
 	// locking of its own.
 	Progress func(done, total int, out Outcome)
+	// Traces, when non-nil, serves trace-replay jobs (Cfg.TracePath
+	// set) from a shared decoded-trace store: each distinct trace
+	// content is decoded once per batch instead of once per job. A job
+	// whose Cfg already carries its own store keeps it. Results are
+	// byte-identical with or without the store.
+	Traces *trace.Shared
 }
 
 // Run executes jobs on at most parallel concurrent workers (<= 0 means
@@ -159,7 +166,11 @@ func RunOpts(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 				pool = recycle.New()
 			}
 			for i := range idx {
-				out := runJob(jobs[i], i, cancelled, pool)
+				job := jobs[i]
+				if opts.Traces != nil && job.Cfg.TracePath != "" && job.Cfg.TraceShared == nil {
+					job.Cfg.TraceShared = opts.Traces
+				}
+				out := runJob(job, i, cancelled, pool)
 				outs[i] = out
 				if out.Err != nil {
 					fail(out.Err)

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/isa"
+)
+
+// Convert rewrites the trace at src into the v2 container at dst,
+// preserving the header and every record (the record stream is
+// byte-identical under decode; only the framing changes). src may be
+// any readable version — converting a v2 file re-blocks it. dst is
+// written atomically: a temporary file in dst's directory is renamed
+// over dst only after a successful Close, so a failed conversion never
+// leaves a truncated trace behind.
+func Convert(src, dst string) (Info, error) {
+	r, err := Open(src)
+	if err != nil {
+		return Info{}, err
+	}
+	defer r.Close()
+
+	tmp, err := os.CreateTemp(filepath.Dir(dst), ".vtrc-convert-*")
+	if err != nil {
+		return Info{}, fmt.Errorf("trace: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if tmpName != "" {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	w := NewWriterV2(tmp)
+	if err := w.WriteHeader(r.Header()); err != nil {
+		return Info{}, err
+	}
+	var in isa.Inst
+	for {
+		err := r.Read(&in)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Info{}, err
+		}
+		if err := w.WriteInst(in); err != nil {
+			return Info{}, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return Info{}, err
+	}
+	info := Info{
+		Header:     r.Header(),
+		Records:    w.Records(),
+		Insts:      w.Insts(),
+		MemOps:     w.MemOps(),
+		Compressed: true,
+		Version:    Version2,
+		Blocks:     w.Blocks(),
+		IndexBytes: w.IndexBytes(),
+		RawBytes:   w.RawBytes(),
+		CompBytes:  w.CompBytes(),
+	}
+	if err := tmp.Sync(); err != nil {
+		return Info{}, fmt.Errorf("trace: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return Info{}, fmt.Errorf("trace: %w", err)
+	}
+	if err := os.Rename(tmpName, dst); err != nil {
+		return Info{}, fmt.Errorf("trace: %w", err)
+	}
+	tmpName = ""
+	return info, nil
+}

@@ -4,42 +4,55 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/isa"
 )
 
+// fuzzTraceBytes serialises the shared test trace in the given format
+// for seeding the fuzz corpus.
+func fuzzTraceBytes(f *testing.F, version int, compress bool) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	var w *Writer
+	if version == Version2 {
+		w = NewWriterV2(&buf)
+	} else {
+		w = NewWriter(&buf, compress)
+	}
+	if err := w.WriteHeader(testHeader()); err != nil {
+		f.Fatal(err)
+	}
+	for _, in := range testInsts() {
+		if err := w.WriteInst(in); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // FuzzReader feeds arbitrary bytes to the trace decoder. The contract
 // under fuzz: corrupt or truncated input must surface as an
 // ErrCorrupt-wrapped error (or a clean io.EOF at a record boundary) —
 // never a panic, never an unbounded allocation, and never a bare
-// undiagnosable error. Both the uncompressed and the gzip envelope are
-// exercised on every input.
+// undiagnosable error. Every input is exercised through the sequential
+// Reader (which sniffs the envelope and version) and, written to a
+// file, through the seekable index path (ReadInfo).
 func FuzzReader(f *testing.F) {
-	// Seed corpus: a valid trace, its gzip form, prefixes that truncate
-	// the header and the record stream, targeted corruptions (bad magic,
-	// bad version, reserved control bit, flag bits), and junk.
-	var plain, gz bytes.Buffer
-	for _, seed := range []struct {
-		buf      *bytes.Buffer
-		compress bool
-	}{{&plain, false}, {&gz, true}} {
-		w := NewWriter(seed.buf, seed.compress)
-		if err := w.WriteHeader(testHeader()); err != nil {
-			f.Fatal(err)
-		}
-		for _, in := range testInsts() {
-			if err := w.WriteInst(in); err != nil {
-				f.Fatal(err)
-			}
-		}
-		if err := w.Close(); err != nil {
-			f.Fatal(err)
-		}
-	}
-	valid := plain.Bytes()
+	// Seed corpus: valid v1 (plain and gzip) and v2 traces, prefixes
+	// that truncate the header, the record stream, the v2 footer and
+	// trailer, targeted corruptions (bad magic, bad version, reserved
+	// control bit, flag bits, block CRCs, index bytes), and junk.
+	valid := fuzzTraceBytes(f, Version1, false)
+	v2 := fuzzTraceBytes(f, Version2, false)
 	f.Add(valid)
-	f.Add(gz.Bytes())
+	f.Add(fuzzTraceBytes(f, Version1, true))
+	f.Add(v2)
 	f.Add([]byte{})
 	f.Add([]byte("VTRC"))
 	f.Add(valid[:8])
@@ -58,16 +71,31 @@ func FuzzReader(f *testing.F) {
 		c[mut.off] ^= mut.bit
 		f.Add(c)
 	}
+	// v2-specific seeds: truncated footer (index/trailer cut off),
+	// truncated trailer, corrupt block payload CRC, index/offset
+	// mismatch (a flipped byte inside the serialised index), and a
+	// trailer pointing past the file.
+	f.Add(v2[:len(v2)-trailerSize])
+	f.Add(v2[:len(v2)-trailerSize/2])
+	f.Add(v2[:len(v2)-trailerSize-3])
+	for _, off := range []int{
+		len(v2) / 2,               // inside a block payload (CRC breaks)
+		len(v2) - trailerSize - 2, // inside the index (index CRC breaks)
+		len(v2) - trailerSize + 1, // inside the trailer's index offset
+		len(v2) - 2,               // inside the trailer magic
+	} {
+		c := append([]byte(nil), v2...)
+		c[off] ^= 0x40
+		f.Add(c)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		for _, compressed := range []bool{false, true} {
-			r, err := NewReader(bytes.NewReader(data), compressed)
-			if err != nil {
-				if !errors.Is(err, ErrCorrupt) {
-					t.Fatalf("compressed=%v: NewReader error not ErrCorrupt: %v", compressed, err)
-				}
-				continue
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("NewReader error not ErrCorrupt: %v", err)
 			}
+		} else {
 			var in isa.Inst
 			for i := 0; i < 1<<16; i++ {
 				err := r.Read(&in)
@@ -75,11 +103,21 @@ func FuzzReader(f *testing.F) {
 					continue
 				}
 				if !errors.Is(err, io.EOF) && !errors.Is(err, ErrCorrupt) {
-					t.Fatalf("compressed=%v: Read error neither EOF nor ErrCorrupt: %v", compressed, err)
+					t.Fatalf("Read error neither EOF nor ErrCorrupt: %v", err)
 				}
 				break
 			}
 			r.Close()
+		}
+
+		// The seekable side: ReadInfo consults the v2 trailer and index
+		// when present, and must uphold the same contract.
+		path := filepath.Join(t.TempDir(), "fuzz.trc")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadInfo(path); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("ReadInfo error not ErrCorrupt: %v", err)
 		}
 	})
 }

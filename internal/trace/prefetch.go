@@ -61,6 +61,13 @@ func OpenPrefetchSource(path string) (isa.Source, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newPrefetchSource(path, r), nil
+}
+
+// newPrefetchSource wraps an already-open Reader in the decode-ahead
+// ring and starts its filler goroutine; the source takes ownership of
+// the Reader.
+func newPrefetchSource(path string, r *Reader) *prefetchSource {
 	s := &prefetchSource{
 		path: path,
 		r:    r,
@@ -73,7 +80,7 @@ func OpenPrefetchSource(path string) (isa.Source, error) {
 	}
 	s.wg.Add(1)
 	go s.fill()
-	return s, nil
+	return s
 }
 
 // MustOpenPrefetchSource is OpenPrefetchSource, panicking on error (the

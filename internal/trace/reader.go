@@ -2,10 +2,13 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"compress/gzip"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -20,28 +23,54 @@ import (
 // clean io.EOF. Each Reader carries its own cursor and delta-decode
 // state — concurrent replays of one file open one Reader each and never
 // share anything.
+//
+// The Reader handles both format versions transparently: it sniffs the
+// gzip envelope by magic bytes (never by file extension) and
+// dispatches on the major version in the header. v2 blocks are decoded
+// one at a time into a reusable buffer, so sequential reads of a v2
+// file still hold only a block's worth of memory.
 type Reader struct {
 	file *os.File
 	gz   *gzip.Reader
 	br   *bufio.Reader
 
 	hdr      Header
+	version  int
 	prevPC   uint64
 	prevAddr uint64
 
 	records uint64
 	insts   uint64
 	memOps  uint64
+
+	// v2 sequential-decode state: the current block's compressed and
+	// inflated payloads (reused across blocks), the cursor into the
+	// inflated bytes, and the per-block record/count bookkeeping used
+	// to cross-check the block header.
+	comp      []byte
+	raw       []byte
+	rawPos    int
+	blkLeft   uint64
+	blkInsts  uint64
+	blkMemOps uint64
+	blocks    uint64
+	rawBytes  uint64
+	compBytes uint64
+	v2eof     bool
+	fr        io.ReadCloser
+	frSrc     bytes.Reader
 }
 
-// Open opens path and decodes its header. A ".gz" extension selects the
-// gzip envelope, mirroring Create.
+// Open opens path and decodes its header. The gzip envelope and the
+// format version are sniffed from the file's leading bytes; the file
+// extension is never consulted, so a misnamed file fails loudly with
+// ErrCorrupt instead of a confusing mid-stream error.
 func Open(path string) (*Reader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	r, err := NewReader(f, Compressed(path))
+	r, err := NewReader(f)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("trace: %s: %w", path, err)
@@ -50,20 +79,26 @@ func Open(path string) (*Reader, error) {
 	return r, nil
 }
 
-// NewReader wraps an arbitrary io.Reader and decodes the header. The
-// caller owns the underlying reader; Close releases only what the
-// Reader itself allocated.
-func NewReader(in io.Reader, compressed bool) (*Reader, error) {
+// NewReader wraps an arbitrary io.Reader and decodes the header,
+// sniffing the gzip envelope and format version from the leading
+// bytes. The caller owns the underlying reader; Close releases only
+// what the Reader itself allocated.
+func NewReader(in io.Reader) (*Reader, error) {
 	r := &Reader{}
-	if compressed {
-		gz, err := gzip.NewReader(in)
+	br := bufio.NewReaderSize(in, 1<<16)
+	lead, err := br.Peek(2)
+	if err != nil {
+		return nil, corruptf("short header: %v", eofErr(err))
+	}
+	if lead[0] == 0x1f && lead[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
 		if err != nil {
 			return nil, corruptf("gzip envelope: %v", err)
 		}
 		r.gz = gz
 		r.br = bufio.NewReaderSize(gz, 1<<16)
 	} else {
-		r.br = bufio.NewReaderSize(in, 1<<16)
+		r.br = br
 	}
 	if err := r.readHeader(); err != nil {
 		return nil, err
@@ -74,6 +109,15 @@ func NewReader(in io.Reader, compressed bool) (*Reader, error) {
 // Header returns the decoded file header.
 func (r *Reader) Header() Header { return r.hdr }
 
+// Compressed reports whether the stream's record section is
+// compressed: a gzip envelope around the whole file, or the
+// always-block-compressed v2 container.
+func (r *Reader) Compressed() bool { return r.gz != nil || r.version == Version2 }
+
+// Version returns the file's major format version (Version1 or
+// Version2).
+func (r *Reader) Version() int { return r.version }
+
 func (r *Reader) readHeader() error {
 	var fixed [8]byte
 	if _, err := io.ReadFull(r.br, fixed[:]); err != nil {
@@ -82,8 +126,12 @@ func (r *Reader) readHeader() error {
 	if string(fixed[:4]) != Magic {
 		return corruptf("bad magic %q (want %q)", fixed[:4], Magic)
 	}
-	if fixed[4] != Version1 {
-		return corruptf("unsupported major version %d (reader knows %d)", fixed[4], Version1)
+	switch fixed[4] {
+	case Version1, Version2:
+		r.version = int(fixed[4])
+	default:
+		return corruptf("unsupported major version %d (reader knows %d and %d)",
+			fixed[4], Version1, Version2)
 	}
 	// fixed[5] is the minor version: additive, ignored on read.
 	if flags := binary.LittleEndian.Uint16(fixed[6:8]); flags != 0 {
@@ -153,14 +201,18 @@ const maxRecordBytes = 1 + 3*binary.MaxVarintLen64
 // at a clean end of trace and an ErrCorrupt-wrapped error when the
 // stream ends mid-record or a record is malformed.
 //
-// The fast path peeks a full worst-case record out of the buffer and
+// The v1 fast path peeks a full worst-case record out of the buffer and
 // decodes it in place with the slice-based varint routines, consuming
 // it with one Discard — no per-byte interface dispatch, no allocation.
 // Near end of stream (or on a varint the window cannot resolve) it
 // falls back to readSlow, which consumes byte-at-a-time and reports
 // truncation precisely. Delta state is committed only after the whole
-// record decodes, so the fallback never sees half-applied deltas.
+// record decodes, so the fallback never sees half-applied deltas. The
+// v2 path decodes straight out of the current inflated block.
 func (r *Reader) Read(out *isa.Inst) error {
+	if r.version == Version2 {
+		return r.read2(out)
+	}
 	buf, err := r.br.Peek(maxRecordBytes)
 	if err != nil {
 		return r.readSlow(out)
@@ -218,9 +270,190 @@ func (r *Reader) Read(out *isa.Inst) error {
 	return nil
 }
 
-// readSlow is the byte-at-a-time record decoder: the reference path the
-// Peek fast lane falls back to when fewer than maxRecordBytes remain
-// buffered (end of stream) or a varint fails to resolve in the window.
+// read2 decodes the next record from the current v2 block, loading the
+// next block when the current one is drained. Record decoding mirrors
+// the v1 fast path but runs over a fully in-memory slice, so there is
+// no slow fallback: any short varint means a malformed block.
+func (r *Reader) read2(out *isa.Inst) error {
+	if r.blkLeft == 0 {
+		if err := r.loadBlock(); err != nil {
+			return err
+		}
+	}
+	buf := r.raw[r.rawPos:]
+	if len(buf) == 0 {
+		return corruptf("block %d: payload underruns its record count", r.blocks-1)
+	}
+	ctrl := buf[0]
+	if ctrl&ctrlReserved != 0 {
+		return corruptf("record %d: reserved control bit set (%#02x)", r.records, ctrl)
+	}
+	*out = isa.Inst{Op: isa.Op(ctrl & ctrlOpMask), Phys: ctrl&ctrlPhys != 0, Count: 1}
+	n := 1
+	pc, addr := r.prevPC, r.prevAddr
+	if ctrl&ctrlHasPC != 0 {
+		d, k := binary.Varint(buf[n:])
+		if k <= 0 {
+			return corruptf("record %d: truncated pc delta", r.records)
+		}
+		n += k
+		pc += uint64(d)
+	}
+	out.PC = pc
+	if ctrl&ctrlHasCount != 0 {
+		c, k := binary.Uvarint(buf[n:])
+		if k <= 0 {
+			return corruptf("record %d: truncated count", r.records)
+		}
+		if c < 2 || c > 1<<32-1 {
+			return corruptf("record %d: count %d out of range", r.records, c)
+		}
+		n += k
+		out.Count = uint32(c)
+	}
+	if ctrl&ctrlHasAddr != 0 {
+		if !out.Op.HasMemOperand() {
+			return corruptf("record %d: address on %v op", r.records, out.Op)
+		}
+		d, k := binary.Varint(buf[n:])
+		if k <= 0 {
+			return corruptf("record %d: truncated addr delta", r.records)
+		}
+		n += k
+		addr += uint64(d)
+		out.Addr = addr
+	} else if out.Op.HasMemOperand() {
+		return corruptf("record %d: %v op without address", r.records, out.Op)
+	}
+	r.rawPos += n
+	r.prevPC, r.prevAddr = pc, addr
+	r.records++
+	cnt := out.N()
+	if out.Op != isa.OpDelay {
+		r.insts += cnt
+		r.blkInsts += cnt
+	}
+	if out.Op.HasMemOperand() {
+		r.memOps += cnt
+		r.blkMemOps += cnt
+	}
+	r.blkLeft--
+	if r.blkLeft == 0 {
+		return r.finishBlock()
+	}
+	return nil
+}
+
+// finishBlock cross-checks a fully decoded block against its header:
+// the payload must be exactly consumed and the decoded counts must
+// match the declared ones, so a block whose header and body disagree
+// (an index/offset mixup, a spliced file) is corrupt rather than a
+// silently wrong replay.
+func (r *Reader) finishBlock() error {
+	if r.rawPos != len(r.raw) {
+		return corruptf("block %d: %d trailing payload bytes", r.blocks-1, len(r.raw)-r.rawPos)
+	}
+	if r.blkInsts != 0 || r.blkMemOps != 0 {
+		return corruptf("block %d: decoded counts disagree with block header (insts off by %d, mem ops by %d)",
+			r.blocks-1, r.blkInsts, r.blkMemOps)
+	}
+	return nil
+}
+
+// loadBlock reads the next block header, verifies the payload CRC, and
+// inflates it into the reusable raw buffer. It returns io.EOF at the
+// sentinel that ends the block section.
+func (r *Reader) loadBlock() error {
+	if r.v2eof {
+		return io.EOF
+	}
+	nRec, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return corruptf("block %d: header: %v", r.blocks, eofErr(err))
+	}
+	if nRec == 0 {
+		// Sentinel: the record section is over. The index and trailer
+		// that follow are for seekable readers; a sequential pass
+		// simply stops here.
+		r.v2eof = true
+		return io.EOF
+	}
+	if nRec > blockRecords {
+		return corruptf("block %d: record count %d exceeds %d", r.blocks, nRec, blockRecords)
+	}
+	nInsts, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return corruptf("block %d: inst count: %v", r.blocks, eofErr(err))
+	}
+	nMemOps, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return corruptf("block %d: mem-op count: %v", r.blocks, eofErr(err))
+	}
+	rawLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return corruptf("block %d: raw length: %v", r.blocks, eofErr(err))
+	}
+	if rawLen < nRec || rawLen > maxBlockRaw {
+		return corruptf("block %d: raw length %d out of range", r.blocks, rawLen)
+	}
+	compLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return corruptf("block %d: compressed length: %v", r.blocks, eofErr(err))
+	}
+	if compLen == 0 || compLen > maxBlockComp {
+		return corruptf("block %d: compressed length %d out of range", r.blocks, compLen)
+	}
+	if uint64(cap(r.comp)) < compLen {
+		r.comp = make([]byte, compLen)
+	}
+	r.comp = r.comp[:compLen]
+	if _, err := io.ReadFull(r.br, r.comp); err != nil {
+		return corruptf("block %d: truncated payload: %v", r.blocks, eofErr(err))
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r.br, crcb[:]); err != nil {
+		return corruptf("block %d: truncated CRC: %v", r.blocks, eofErr(err))
+	}
+	want := binary.LittleEndian.Uint32(crcb[:])
+	if got := crc32.ChecksumIEEE(r.comp); got != want {
+		return corruptf("block %d: CRC mismatch (got %#x, want %#x)", r.blocks, got, want)
+	}
+	if uint64(cap(r.raw)) < rawLen {
+		r.raw = make([]byte, rawLen)
+	}
+	r.raw = r.raw[:rawLen]
+	r.frSrc.Reset(r.comp)
+	if r.fr == nil {
+		r.fr = flate.NewReader(&r.frSrc)
+	} else if err := r.fr.(flate.Resetter).Reset(&r.frSrc, nil); err != nil {
+		return corruptf("block %d: flate reset: %v", r.blocks, err)
+	}
+	if _, err := io.ReadFull(r.fr, r.raw); err != nil {
+		return corruptf("block %d: inflate: %v", r.blocks, eofErr(err))
+	}
+	var one [1]byte
+	if n, _ := r.fr.Read(one[:]); n != 0 {
+		return corruptf("block %d: inflates past its declared raw length %d", r.blocks, rawLen)
+	}
+	r.rawPos = 0
+	r.blkLeft = nRec
+	// Per-block delta reset: each block decodes from a zero base, so
+	// blocks are independently decodable.
+	r.prevPC, r.prevAddr = 0, 0
+	// Decoded counts subtract from the declared ones; finishBlock
+	// requires both to land on exactly zero.
+	r.blkInsts = -nInsts
+	r.blkMemOps = -nMemOps
+	r.blocks++
+	r.rawBytes += rawLen
+	r.compBytes += compLen
+	return nil
+}
+
+// readSlow is the byte-at-a-time v1 record decoder: the reference path
+// the Peek fast lane falls back to when fewer than maxRecordBytes
+// remain buffered (end of stream) or a varint fails to resolve in the
+// window.
 func (r *Reader) readSlow(out *isa.Inst) error {
 	ctrl, err := r.br.ReadByte()
 	if err == io.EOF {

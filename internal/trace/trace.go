@@ -7,19 +7,31 @@
 // through core.FrontendTrace or core.FrontendMemTrace — or shipped to a
 // different simulator entirely.
 //
-// A trace file is:
+// A v2 trace file (the current writer default) is:
 //
-//	[optional gzip envelope, keyed off a ".gz" file extension]
-//	  header  — magic "VTRC", version, flags, workload metadata,
-//	            and the VMA layout Setup must replay
-//	  records — one varint/delta-encoded record per instruction,
-//	            until EOF
+//	header  — magic "VTRC", version, flags, workload metadata,
+//	          and the VMA layout Setup must replay
+//	blocks  — fixed-size groups of varint/delta-encoded records,
+//	          each an independent flate frame with its own delta
+//	          state, ended by a sentinel
+//	index   — one entry per block (offset, counts, sizes, CRC)
+//	trailer — fixed-size locator for the index, magic "VTRX"
+//
+// Blocks are independently decodable, so a v2 file is seekable: whole-
+// file counts come from the index without touching the record section,
+// and a worker pool can inflate blocks out of order. A v1 file is a
+// single sequential record stream, optionally inside a whole-file gzip
+// envelope; readers accept both versions forever and sniff the leading
+// magic bytes rather than trusting the file extension.
 //
 // Both the Writer and the Reader stream: neither ever materialises the
-// whole trace in memory, so multi-gigabyte traces cost a few kilobytes
-// of buffer. Readers carry their own cursor and decode state, so
-// concurrent replays of one file (parallel sweeps) simply open one
-// Reader each.
+// whole trace in memory, so multi-gigabyte traces cost at most a
+// block's worth of buffer. Readers carry their own cursor and
+// delta-decode state, so concurrent replays of one file (parallel
+// sweeps) simply open one Reader each. The Shared store is the
+// exception by design: it decodes a file once and hands refcounted
+// read-only cursors over one in-memory copy to every replay point in a
+// sweep.
 //
 // See docs/trace-format.md for the byte-level specification.
 package trace
@@ -35,11 +47,13 @@ import (
 // Magic is the 4-byte file signature.
 const Magic = "VTRC"
 
-// Version1 is the current (and only) major format version. A reader
-// rejects files whose major version it does not know; minor versions
-// are additive and readable by any reader of the same major.
+// Version1 is the legacy sequential-stream format; Version2 is the
+// block-compressed, seekable container the writer emits by default. A
+// reader rejects files whose major version it does not know; minor
+// versions are additive and readable by any reader of the same major.
 const (
 	Version1     = 1
+	Version2     = 2
 	VersionMinor = 0
 )
 

@@ -89,7 +89,7 @@ func TestRoundTrip(t *testing.T) {
 			var buf bytes.Buffer
 			writeTrace(t, &buf, compress, hdr, insts)
 
-			r, err := NewReader(bytes.NewReader(buf.Bytes()), compress)
+			r, err := NewReader(bytes.NewReader(buf.Bytes()))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -121,9 +121,21 @@ func TestRoundTrip(t *testing.T) {
 
 func TestRoundTripFiles(t *testing.T) {
 	dir := t.TempDir()
-	for _, name := range []string{"t.trc", "t.trc.gz"} {
+	for _, tc := range []struct {
+		name    string
+		create  func(string) (*Writer, error)
+		version int
+	}{
+		// Create writes v2 whatever the extension; CreateV1 keys the
+		// gzip envelope off ".gz". Readers sniff, so all four decode.
+		{"t.trc", Create, Version2},
+		{"t.trc.gz", Create, Version2},
+		{"v1.trc", CreateV1, Version1},
+		{"v1.trc.gz", CreateV1, Version1},
+	} {
+		name := tc.name
 		path := filepath.Join(dir, name)
-		w, err := Create(path)
+		w, err := tc.create(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,8 +155,15 @@ func TestRoundTripFiles(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if info.Compressed != strings.HasSuffix(name, ".gz") {
-			t.Errorf("%s: Compressed=%v", name, info.Compressed)
+		if info.Version != tc.version {
+			t.Errorf("%s: Version=%d, want %d", name, info.Version, tc.version)
+		}
+		wantCompressed := tc.version == Version2 || strings.HasSuffix(name, ".gz")
+		if info.Compressed != wantCompressed {
+			t.Errorf("%s: Compressed=%v, want %v", name, info.Compressed, wantCompressed)
+		}
+		if tc.version == Version2 && info.Blocks != 1 {
+			t.Errorf("%s: Blocks=%d, want 1", name, info.Blocks)
 		}
 		if info.Records != uint64(len(testInsts())) {
 			t.Errorf("%s: %d records, want %d", name, info.Records, len(testInsts()))
@@ -165,7 +184,7 @@ func TestCountCanonicalisation(t *testing.T) {
 	// format stores the canonical form.
 	var buf bytes.Buffer
 	writeTrace(t, &buf, false, Header{Workload: "w"}, []isa.Inst{{Op: isa.OpALU, Count: 0, PC: 4}})
-	r, err := NewReader(bytes.NewReader(buf.Bytes()), false)
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +217,7 @@ func TestHeaderErrors(t *testing.T) {
 	corrupt := func(name string, mutate func([]byte) []byte) {
 		t.Run(name, func(t *testing.T) {
 			data := mutate(append([]byte(nil), good...))
-			_, err := NewReader(bytes.NewReader(data), false)
+			_, err := NewReader(bytes.NewReader(data))
 			if err == nil {
 				t.Fatal("NewReader accepted a corrupt header")
 			}
@@ -220,7 +239,7 @@ func TestHeaderErrors(t *testing.T) {
 	})
 
 	t.Run("gzip garbage", func(t *testing.T) {
-		if _, err := NewReader(bytes.NewReader([]byte("not gzip at all")), true); !errors.Is(err, ErrCorrupt) {
+		if _, err := NewReader(bytes.NewReader([]byte("not gzip at all"))); !errors.Is(err, ErrCorrupt) {
 			t.Errorf("got %v, want ErrCorrupt", err)
 		}
 	})
@@ -241,7 +260,7 @@ func TestTruncatedRecords(t *testing.T) {
 	// ErrCorrupt (clean EOF is only legal at a record boundary)…
 	sawCorrupt := false
 	for cut := recStart + 1; cut < len(good); cut++ {
-		r, err := NewReader(bytes.NewReader(good[:cut]), false)
+		r, err := NewReader(bytes.NewReader(good[:cut]))
 		if err != nil {
 			t.Fatalf("cut %d: header rejected: %v", cut, err)
 		}
@@ -267,7 +286,7 @@ func TestTruncatedRecords(t *testing.T) {
 	// …and a reserved control bit is rejected.
 	bad := append([]byte(nil), good[:recStart]...)
 	bad = append(bad, 0x80)
-	r, err := NewReader(bytes.NewReader(bad), false)
+	r, err := NewReader(bytes.NewReader(bad))
 	if err != nil {
 		t.Fatal(err)
 	}

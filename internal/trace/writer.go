@@ -2,9 +2,12 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
+	"compress/flate"
 	"compress/gzip"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"strings"
@@ -14,14 +17,27 @@ import (
 
 // Writer streams a trace to an underlying writer: a fixed header first
 // (WriteHeader), then one record per instruction (WriteInst). It
-// buffers a few kilobytes and never holds more; Close flushes and
-// closes whatever Create opened.
+// buffers at most one record block and never holds more; Close flushes
+// (and, for v2, writes the block index and trailer) and closes whatever
+// Create opened.
+//
+// A Writer emits either format version:
+//
+//   - v2 (Create, NewWriterV2): records are gathered into fixed-size
+//     blocks, each compressed as an independent flate frame with its
+//     own delta-decode state, and Close appends the block index and
+//     trailer that make the file seekable.
+//   - v1 (CreateV1, NewWriter): the legacy single sequential record
+//     stream, optionally inside a whole-file gzip envelope.
 type Writer struct {
 	file *os.File
 	gz   *gzip.Writer
 	bw   *bufio.Writer
+	cw   *countWriter // v2: beneath bw, tracks flushed file offsets
 
+	version    int
 	headerDone bool
+	closed     bool
 	prevPC     uint64
 	prevAddr   uint64
 
@@ -30,14 +46,40 @@ type Writer struct {
 	memOps   uint64
 	segments int
 
+	// v2 block state: the current block's encoded records and counts,
+	// the reusable compressor, and the accumulated index.
+	blkRaw     []byte
+	blkRecords uint64
+	blkInsts   uint64
+	blkMemOps  uint64
+	comp       bytes.Buffer
+	fw         *flate.Writer
+	index      []blockInfo
+	rawBytes   uint64
+	compBytes  uint64
+	indexBytes int
+	v2err      error
+
 	buf [binary.MaxVarintLen64]byte
 }
 
-// Create opens path for writing and returns a Writer over it. A ".gz"
-// extension selects the gzip envelope; any other extension writes the
-// raw format. Call WriteHeader before the first WriteInst, and Close
-// when done.
+// Create opens path for writing and returns a v2 Writer over it. The
+// v2 container is block-compressed regardless of the file extension.
+// Call WriteHeader before the first WriteInst, and Close when done.
 func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	w := NewWriterV2(f)
+	w.file = f
+	return w, nil
+}
+
+// CreateV1 opens path for writing in the legacy v1 format. A ".gz"
+// extension selects the whole-file gzip envelope; any other extension
+// writes the raw v1 stream. Readers accept both versions forever.
+func CreateV1(path string) (*Writer, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
@@ -47,15 +89,16 @@ func Create(path string) (*Writer, error) {
 	return w, nil
 }
 
-// Compressed reports whether path selects the gzip envelope (a ".gz"
-// extension).
+// Compressed reports whether path selects the gzip envelope for a v1
+// writer (a ".gz" extension). Readers do not consult the extension:
+// they sniff the file's leading magic bytes.
 func Compressed(path string) bool { return strings.HasSuffix(path, ".gz") }
 
-// NewWriter returns a Writer over an arbitrary io.Writer, with or
+// NewWriter returns a v1 Writer over an arbitrary io.Writer, with or
 // without the gzip envelope. The caller owns the underlying writer;
 // Close flushes the envelope but does not close it.
 func NewWriter(out io.Writer, compress bool) *Writer {
-	w := &Writer{}
+	w := &Writer{version: Version1}
 	if compress {
 		w.gz = gzip.NewWriter(out)
 		w.bw = bufio.NewWriterSize(w.gz, 1<<16)
@@ -63,6 +106,14 @@ func NewWriter(out io.Writer, compress bool) *Writer {
 		w.bw = bufio.NewWriterSize(out, 1<<16)
 	}
 	return w
+}
+
+// NewWriterV2 returns a v2 Writer over an arbitrary io.Writer. The
+// caller owns the underlying writer; Close appends the index and
+// trailer and flushes, but does not close it.
+func NewWriterV2(out io.Writer) *Writer {
+	cw := &countWriter{w: out}
+	return &Writer{version: Version2, cw: cw, bw: bufio.NewWriterSize(cw, 1<<16)}
 }
 
 // WriteHeader writes the magic, version, and metadata. It must be
@@ -80,13 +131,13 @@ func (w *Writer) WriteHeader(h Header) error {
 	if _, err := w.bw.WriteString(Magic); err != nil {
 		return err
 	}
-	if err := w.bw.WriteByte(Version1); err != nil {
+	if err := w.bw.WriteByte(byte(w.version)); err != nil {
 		return err
 	}
 	if err := w.bw.WriteByte(VersionMinor); err != nil {
 		return err
 	}
-	// Flags: reserved, zero in v1.0.
+	// Flags: reserved, zero in both versions.
 	if _, err := w.bw.Write([]byte{0, 0}); err != nil {
 		return err
 	}
@@ -114,6 +165,9 @@ func (w *Writer) WriteHeader(h Header) error {
 func (w *Writer) WriteInst(in isa.Inst) error {
 	if !w.headerDone {
 		return fmt.Errorf("trace: WriteInst before WriteHeader")
+	}
+	if w.version == Version2 {
+		return w.writeInst2(in)
 	}
 	ctrl := uint8(in.Op) & ctrlOpMask
 	if in.Phys {
@@ -154,6 +208,140 @@ func (w *Writer) WriteInst(in isa.Inst) error {
 	return w.err()
 }
 
+// writeInst2 encodes one record into the current block's raw buffer
+// and seals the block when it reaches blockRecords records. The record
+// encoding is byte-identical to v1; only the framing differs.
+func (w *Writer) writeInst2(in isa.Inst) error {
+	if w.v2err != nil {
+		return w.v2err
+	}
+	ctrl := uint8(in.Op) & ctrlOpMask
+	if in.Phys {
+		ctrl |= ctrlPhys
+	}
+	count := in.N()
+	if count > 1 {
+		ctrl |= ctrlHasCount
+	}
+	if in.PC != w.prevPC {
+		ctrl |= ctrlHasPC
+	}
+	hasAddr := in.Op.HasMemOperand()
+	if hasAddr {
+		ctrl |= ctrlHasAddr
+	}
+	w.blkRaw = append(w.blkRaw, ctrl)
+	if ctrl&ctrlHasPC != 0 {
+		w.blkRaw = binary.AppendVarint(w.blkRaw, int64(in.PC-w.prevPC))
+		w.prevPC = in.PC
+	}
+	if ctrl&ctrlHasCount != 0 {
+		w.blkRaw = binary.AppendUvarint(w.blkRaw, count)
+	}
+	if hasAddr {
+		w.blkRaw = binary.AppendVarint(w.blkRaw, int64(in.Addr-w.prevAddr))
+		w.prevAddr = in.Addr
+	}
+	w.blkRecords++
+	w.records++
+	if in.Op != isa.OpDelay {
+		w.blkInsts += count
+		w.insts += count
+	}
+	if hasAddr {
+		w.blkMemOps += count
+		w.memOps += count
+	}
+	if w.blkRecords >= blockRecords {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock seals the current block: compress it as an independent
+// flate frame, write the block header, payload and CRC, record the
+// index entry, and reset the per-block delta state so the next block
+// decodes from scratch.
+func (w *Writer) flushBlock() error {
+	if w.blkRecords == 0 {
+		return nil
+	}
+	// The index needs the block's exact file offset; flushing the
+	// buffered writer makes the byte count under it current.
+	if err := w.bw.Flush(); err != nil {
+		w.v2err = err
+		return err
+	}
+	off := w.cw.n
+	w.comp.Reset()
+	if w.fw == nil {
+		fw, err := flate.NewWriter(&w.comp, flate.DefaultCompression)
+		if err != nil {
+			w.v2err = err
+			return err
+		}
+		w.fw = fw
+	} else {
+		w.fw.Reset(&w.comp)
+	}
+	if _, err := w.fw.Write(w.blkRaw); err != nil {
+		w.v2err = err
+		return err
+	}
+	if err := w.fw.Close(); err != nil {
+		w.v2err = err
+		return err
+	}
+	crc := crc32.ChecksumIEEE(w.comp.Bytes())
+	w.uvarint(w.blkRecords)
+	w.uvarint(w.blkInsts)
+	w.uvarint(w.blkMemOps)
+	w.uvarint(uint64(len(w.blkRaw)))
+	w.uvarint(uint64(w.comp.Len()))
+	w.bw.Write(w.comp.Bytes())
+	var crcb [4]byte
+	binary.LittleEndian.PutUint32(crcb[:], crc)
+	w.bw.Write(crcb[:])
+	w.index = append(w.index, blockInfo{
+		Off:     off,
+		Records: w.blkRecords,
+		Insts:   w.blkInsts,
+		MemOps:  w.blkMemOps,
+		RawLen:  uint64(len(w.blkRaw)),
+		CompLen: uint64(w.comp.Len()),
+		CRC:     crc,
+	})
+	w.rawBytes += uint64(len(w.blkRaw))
+	w.compBytes += uint64(w.comp.Len())
+	w.blkRaw = w.blkRaw[:0]
+	w.blkRecords, w.blkInsts, w.blkMemOps = 0, 0, 0
+	w.prevPC, w.prevAddr = 0, 0
+	return w.err()
+}
+
+// finishV2 seals the last block and appends the sentinel, the block
+// index, and the trailer.
+func (w *Writer) finishV2() error {
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	w.uvarint(0) // sentinel: a zero record count ends the block section
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	indexOff := w.cw.n
+	idx := appendIndex(nil, w.index)
+	w.indexBytes = len(idx)
+	w.bw.Write(idx)
+	var tr [trailerSize]byte
+	binary.LittleEndian.PutUint64(tr[0:8], indexOff)
+	binary.LittleEndian.PutUint32(tr[8:12], uint32(len(idx)))
+	binary.LittleEndian.PutUint32(tr[12:16], crc32.ChecksumIEEE(idx))
+	copy(tr[16:20], TrailerMagic)
+	w.bw.Write(tr[:])
+	return w.err()
+}
+
 // Records returns the number of records written so far.
 func (w *Writer) Records() uint64 { return w.records }
 
@@ -167,10 +355,41 @@ func (w *Writer) MemOps() uint64 { return w.memOps }
 // Segments returns the number of layout segments in the written header.
 func (w *Writer) Segments() int { return w.segments }
 
-// Close flushes the stream, finishes the gzip envelope if present, and
-// closes the file if the Writer came from Create.
+// Version returns the format version the Writer emits (Version1 or
+// Version2).
+func (w *Writer) Version() int { return w.version }
+
+// Blocks returns the number of sealed v2 blocks; the count is complete
+// only after Close.
+func (w *Writer) Blocks() int { return len(w.index) }
+
+// IndexBytes returns the serialised v2 index size; valid after Close.
+func (w *Writer) IndexBytes() int { return w.indexBytes }
+
+// RawBytes returns the total uncompressed block payload written; valid
+// after Close.
+func (w *Writer) RawBytes() uint64 { return w.rawBytes }
+
+// CompBytes returns the total compressed block payload written; valid
+// after Close.
+func (w *Writer) CompBytes() uint64 { return w.compBytes }
+
+// Close flushes the stream — sealing the final block and writing the
+// index and trailer for v2, finishing the gzip envelope for v1 — and
+// closes the file if the Writer came from Create/CreateV1. Close is
+// idempotent; only the first call writes anything.
 func (w *Writer) Close() error {
-	err := w.bw.Flush()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	var err error
+	if w.version == Version2 && w.headerDone {
+		err = w.finishV2()
+	}
+	if e := w.bw.Flush(); err == nil {
+		err = e
+	}
 	if w.gz != nil {
 		if e := w.gz.Close(); err == nil {
 			err = e
@@ -199,4 +418,18 @@ func (w *Writer) varint(v int64) {
 func (w *Writer) err() error {
 	_, err := w.bw.Write(nil)
 	return err
+}
+
+// countWriter counts bytes written through it; the v2 writer keeps it
+// beneath the buffered writer so flushing yields exact file offsets
+// for the block index.
+type countWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
 }

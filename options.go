@@ -378,3 +378,18 @@ func WithTrace(path string) Option {
 		return nil
 	}
 }
+
+// WithTraceStore serves the session's trace replay (WithTrace) from the
+// given shared decoded-trace store instead of decoding the file
+// inline: the first session replaying a trace content decodes it once,
+// later sessions sharing the store stream from memory. Results are
+// byte-identical either way. For whole grids, set Sweep.Traces instead.
+func WithTraceStore(ts *TraceStore) Option {
+	return func(s *openState) error {
+		if ts == nil {
+			return fmt.Errorf("virtuoso: nil trace store")
+		}
+		s.cfg.TraceShared = ts.shared
+		return nil
+	}
+}

@@ -154,6 +154,15 @@ type Sweep struct {
 	// See docs/sweep-service.md for key semantics and invalidation.
 	Cache string
 
+	// Traces, when non-nil, serves every trace-replay point
+	// (Configure hooks setting Config.TracePath) from a shared
+	// decoded-trace store: each distinct trace content is decoded once
+	// for the whole grid and every other point replays the in-memory
+	// copy. Purely an execution detail — results, SpecHash, and cache
+	// keys are unaffected — so sweeps may add, drop, or resize the
+	// store freely between runs. See NewTraceStore.
+	Traces *TraceStore
+
 	// NoReuse disables per-worker System pooling, forcing fresh
 	// construction for every point. Pooling changes only memory
 	// provenance, never results (TestSweepReuseEquivalence); the knob
@@ -414,9 +423,13 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 	}
 
 	start := time.Now()
-	outs, err := runner.RunOpts(runCtx, jobs, runner.Options{
+	ropts := runner.Options{
 		Parallel: s.Parallel, NoReuse: s.NoReuse, Progress: progress,
-	})
+	}
+	if s.Traces != nil {
+		ropts.Traces = s.Traces.shared
+	}
+	outs, err := runner.RunOpts(runCtx, jobs, ropts)
 
 	// Assemble the report in point order: checkpointed results where
 	// the point was restored, fresh outcomes where it ran.

@@ -43,52 +43,163 @@ func resultJSON(t *testing.T, r virtuoso.Result) string {
 }
 
 func TestReplayDeterminism(t *testing.T) {
-	for _, ext := range []string{"bfs.trc", "bfs.trc.gz"} {
-		t.Run(ext, func(t *testing.T) {
-			path := filepath.Join(t.TempDir(), ext)
+	dir := t.TempDir()
 
-			// Live run: the ordinary execution-driven session.
-			live, err := virtuoso.Open(append(traceTestOpts(),
-				virtuoso.WithWorkloadScale(0.05),
-				virtuoso.WithWorkload("BFS"),
-			)...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			mLive, err := live.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
+	// Live run: the ordinary execution-driven session sets the truth
+	// every recording and replay variant must reproduce.
+	live, err := virtuoso.Open(append(traceTestOpts(),
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithWorkload("BFS"),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mLive, err := live.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultJSON(t, live.Result(mLive))
 
-			// Recording run: same configuration, teeing the stream to disk.
-			rec, err := virtuoso.Open(append(traceTestOpts(),
-				virtuoso.WithWorkloadScale(0.05),
-				virtuoso.WithWorkload("BFS"),
-			)...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			mRec, _, err := rec.Record(path)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got, want := resultJSON(t, rec.Result(mRec)), resultJSON(t, live.Result(mLive)); got != want {
-				t.Errorf("recording run diverged from live run:\n got %s\nwant %s", got, want)
-			}
+	// Recording runs: same configuration, teeing the stream to disk in
+	// each on-disk format. The recording run's own metrics must match
+	// the live run regardless of what is written.
+	recordings := []struct {
+		name  string
+		ropts []virtuoso.RecordOption
+	}{
+		{"bfs.trc", nil},                                                // v2 (default)
+		{"bfs1.trc", []virtuoso.RecordOption{virtuoso.RecordFormatV1()}}, // v1 plain
+		{"bfs1.trc.gz", []virtuoso.RecordOption{virtuoso.RecordFormatV1()}}, // v1 gzip envelope
+	}
+	for _, rc := range recordings {
+		rec, err := virtuoso.Open(append(traceTestOpts(),
+			virtuoso.WithWorkloadScale(0.05),
+			virtuoso.WithWorkload("BFS"),
+		)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mRec, _, err := rec.Record(filepath.Join(dir, rc.name), rc.ropts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resultJSON(t, rec.Result(mRec)); got != want {
+			t.Errorf("%s: recording run diverged from live run:\n got %s\nwant %s", rc.name, got, want)
+		}
+	}
 
-			// Replay run: the trace file is the workload.
-			rep, err := virtuoso.Open(append(traceTestOpts(), virtuoso.WithTrace(path))...)
-			if err != nil {
-				t.Fatal(err)
-			}
-			mRep, err := rep.Run()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if got, want := resultJSON(t, rep.Result(mRep)), resultJSON(t, live.Result(mLive)); got != want {
-				t.Errorf("replayed Result diverged from live Result:\n got %s\nwant %s", got, want)
-			}
-		})
+	// A v1→v2 conversion preserves the stream, so its replay joins the
+	// matrix below.
+	if _, err := virtuoso.ConvertTrace(filepath.Join(dir, "bfs1.trc.gz"), filepath.Join(dir, "conv.trc")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay runs: every format and decode strategy must reproduce the
+	// live Result bit for bit — v2 (block decoder), v1 plain and
+	// gzip-enveloped (streaming), the converted file, the reference
+	// (unbatched, inline-decode) loop, and the shared decoded-trace
+	// store, cold and warm.
+	store := virtuoso.NewTraceStore(0)
+	replays := []struct {
+		leg  string
+		name string
+		opts []virtuoso.Option
+	}{
+		{"v2", "bfs.trc", nil},
+		{"v1", "bfs1.trc", nil},
+		{"v1-gz", "bfs1.trc.gz", nil},
+		{"converted", "conv.trc", nil},
+		{"v2-reference", "bfs.trc", []virtuoso.Option{virtuoso.WithReferencePath(true)}},
+		{"v2-store-cold", "bfs.trc", []virtuoso.Option{virtuoso.WithTraceStore(store)}},
+		{"v2-store-warm", "bfs.trc", []virtuoso.Option{virtuoso.WithTraceStore(store)}},
+	}
+	for _, rp := range replays {
+		opts := append(traceTestOpts(), virtuoso.WithTrace(filepath.Join(dir, rp.name)))
+		opts = append(opts, rp.opts...)
+		rep, err := virtuoso.Open(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mRep, err := rep.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resultJSON(t, rep.Result(mRep)); got != want {
+			t.Errorf("%s: replayed Result diverged from live Result:\n got %s\nwant %s", rp.leg, got, want)
+		}
+	}
+	if st := store.Stats(); st.Decodes != 1 || st.Hits != 1 {
+		t.Errorf("store legs: decodes=%d hits=%d, want 1/1", st.Decodes, st.Hits)
+	}
+}
+
+// TestSweepSharedTraceStore replays one recorded trace across a seed
+// grid twice through Sweep.Traces: every point must match the plain
+// per-point replay, and the second sweep must decode nothing.
+func TestSweepSharedTraceStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bfs.trc")
+	rec, err := virtuoso.Open(append(traceTestOpts(),
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithWorkload("BFS"),
+	)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := rec.Record(path); err != nil {
+		t.Fatal(err)
+	}
+
+	base := rec.Config()
+	base.MaxAppInsts = 100_000
+	sweep := func(store *virtuoso.TraceStore) []byte {
+		sw := &virtuoso.Sweep{
+			Base:  base,
+			Seeds: []uint64{9, 10, 11},
+			// The trace is the workload: the factory re-creates the
+			// recorded address space, Configure points the frontend at
+			// the file.
+			Workloads: []string{"BFS"},
+			WorkloadFactory: func(p virtuoso.Point) (*virtuoso.Workload, error) {
+				return virtuoso.TraceWorkload(path)
+			},
+			Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
+				cfg.TracePath = path
+				cfg.Frontend = virtuoso.FrontendTrace
+				return nil
+			},
+			Traces:   store,
+			Parallel: 2,
+		}
+		rep, err := sw.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	plain := sweep(nil)
+	store := virtuoso.NewTraceStore(0)
+	first := sweep(store)
+	afterFirst := store.Stats()
+	second := sweep(store)
+	afterSecond := store.Stats()
+
+	if string(plain) != string(first) || string(first) != string(second) {
+		t.Error("shared-store sweep diverged from per-point replay sweep")
+	}
+	if afterFirst.Decodes != 1 {
+		t.Errorf("first sweep decoded %d times, want 1", afterFirst.Decodes)
+	}
+	if afterSecond.Decodes != afterFirst.Decodes {
+		t.Errorf("second sweep decoded %d more times, want 0", afterSecond.Decodes-afterFirst.Decodes)
+	}
+	if afterSecond.Hits != 5 {
+		t.Errorf("hits=%d, want 5 (6 points, 1 decode)", afterSecond.Hits)
 	}
 }
 

@@ -1,0 +1,55 @@
+package virtuoso
+
+import "repro/internal/trace"
+
+// TraceStore is a process-wide, content-keyed store of decoded traces
+// for sweep-scale replay. The first point replaying a trace file
+// decodes it once into memory; every later point replaying the same
+// content — across workers, across sweeps, regardless of path — streams
+// from the same decoded copy through a refcounted zero-copy cursor,
+// doing no file I/O and no decompression.
+//
+// Attach a store to a single session with WithTraceStore or to a whole
+// grid with Sweep.Traces. The store never changes results: a replay
+// through the store is byte-identical to one decoded from the file
+// (TestReplayDeterminism asserts it). All methods are safe for
+// concurrent use.
+type TraceStore struct {
+	shared *trace.Shared
+}
+
+// NewTraceStore returns a store that retains up to budgetBytes of
+// decoded records (<= 0 selects the ~1 GiB default). Idle traces are
+// evicted least-recently-used first when the budget is exceeded; a
+// trace too large for the whole budget is still served, just never
+// retained.
+func NewTraceStore(budgetBytes int64) *TraceStore {
+	return &TraceStore{shared: trace.NewShared(budgetBytes)}
+}
+
+// TraceStoreStats is a point-in-time snapshot of a store's activity.
+type TraceStoreStats struct {
+	// Decodes is the number of full trace decodes performed; Hits is
+	// the number of replays answered from an existing decoded entry. A
+	// sweep replaying T traces over P points reports T decodes and
+	// P - T hits when the budget holds every trace.
+	Decodes uint64 `json:"decodes"`
+	Hits    uint64 `json:"hits"`
+	// Entries and UsedBytes describe the currently retained traces.
+	Entries   int   `json:"entries"`
+	UsedBytes int64 `json:"used_bytes"`
+	// BudgetBytes is the configured retention budget.
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// Stats returns a snapshot of the store's counters.
+func (t *TraceStore) Stats() TraceStoreStats {
+	s := t.shared.Stats()
+	return TraceStoreStats{
+		Decodes:     s.Decodes,
+		Hits:        s.Hits,
+		Entries:     s.Entries,
+		UsedBytes:   s.UsedBytes,
+		BudgetBytes: s.BudgetBytes,
+	}
+}
