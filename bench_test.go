@@ -341,6 +341,44 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkTieredMemory measures the tiered-memory subsystem against
+// the flat-DRAM baseline under identical pressure: the same workload on
+// the same undersized DRAM, with the overflow absorbed by swap (flat)
+// or by a CXL+NVM hierarchy with hot/cold migration (2tier). The
+// demotion/promotion metrics double as a drift alarm for the migration
+// machinery; sim-inst/s tracks what the extra bookkeeping costs the
+// simulator itself.
+func BenchmarkTieredMemory(b *testing.B) {
+	tiered := []virtuoso.TierSpec{
+		{Name: "cxl", Bytes: 64 << 20, ReadLat: 600, WriteLat: 900, BytesPerCycle: 8},
+		{Name: "nvm", Bytes: 128 << 20, ReadLat: 2500, WriteLat: 8000, BytesPerCycle: 2},
+	}
+	for _, tc := range []struct {
+		name  string
+		specs []virtuoso.TierSpec
+	}{{"flat", nil}, {"2tier", tiered}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var m virtuoso.Metrics
+			for i := 0; i < b.N; i++ {
+				cfg := virtuoso.ScaledConfig()
+				cfg.MaxAppInsts = 400_000
+				// Buddy keeps pages 4K (and so migratable); 12MB of DRAM
+				// puts the 0.05-scale footprint well past the watermark.
+				cfg.Policy = virtuoso.PolicyBuddy
+				cfg.OSCfg.PhysBytes = 12 << 20
+				cfg.OSCfg.SwapBytes = 512 << 20
+				cfg.OSCfg.SwapThreshold = 0.5
+				cfg.OSCfg.Tiers = tc.specs
+				m = benchRun(b, cfg, "RND", 0.05)
+			}
+			b.ReportMetric(float64(m.AppInsts+m.KernelInsts)/m.WallTime.Seconds(), "sim-inst/s")
+			b.ReportMetric(float64(m.OS.Demotions), "demotions")
+			b.ReportMetric(float64(m.OS.Promotions), "promotions")
+			b.ReportMetric(float64(m.OS.SwapOuts), "swap-outs")
+		})
+	}
+}
+
 // benchTraceReplay is the shared harness of the trace-replay
 // benchmarks: one recorded trace (made outside the timed loop, in the
 // format ropts selects) replayed per iteration with the given extra

@@ -31,9 +31,15 @@ func TestBuiltinNamesMatchCore(t *testing.T) {
 			t.Errorf("registry does not reserve built-in policy %q", p)
 		}
 	}
+	tierPolicies := []string{virtuoso.TierPolicyHotCold, virtuoso.TierPolicyClock}
+	for _, tp := range tierPolicies {
+		if !registry.BuiltinTierPolicy(tp) {
+			t.Errorf("registry does not reserve built-in tier policy %q", tp)
+		}
+	}
 	// And nothing beyond the real built-ins is reserved.
 	for _, name := range []string{"", "bogus", "BFS"} {
-		if registry.BuiltinDesign(name) || registry.BuiltinPolicy(name) {
+		if registry.BuiltinDesign(name) || registry.BuiltinPolicy(name) || registry.BuiltinTierPolicy(name) {
 			t.Errorf("registry reserves non-built-in %q", name)
 		}
 	}

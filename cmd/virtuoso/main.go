@@ -25,6 +25,15 @@
 //	virtuoso -multi -workload rnd,seq,bfs -quantum 50000 -asid-retention
 //	virtuoso -multi -workload rnd,seq -design radix,ech -json
 //
+// -tiers configures a tiered physical memory hierarchy: a
+// comma-separated list of slow tiers between DRAM and swap, each as
+// name:bytes:readLat:writeLat[:bytesPerCycle] with K/M/G capacity
+// suffixes, ordered fastest to slowest. -tier-policy selects the page
+// migration policy (comma-separated to sweep policies as a grid axis):
+//
+//	virtuoso -workload RND -tiers cxl:64M:600:900:8
+//	virtuoso -workload RND -tiers cxl:64M:600:900:8,nvm:1G:2500:8000:2 -tier-policy hotcold,clock
+//
 // -progress streams live interval snapshots from inside each running
 // point to stderr (the public Observer API): instructions retired, IPC,
 // L2 TLB MPKI, and faults so far. Custom components registered through
@@ -75,23 +84,25 @@ func main() {
 		return
 	}
 	var (
-		workload = flag.String("workload", "BFS", "workload name(s), comma-separated (-list to enumerate; registered names accepted)")
-		design   = flag.String("design", "radix", "translation design(s), comma-separated: radix|ech|hdc|ht|utopia|rmm|midgard|directseg, or a registered name")
-		policy   = flag.String("policy", "thp", "allocation policy(ies), comma-separated: bd|thp|cr-thp|ar-thp|utopia|eager, or a registered name")
-		mode     = flag.String("mode", "imitation", "OS methodology: imitation|emulation")
-		insts    = flag.Uint64("insts", 2_000_000, "max application instructions (0 = run to completion)")
-		scale    = flag.Float64("scale", 0.25, "workload footprint scale")
-		frag     = flag.Float64("frag", 0.80, "fragmentation level (fraction of 2MB blocks unavailable)")
-		seeds    = flag.String("seeds", "1", "simulation seed(s), comma-separated")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		jsonOut  = flag.Bool("json", false, "emit results as JSON")
-		list     = flag.Bool("list", false, "list workloads, designs, and policies, then exit")
-		multi    = flag.Bool("multi", false, "run the -workload list as one multiprogrammed mix (concurrent processes)")
-		quantum  = flag.Uint64("quantum", 0, "scheduler time slice in simulated cycles (0 = default; -multi only)")
-		asidRet  = flag.Bool("asid-retention", false, "retain TLB entries across context switches by ASID tag instead of flushing (-multi only)")
-		progress = flag.Bool("progress", false, "stream live per-point progress snapshots to stderr while simulating")
-		shard    = flag.String("shard", "", "run only a deterministic slice of the grid, as i/N (shard files merge with `virtuoso sweep merge`)")
-		ckpt     = flag.String("checkpoint", "", "JSONL checkpoint file: persist per-point results as they land and resume from it on restart")
+		workload   = flag.String("workload", "BFS", "workload name(s), comma-separated (-list to enumerate; registered names accepted)")
+		design     = flag.String("design", "radix", "translation design(s), comma-separated: radix|ech|hdc|ht|utopia|rmm|midgard|directseg, or a registered name")
+		policy     = flag.String("policy", "thp", "allocation policy(ies), comma-separated: bd|thp|cr-thp|ar-thp|utopia|eager, or a registered name")
+		mode       = flag.String("mode", "imitation", "OS methodology: imitation|emulation")
+		insts      = flag.Uint64("insts", 2_000_000, "max application instructions (0 = run to completion)")
+		scale      = flag.Float64("scale", 0.25, "workload footprint scale")
+		frag       = flag.Float64("frag", 0.80, "fragmentation level (fraction of 2MB blocks unavailable)")
+		seeds      = flag.String("seeds", "1", "simulation seed(s), comma-separated")
+		parallel   = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut    = flag.Bool("json", false, "emit results as JSON")
+		list       = flag.Bool("list", false, "list workloads, designs, and policies, then exit")
+		multi      = flag.Bool("multi", false, "run the -workload list as one multiprogrammed mix (concurrent processes)")
+		quantum    = flag.Uint64("quantum", 0, "scheduler time slice in simulated cycles (0 = default; -multi only)")
+		asidRet    = flag.Bool("asid-retention", false, "retain TLB entries across context switches by ASID tag instead of flushing (-multi only)")
+		tiers      = flag.String("tiers", "", "slow memory tiers, comma-separated name:bytes:readLat:writeLat[:bytesPerCycle] (e.g. cxl:64M:600:900:8,nvm:1G:2500:8000:2)")
+		tierPolicy = flag.String("tier-policy", "", "tier migration policy(ies), comma-separated: hotcold|clock, or a registered name (requires -tiers)")
+		progress   = flag.Bool("progress", false, "stream live per-point progress snapshots to stderr while simulating")
+		shard      = flag.String("shard", "", "run only a deterministic slice of the grid, as i/N (shard files merge with `virtuoso sweep merge`)")
+		ckpt       = flag.String("checkpoint", "", "JSONL checkpoint file: persist per-point results as they land and resume from it on restart")
 	)
 	flag.Parse()
 
@@ -114,8 +125,9 @@ func main() {
 				fmt.Printf("  %s\n", name)
 			}
 		}
-		fmt.Printf("designs:  %v\n", virtuoso.KnownDesigns())
-		fmt.Printf("policies: %v\n", virtuoso.KnownPolicies())
+		fmt.Printf("designs:       %v\n", virtuoso.KnownDesigns())
+		fmt.Printf("policies:      %v\n", virtuoso.KnownPolicies())
+		fmt.Printf("tier policies: %v\n", virtuoso.KnownTierPolicies())
 		return
 	}
 
@@ -141,6 +153,17 @@ func main() {
 	if *frag < 0 || *frag > 1 {
 		check(fmt.Errorf("virtuoso: -frag %v out of range [0, 1]", *frag))
 	}
+	tierSpecs, err := parseTierSpecs(*tiers)
+	check(err)
+	var tierPolicies []string
+	for _, name := range splitList(*tierPolicy) {
+		p, err := virtuoso.ParseTierPolicy(name)
+		check(err)
+		tierPolicies = append(tierPolicies, p)
+	}
+	if len(tierPolicies) > 0 && len(tierSpecs) == 0 {
+		check(fmt.Errorf("virtuoso: -tier-policy set without -tiers"))
+	}
 
 	base := virtuoso.ScaledConfig()
 	base.Mode = m
@@ -164,14 +187,15 @@ func main() {
 	}
 
 	sweep := &virtuoso.Sweep{
-		Base:      base,
-		Workloads: gridWorkloads,
-		Mixes:     mixes,
-		Designs:   designs,
-		Policies:  policies,
-		Seeds:     seedList,
-		Params:    virtuoso.WorkloadParams{Scale: *scale},
-		Parallel:  *parallel,
+		Base:         base,
+		Workloads:    gridWorkloads,
+		Mixes:        mixes,
+		Designs:      designs,
+		Policies:     policies,
+		Seeds:        seedList,
+		TierPolicies: tierPolicies,
+		Params:       virtuoso.WorkloadParams{Scale: *scale},
+		Parallel:     *parallel,
 		Configure: func(cfg *virtuoso.Config, p virtuoso.Point) error {
 			if policyFlagSet {
 				return nil
@@ -185,6 +209,9 @@ func main() {
 			return nil
 		},
 		Checkpoint: *ckpt,
+	}
+	if len(tierSpecs) > 0 {
+		sweep.TierSpecs = [][]virtuoso.TierSpec{tierSpecs}
 	}
 	sweep.Shard, err = virtuoso.ParseShard(*shard)
 	check(err)
@@ -301,16 +328,42 @@ func printSingle(r virtuoso.Result) {
 		100*m.Dram.RowHitRate(), m.Dram.TotalConflicts(), m.Dram.TranslationConflicts())
 	fmt.Printf("os              THP pool/direct/fallback %d/%d/%d, collapses %d, swap in/out %d/%d\n",
 		m.OS.THPPoolHits, m.OS.THPDirectZero, m.OS.THPFallback4K, m.OS.Collapses, m.OS.SwapIns, m.OS.SwapOuts)
+	if len(m.Tiers) > 0 {
+		fmt.Printf("tiering         policy %s, %d demotions / %d promotions, %d migration cycles\n",
+			r.TierPolicy, m.OS.Demotions, m.OS.Promotions, m.OS.MigrationCycles)
+		for _, ts := range m.Tiers {
+			fmt.Printf("  tier %-9s %6.1f MB used, in/out %d/%d pages (%d promoted), rd/wr cycles %d/%d\n",
+				ts.Name, float64(ts.UsedBytes)/(1<<20), ts.PagesIn, ts.PagesOut, ts.Promotions,
+				ts.ReadCycles, ts.WriteCycles)
+		}
+	}
+	if m.SwapDev.Reads+m.SwapDev.Writes > 0 {
+		fmt.Printf("swap device     %d reads / %d writes, cache hits %d, busy %d cycles\n",
+			m.SwapDev.Reads, m.SwapDev.Writes, m.SwapDev.CacheHits, m.SwapDev.BusyCycles)
+	}
 	fmt.Printf("wall time       %v\n", m.WallTime)
 }
 
 func printGrid(report *virtuoso.Report) {
-	fmt.Printf("%-12s %-10s %-8s %-5s %8s %8s %8s %9s %8s\n",
-		"workload", "design", "policy", "seed", "IPC", "MPKI", "avgPTW", "minflt", "wall")
+	// The tier-policy column only appears when the grid has tiered
+	// points, so flat sweeps keep their familiar table.
+	tiered := false
+	for _, r := range report.Results {
+		tiered = tiered || r.TierPolicy != ""
+	}
+	tp := ""
+	if tiered {
+		tp = fmt.Sprintf(" %-8s", "tierpol")
+	}
+	fmt.Printf("%-12s %-10s %-8s%s %-5s %8s %8s %8s %9s %8s\n",
+		"workload", "design", "policy", tp, "seed", "IPC", "MPKI", "avgPTW", "minflt", "wall")
 	for _, r := range report.Results {
 		m := r.Metrics
-		fmt.Printf("%-12s %-10s %-8s %-5d %8.3f %8.2f %8.1f %9d %8s\n",
-			r.Workload, r.Design, r.Policy, r.Seed,
+		if tiered {
+			tp = fmt.Sprintf(" %-8s", r.TierPolicy)
+		}
+		fmt.Printf("%-12s %-10s %-8s%s %-5d %8.3f %8.2f %8.1f %9d %8s\n",
+			r.Workload, r.Design, r.Policy, tp, r.Seed,
 			m.IPC, m.L2TLBMPKI, m.AvgPTWLat, m.MinorFaults, m.WallTime.Round(1e6).String())
 	}
 	fmt.Printf("\n%d points in %v\n", len(report.Results), report.Wall.Round(1e6))
@@ -348,6 +401,59 @@ func parsePolicies(s string) ([]virtuoso.PolicyName, error) {
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// parseTierSpecs parses the -tiers flag: a comma-separated list of
+// name:bytes:readLat:writeLat[:bytesPerCycle] entries ordered fastest
+// to slowest, e.g. "cxl:64M:600:900:8,nvm:1G:2500:8000:2".
+func parseTierSpecs(s string) ([]virtuoso.TierSpec, error) {
+	var out []virtuoso.TierSpec
+	for _, part := range splitList(s) {
+		f := strings.Split(part, ":")
+		if len(f) != 4 && len(f) != 5 {
+			return nil, fmt.Errorf("virtuoso: bad -tiers entry %q, want name:bytes:readLat:writeLat[:bytesPerCycle]", part)
+		}
+		spec := virtuoso.TierSpec{Name: strings.TrimSpace(f[0])}
+		var err error
+		if spec.Bytes, err = parseSize(f[1]); err != nil {
+			return nil, fmt.Errorf("virtuoso: tier %q: %w", spec.Name, err)
+		}
+		if spec.ReadLat, err = strconv.ParseUint(f[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("virtuoso: tier %q: bad read latency %q", spec.Name, f[2])
+		}
+		if spec.WriteLat, err = strconv.ParseUint(f[3], 10, 64); err != nil {
+			return nil, fmt.Errorf("virtuoso: tier %q: bad write latency %q", spec.Name, f[3])
+		}
+		if len(f) == 5 {
+			if spec.BytesPerCycle, err = strconv.ParseUint(f[4], 10, 64); err != nil {
+				return nil, fmt.Errorf("virtuoso: tier %q: bad bandwidth %q", spec.Name, f[4])
+			}
+		}
+		out = append(out, spec)
+	}
+	if err := virtuoso.ValidateTierSpecs(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSize parses a byte count with an optional K/M/G suffix.
+func parseSize(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	mult := uint64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
 }
 
 func parseSeeds(s string) ([]uint64, error) {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/mimicos"
 	"repro/internal/mmu"
 	"repro/internal/registry"
+	"repro/internal/tier"
 )
 
 // Address and size vocabulary, re-exported so extension code never
@@ -258,6 +259,65 @@ func RegisterPolicy(name string, ctor func() AllocPolicy) error {
 // package init blocks.
 func MustRegisterPolicy(name string, ctor func() AllocPolicy) {
 	if err := RegisterPolicy(name, ctor); err != nil {
+		panic(err)
+	}
+}
+
+// TierPolicy is a custom page-migration policy for the tiered-memory
+// subsystem — the public mirror of the internal tier.Policy interface.
+// Methods are pure value transforms over a page's heat counter (the
+// kernel's imitation of access-bit tracking): Touch runs on the faults
+// that map or promote a page, Decay on the periodic access-bit sampling
+// scans, Victim during tier eviction scans, and DemoteTo when a DRAM
+// page is pushed down under memory pressure.
+type TierPolicy interface {
+	// Name is the display name reported in metrics.
+	Name() string
+	// Touch returns the new heat after a fault touched the page.
+	Touch(heat uint32) uint32
+	// Decay returns the new heat after a sampling scan found it idle.
+	Decay(heat uint32) uint32
+	// Victim reports whether a page of the given heat may be evicted on
+	// this scan pass (pass 0 is selective; pass 1 is the desperate pass
+	// and should almost always return true).
+	Victim(heat uint32, pass int) bool
+	// DemoteTo returns the slow-tier index (0 = fastest) a DRAM page of
+	// the given heat demotes into, given slowTiers configured tiers.
+	DemoteTo(slowTiers int, heat uint32) int
+}
+
+// tierPolicyAdapter lifts an ext.TierPolicy into the internal interface.
+// The signatures match exactly, so it is a direct passthrough.
+type tierPolicyAdapter struct{ impl TierPolicy }
+
+func (a tierPolicyAdapter) Name() string                       { return a.impl.Name() }
+func (a tierPolicyAdapter) Touch(heat uint32) uint32           { return a.impl.Touch(heat) }
+func (a tierPolicyAdapter) Decay(heat uint32) uint32           { return a.impl.Decay(heat) }
+func (a tierPolicyAdapter) Victim(heat uint32, pass int) bool  { return a.impl.Victim(heat, pass) }
+func (a tierPolicyAdapter) DemoteTo(slow int, heat uint32) int { return a.impl.DemoteTo(slow, heat) }
+
+// RegisterTierPolicy registers a custom tier migration policy under
+// name. The constructor runs once per simulated system, so stateful
+// policies never share state between concurrent sweep points.
+// Registration fails on an empty, duplicate, or built-in-colliding
+// name ("hotcold", "clock").
+//
+// After registration the policy is selectable by name everywhere a
+// built-in tier policy is: WithTierPolicy, Sweep.TierPolicies,
+// ParseTierPolicy, KnownTierPolicies, and the -tier-policy CLI flag.
+func RegisterTierPolicy(name string, ctor func() TierPolicy) error {
+	if ctor == nil {
+		return registry.RegisterTierPolicy(name, nil)
+	}
+	return registry.RegisterTierPolicy(name, func() tier.Policy {
+		return tierPolicyAdapter{impl: ctor()}
+	})
+}
+
+// MustRegisterTierPolicy is RegisterTierPolicy, panicking on error —
+// for package init blocks.
+func MustRegisterTierPolicy(name string, ctor func() TierPolicy) {
+	if err := RegisterTierPolicy(name, ctor); err != nil {
 		panic(err)
 	}
 }

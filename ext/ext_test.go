@@ -53,8 +53,24 @@ func (d *testDesign) TranslateMiss(va ext.VAddr, now uint64) ext.TranslationResu
 
 func (d *testDesign) Invalidate(va ext.VAddr, size ext.PageSize) { d.shoots++ }
 
+// testTierPolicy is a minimal custom migration policy: everything is a
+// victim, and demotion always lands in the deepest slow tier.
+type testTierPolicy struct{}
+
+func (testTierPolicy) Name() string          { return "EXT-TIER" }
+func (testTierPolicy) Touch(h uint32) uint32 { return h + 1 }
+func (testTierPolicy) Decay(h uint32) uint32 {
+	if h == 0 {
+		return 0
+	}
+	return h - 1
+}
+func (testTierPolicy) Victim(h uint32, pass int) bool  { return true }
+func (testTierPolicy) DemoteTo(slow int, h uint32) int { return slow - 1 }
+
 func init() {
 	ext.MustRegisterPolicy("ext-test-policy", func() ext.AllocPolicy { return &testPolicy{} })
+	ext.MustRegisterTierPolicy("ext-test-tier", func() ext.TierPolicy { return testTierPolicy{} })
 	ext.MustRegisterDesign("ext-test-design", func(env ext.DesignEnv) ext.TranslationDesign {
 		return &testDesign{env: env}
 	})
@@ -109,6 +125,74 @@ func TestRegisteredNamesAreKnown(t *testing.T) {
 	reg := virtuoso.RegisteredWorkloads()
 	if len(reg) == 0 || !contains(reg, "ext-test-workload") {
 		t.Errorf("RegisteredWorkloads() = %v, missing ext-test-workload", reg)
+	}
+	if !contains(virtuoso.KnownTierPolicies(), "ext-test-tier") {
+		t.Errorf("KnownTierPolicies() = %v, missing ext-test-tier", virtuoso.KnownTierPolicies())
+	}
+	if _, err := virtuoso.ParseTierPolicy("ext-test-tier"); err != nil {
+		t.Errorf("ParseTierPolicy rejected registered tier policy: %v", err)
+	}
+}
+
+// TestRegisteredTierPolicy selects the custom migration policy by name
+// through Open and a Sweep axis, under enough pressure that it actually
+// steers demotions.
+func TestRegisteredTierPolicy(t *testing.T) {
+	tiers := []virtuoso.TierSpec{
+		{Name: "cxl", Bytes: 64 << 20, ReadLat: 600, WriteLat: 900, BytesPerCycle: 8},
+		{Name: "nvm", Bytes: 128 << 20, ReadLat: 2500, WriteLat: 8000, BytesPerCycle: 2},
+	}
+	cfg := virtuoso.ScaledConfig()
+	cfg.MaxAppInsts = 400_000
+	cfg.Policy = virtuoso.PolicyBuddy
+	cfg.OSCfg.PhysBytes = 12 << 20
+	cfg.OSCfg.SwapBytes = 512 << 20
+	cfg.OSCfg.SwapThreshold = 0.5
+	sess, err := virtuoso.Open(
+		virtuoso.WithConfig(cfg),
+		virtuoso.WithWorkload("RND"),
+		virtuoso.WithWorkloadScale(0.05),
+		virtuoso.WithTiers(tiers...),
+		virtuoso.WithTierPolicy("ext-test-tier"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OS.Demotions == 0 {
+		t.Fatal("custom tier policy saw no demotions")
+	}
+	// DemoteTo always picks the deepest tier: all inbound traffic must
+	// land in "nvm", none in "cxl".
+	if len(m.Tiers) != 2 || m.Tiers[0].PagesIn != 0 || m.Tiers[1].PagesIn == 0 {
+		t.Fatalf("deepest-tier policy not honoured: %+v", m.Tiers)
+	}
+	if res := sess.Result(m); res.TierPolicy != "ext-test-tier" {
+		t.Errorf("Result.TierPolicy = %q, want ext-test-tier", res.TierPolicy)
+	}
+
+	// The same name sweeps as a TierPolicies axis value next to a
+	// built-in.
+	sweep := &virtuoso.Sweep{
+		Base:         cfg,
+		Workloads:    []string{"RND"},
+		TierSpecs:    [][]virtuoso.TierSpec{tiers},
+		TierPolicies: []string{"ext-test-tier", virtuoso.TierPolicyClock},
+		Params:       virtuoso.WorkloadParams{Scale: 0.05},
+		Parallel:     2,
+	}
+	rep, err := sweep.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	if rep.Results[0].TierPolicy != "ext-test-tier" || rep.Results[1].TierPolicy != virtuoso.TierPolicyClock {
+		t.Fatalf("swept tier policies echo %q/%q", rep.Results[0].TierPolicy, rep.Results[1].TierPolicy)
 	}
 }
 
@@ -222,6 +306,15 @@ func TestRegistrationHygiene(t *testing.T) {
 	}
 	if err := ext.RegisterPolicy("nil-ctor", nil); err == nil {
 		t.Error("nil constructor accepted")
+	}
+	if err := ext.RegisterTierPolicy("ext-test-tier", func() ext.TierPolicy { return testTierPolicy{} }); err == nil {
+		t.Error("duplicate tier policy registration accepted")
+	}
+	if err := ext.RegisterTierPolicy("hotcold", func() ext.TierPolicy { return testTierPolicy{} }); err == nil || !strings.Contains(err.Error(), "built-in") {
+		t.Errorf("built-in tier policy collision: err = %v", err)
+	}
+	if err := ext.RegisterTierPolicy("nil-tier-ctor", nil); err == nil {
+		t.Error("nil tier policy constructor accepted")
 	}
 }
 

@@ -85,6 +85,14 @@ func TestFastPathEquivalence(t *testing.T) {
 		{"directseg/ar-thp/BFS", virtuoso.DesignDirectSeg, virtuoso.PolicyARTHP, "BFS", nil},
 		{"emulation/radix/bd/SEQ", virtuoso.DesignRadix, virtuoso.PolicyBuddy, "SEQ",
 			[]virtuoso.Option{virtuoso.WithMode(virtuoso.Emulation)}},
+		{"tiered/radix/bd/RND", virtuoso.DesignRadix, virtuoso.PolicyBuddy, "RND",
+			[]virtuoso.Option{
+				virtuoso.WithTiers(
+					virtuoso.TierSpec{Name: "cxl", Bytes: 64 << 20, ReadLat: 600, WriteLat: 900, BytesPerCycle: 8},
+					virtuoso.TierSpec{Name: "nvm", Bytes: 128 << 20, ReadLat: 2500, WriteLat: 8000, BytesPerCycle: 2},
+				),
+				virtuoso.WithTierPolicy(virtuoso.TierPolicyClock),
+			}},
 		{"memtrace/radix/thp/RND", virtuoso.DesignRadix, virtuoso.PolicyTHP, "RND",
 			[]virtuoso.Option{virtuoso.WithFrontend(virtuoso.FrontendMemTrace)}},
 	}

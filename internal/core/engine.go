@@ -17,6 +17,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/tier"
 	"repro/internal/trace"
 	"repro/internal/utopia"
 	"repro/internal/workloads"
@@ -346,6 +347,25 @@ func NewSystemPooled(cfg Config, pool *recycle.Pool) (*System, error) {
 	if oscfg.PhysBytes == 0 {
 		oscfg = mimicos.DefaultConfig()
 	}
+	// Tier configs fail loudly here, not mid-run: a sweep point or CLI
+	// flag with a bad tier spec errors before any simulation starts.
+	if err := tier.ValidateSpecs(oscfg.Tiers); err != nil {
+		return nil, fmt.Errorf("core: invalid tier config: %w", err)
+	}
+	var tierPol tier.Policy
+	if len(oscfg.Tiers) > 0 {
+		if _, builtin := tier.NewBuiltin(oscfg.TierPolicy); !builtin {
+			// Not a built-in: a tier policy registered through the public
+			// extension API (repro/ext), constructed fresh per system.
+			p, ok := registry.NewTierPolicy(oscfg.TierPolicy)
+			if !ok {
+				return nil, fmt.Errorf("core: unknown tier policy %q (registered: %v)", oscfg.TierPolicy, registry.TierPolicyNames())
+			}
+			tierPol = p
+		}
+	} else if oscfg.TierPolicy != "" {
+		return nil, fmt.Errorf("core: tier policy %q set without any tiers configured", oscfg.TierPolicy)
+	}
 	switch cfg.Design {
 	case DesignECH:
 		oscfg.PTKind = mimicos.PTECH
@@ -357,6 +377,9 @@ func NewSystemPooled(cfg Config, pool *recycle.Pool) (*System, error) {
 		oscfg.PTKind = mimicos.PTRadix
 	}
 	s.OS = mimicos.NewWith(oscfg, s.Disk, pool)
+	if tierPol != nil {
+		s.OS.SetTierPolicy(tierPol)
+	}
 	s.Proc = s.OS.CreateProcess(1)
 
 	// Design-specific OS state.

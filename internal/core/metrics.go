@@ -6,7 +6,9 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mimicos"
+	"repro/internal/ssd"
 	"repro/internal/stats"
+	"repro/internal/tier"
 )
 
 // Metrics is the result of one simulation run — the raw material of
@@ -49,6 +51,11 @@ type Metrics struct {
 	SwapDeviceCycles uint64 // engine-observed fault device time
 	OS               mimicos.Stats
 	Dram             dram.Stats
+	// Tiers holds the per-tier migration counters (nil without slow
+	// tiers configured); SwapDev is the swap device's own view of its
+	// traffic (reads/writes, queueing, busy time) when a disk is attached.
+	Tiers   []tier.Stats `json:",omitempty"`
+	SwapDev ssd.Stats
 
 	StreamedKernelInsts uint64
 	FunctionalMessages  uint64
@@ -125,11 +132,15 @@ func (s *System) collect(name string, wall time.Duration, before, after runtime.
 		SwapDeviceCycles: s.swapDeviceCycles,
 		OS:               os,
 		Dram:             ds,
+		Tiers:            s.OS.TierStats(),
 
 		StreamedKernelInsts: s.StreamChan.Insts,
 		FunctionalMessages:  s.FuncChan.Messages,
 
 		WallTime: wall,
+	}
+	if s.Disk != nil {
+		m.SwapDev = *s.Disk.Stats()
 	}
 	if cs.AppInsts > 0 {
 		m.L2TLBMPKI = float64(ms.L2TLBMisses) / float64(cs.AppInsts) * 1000

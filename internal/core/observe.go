@@ -37,6 +37,11 @@ type Snapshot struct {
 	SwapOuts    uint64
 	Collapses   uint64
 
+	// Promotions / Demotions count tiered-memory migrations so far
+	// (always zero without slow tiers configured).
+	Promotions uint64
+	Demotions  uint64
+
 	// ContextSwitches counts scheduler dispatches so far (always zero
 	// in single-workload runs).
 	ContextSwitches uint64
@@ -111,6 +116,9 @@ func (s *System) emitSnapshot(final bool) {
 		SwapIns:     os.SwapIns,
 		SwapOuts:    os.SwapOuts,
 		Collapses:   os.Collapses,
+
+		Promotions: os.Promotions,
+		Demotions:  os.Demotions,
 
 		ContextSwitches: s.obsCtxSwitches,
 	}

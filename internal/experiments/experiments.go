@@ -265,6 +265,7 @@ var Registry = map[string]func(Opts) *Table{
 	"table2":    func(Opts) *Table { return Table2() },
 	"table3":    func(Opts) *Table { return Table3() },
 	"multiprog": Multiprog,
+	"tiering":   Tiering,
 }
 
 // IDs returns the experiment identifiers in presentation order.
@@ -273,6 +274,6 @@ func IDs() []string {
 		"fig01", "fig02", "fig03", "table2", "table3",
 		"fig08", "fig09", "fig10", "fig11", "fig12",
 		"fig13", "fig14", "fig15", "fig16", "fig17",
-		"fig18", "fig19", "fig20", "fig21", "multiprog",
+		"fig18", "fig19", "fig20", "fig21", "multiprog", "tiering",
 	}
 }

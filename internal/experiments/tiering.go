@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/tier"
+)
+
+// Tiering is the consolidation-ready scenario family for the tiered
+// memory subsystem: the same memory-hungry workloads on flat DRAM, a
+// DRAM+CXL hierarchy, and a DRAM+CXL+NVM hierarchy, crossed with the
+// built-in migration policies. DRAM is sized well below the footprint,
+// so the flat rows pay swap I/O for every overflow page while the
+// tiered rows absorb it in the slow tiers — the capacity-expansion
+// story tiering is deployed for — and the policy rows show how victim
+// selection shifts traffic between the tiers and the swap terminal.
+func Tiering(o Opts) *Table {
+	t := &Table{
+		ID:    "tiering",
+		Title: "Tiered memory: flat DRAM vs CXL/NVM hierarchies under migration policies",
+		Columns: []string{
+			"IPC", "demotions", "promotions", "swap-outs", "major-faults",
+			"migration-Mcycles", "tier-resident-MB",
+		},
+	}
+
+	// DRAM holds roughly half the footprint; the slow tiers are sized to
+	// absorb the spill (near tier ~the DRAM deficit, far tier ample).
+	// Buddy allocation keeps pages 4K and therefore migratable — the THP
+	// interaction (huge pages swap directly rather than demote) is its
+	// own row below.
+	dram, cxlBytes, nvmBytes := 96*mem.MB, 128*mem.MB, 256*mem.MB
+	if o.Quick {
+		dram, cxlBytes, nvmBytes = 16*mem.MB, 32*mem.MB, 64*mem.MB
+	}
+	cxl := tier.Spec{Name: "cxl", Bytes: uint64(cxlBytes), ReadLat: 600, WriteLat: 900, BytesPerCycle: 8}
+	nvm := tier.Spec{Name: "nvm", Bytes: uint64(nvmBytes), ReadLat: 2500, WriteLat: 8000, BytesPerCycle: 2}
+
+	hierarchies := []struct {
+		label string
+		specs []tier.Spec
+	}{
+		{"flat", nil},
+		{"cxl", []tier.Spec{cxl}},
+		{"cxl+nvm", []tier.Spec{cxl, nvm}},
+	}
+	policies := []string{tier.PolicyHotCold, tier.PolicyClock}
+	workloadNames := []string{"RND", "BFS"}
+	if o.Quick {
+		workloadNames = workloadNames[:1]
+	}
+
+	pressured := func(specs []tier.Spec, policy string) core.Config {
+		cfg := BaseConfig(o)
+		cfg.Policy = core.PolicyBuddy
+		cfg.OSCfg.PhysBytes = uint64(dram)
+		cfg.OSCfg.SwapBytes = 4 * mem.GB
+		cfg.OSCfg.SwapThreshold = 0.5
+		cfg.OSCfg.Tiers = specs
+		cfg.OSCfg.TierPolicy = policy
+		return cfg
+	}
+
+	type point struct{ label string }
+	var labels []point
+	var jobs []job
+	for _, wname := range workloadNames {
+		for _, h := range hierarchies {
+			pols := policies
+			if h.specs == nil {
+				pols = []string{""} // a migration policy is meaningless without tiers
+			}
+			for _, pol := range pols {
+				label := fmt.Sprintf("%s %s", wname, h.label)
+				if pol != "" {
+					label += "/" + pol
+				}
+				labels = append(labels, point{label})
+				jobs = append(jobs, job{cfg: pressured(h.specs, pol), w: named(o, byName(o, wname))})
+			}
+		}
+		// The THP interaction row: huge pages are not demoted — they swap
+		// out whole on the desperate reclaim pass — so a THP-backed
+		// footprint leans on the swap terminal even with tiers configured.
+		thp := pressured([]tier.Spec{cxl, nvm}, tier.PolicyHotCold)
+		thp.Policy = core.PolicyTHP
+		labels = append(labels, point{fmt.Sprintf("%s cxl+nvm/hotcold (THP)", wname)})
+		jobs = append(jobs, job{cfg: thp, w: named(o, byName(o, wname))})
+	}
+
+	for i, m := range runAll(o, jobs) {
+		var farMB float64
+		for _, ts := range m.Tiers {
+			farMB += float64(ts.UsedBytes) / float64(mem.MB)
+		}
+		t.Add(labels[i].label,
+			m.IPC,
+			float64(m.OS.Demotions),
+			float64(m.OS.Promotions),
+			float64(m.OS.SwapOuts),
+			float64(m.MajorFaults),
+			float64(m.OS.MigrationCycles)/1e6,
+			farMB,
+		)
+	}
+	t.Note("DRAM sized ~half the footprint (buddy allocation, swap watermark 0.5); CXL-like near tier 600/900-cycle access at 8 B/cycle, NVM-like far tier 2500/8000 cycles at 2 B/cycle. Flat rows overflow straight to swap; tiered rows demote cold pages down the hierarchy and promote them back on the fault that touches them (hint-fault promotion). THP rows: huge pages bypass demotion (they swap out whole on the desperate reclaim pass), and under this much DRAM pressure the THP policy mostly falls back to 4K mappings, converging on the buddy numbers.")
+	return t
+}

@@ -85,6 +85,10 @@ func (k *Kernel) HandlePageFault(pid int, va mem.VAddr, write bool, now uint64) 
 		// 6: swapped-out anonymous page: consult the swap cache and
 		// read the slot back from disk.
 		out = k.swapInFault(p, vma, va, key, e, tr, now)
+	} else if pg, t, ok := k.tierLookup(p, va); ok {
+		// Slow-tier page (unmapped): this access is the promotion hint
+		// fault — migrate it back to DRAM.
+		out = k.tierPromoteFault(p, va, key, pg, t, tr, now)
 	} else if vma.File || vma.DAX {
 		// 7-9: file-backed: try a 1GB mapping, then the page cache.
 		out = k.fileFault(p, vma, va, key, tr, now)
@@ -126,8 +130,8 @@ func (k *Kernel) anonFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, wr
 
 	frame, size, prezeroed, restseg, ok := k.policy.AllocAnon(k, p, vma, va, tr, now)
 	if !ok {
-		// Out of physical memory: direct reclaim, then retry once.
-		k.directReclaim(p, tr, now)
+		// Out of physical memory: reclaim (demotion or swap), retry once.
+		k.reclaim(p, tr, now)
 		frame, size, prezeroed, restseg, ok = k.policy.AllocAnon(k, p, vma, va, tr, now)
 		if !ok {
 			k.stats.SegvFaults++
@@ -164,7 +168,7 @@ func (k *Kernel) anonFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, wr
 		vma.region4K[uint64(mem.Page2M.PageBase(va))]++
 	}
 	p.RSS += size.Bytes()
-	p.addResident(residentPage{VA: base, Size: size, Frame: frame, RestSeg: restseg})
+	p.addResident(residentPage{VA: base, Size: size, Frame: frame, RestSeg: restseg, Heat: k.touchHeat(0)})
 	k.stats.MinorFaults++
 	p.Stat.MinorFaults++
 	k.stats.FaultsBySize[size]++
@@ -197,7 +201,7 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 				Frame: frame, Size: mem.Page1G, Present: true, Writable: true, Accessed: true,
 			}, tr); err == nil {
 				p.RSS += mem.Page1G.Bytes()
-				p.addResident(residentPage{VA: base, Size: mem.Page1G, Frame: frame})
+				p.addResident(residentPage{VA: base, Size: mem.Page1G, Frame: frame, Heat: k.touchHeat(0)})
 				k.stats.MinorFaults++
 				p.Stat.MinorFaults++
 				k.stats.OneGigFaults++
@@ -213,7 +217,7 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 
 	frame, ok := k.allocBuddy4K(tr)
 	if !ok {
-		k.directReclaim(p, tr, now)
+		k.reclaim(p, tr, now)
 		frame, ok = k.allocBuddy4K(tr)
 		if !ok {
 			k.stats.SegvFaults++
@@ -235,7 +239,7 @@ func (k *Kernel) fileFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, tr
 	}
 	vma.region4K[uint64(mem.Page2M.PageBase(va))]++
 	p.RSS += 4 * mem.KB
-	p.addResident(residentPage{VA: base, Size: mem.Page4K, Frame: frame})
+	p.addResident(residentPage{VA: base, Size: mem.Page4K, Frame: frame, Heat: k.touchHeat(0)})
 	if dev > 0 {
 		k.stats.MajorFaults++
 		p.Stat.MajorFaults++
@@ -307,7 +311,7 @@ func (k *Kernel) hugetlbFault(p *Process, vma *VMA, va mem.VAddr, tr *instrument
 		return FaultOutcome{OK: false}
 	}
 	p.RSS += mem.Page2M.Bytes()
-	p.addResident(residentPage{VA: base, Size: mem.Page2M, Frame: frame})
+	p.addResident(residentPage{VA: base, Size: mem.Page2M, Frame: frame, Heat: k.touchHeat(0)})
 	k.stats.MinorFaults++
 	p.Stat.MinorFaults++
 	k.stats.HugeTLBFaults++
@@ -320,7 +324,14 @@ func (k *Kernel) hugetlbFault(p *Process, vma *VMA, va mem.VAddr, tr *instrument
 // postFault runs the deferred work attached to fault handling: reclaim
 // when above the watermark, khugepaged scan ticks, zero-pool refill.
 func (k *Kernel) postFault(p *Process, tr *instrument.Tracer, now uint64) {
-	if k.Cfg.SwapBytes > 0 && k.Phys.UsedFraction() > k.Cfg.SwapThreshold {
+	if k.tiersEnabled() {
+		if k.Phys.UsedFraction() > k.Cfg.SwapThreshold {
+			k.tierReclaim(p, tr, now)
+		}
+		if n := k.Cfg.TierScanEveryNFaults; n > 0 && k.faultCount%n == 0 {
+			k.tierSample(p, tr)
+		}
+	} else if k.Cfg.SwapBytes > 0 && k.Phys.UsedFraction() > k.Cfg.SwapThreshold {
 		k.directReclaim(p, tr, now)
 	}
 	if n := k.Cfg.KhugeEveryNFaults; n > 0 && k.faultCount%n == 0 {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/recycle"
 	"repro/internal/rmm"
 	"repro/internal/ssd"
+	"repro/internal/tier"
 	"repro/internal/utopia"
 	"repro/internal/xrand"
 )
@@ -71,6 +72,17 @@ type Config struct {
 	SwapBytes     uint64  // swap space (Table 4: 4 GB)
 	SwapThreshold float64 // reclaim watermark (Table 4: 90%)
 
+	// Tiers configures slow memory tiers between DRAM and swap
+	// (empty = classic flat DRAM + swap, byte-identical to the
+	// pre-tiering model). TierPolicy selects the built-in migration
+	// policy ("" = hotcold); out-of-module policies are installed by
+	// the engine via SetTierPolicy after construction.
+	// TierScanEveryNFaults is the access-bit sampling period on the
+	// fault clock (0 with tiers configured = default 256).
+	Tiers                []tier.Spec `json:"tiers,omitempty"`
+	TierPolicy           string      `json:"tier_policy,omitempty"`
+	TierScanEveryNFaults uint64      `json:"tier_scan_every_n_faults,omitempty"`
+
 	KhugeEveryNFaults uint64 // khugepaged scan period (0 disables)
 	KhugeScanRegions  int    // regions examined per scan
 
@@ -108,6 +120,10 @@ type residentPage struct {
 	Frame   mem.PAddr
 	RestSeg bool // frame belongs to a Utopia RestSeg (not buddy-owned)
 	Dead    bool
+	// Heat is the migration policy's hot/cold estimate, updated on the
+	// faults that map the page and decayed by the access-bit sampling
+	// scans. Unused (zero) when no slow tiers are configured.
+	Heat uint32
 }
 
 // VMA is a virtual memory area (§5.1's find_vma target).
@@ -179,6 +195,7 @@ type Process struct {
 	resident    []residentPage
 	residentIdx map[mem.VAddr]int
 	clockHand   int
+	sampleHand  int // access-bit sampling clock (tiered memory)
 	nextMmap    mem.VAddr
 	// swapSlots tracks the swap slots currently holding this process's
 	// swapped-out pages, so exit can return them to the shared swap
@@ -230,6 +247,14 @@ type Stats struct {
 	SwapCycles  uint64 // device cycles spent on swap I/O
 	ReclaimRuns uint64
 
+	// Tiered-memory migration counts: promotions (slow tier → DRAM),
+	// demotions (DRAM → slow tier; inter-tier cascades count against
+	// the per-tier counters instead), and the device cycles charged for
+	// tier migrations (the tier analogue of SwapCycles).
+	Promotions      uint64
+	Demotions       uint64
+	MigrationCycles uint64
+
 	MmapCalls   uint64
 	MunmapCalls uint64
 	Exits       uint64
@@ -254,6 +279,8 @@ type Kernel struct {
 	pageCache   map[pcKey]mem.PAddr
 	swap        *swapState
 	khuge       *khugepaged
+	tiers       *tier.Manager
+	tierKaddr   []mem.PAddr // per-tier kernel bounce buffers (migration copies)
 	lk          locks
 	rng         *xrand.Rand
 	stats       Stats
@@ -325,6 +352,21 @@ func NewWith(cfg Config, disk *ssd.Device, pool *recycle.Pool) *Kernel {
 		buddy: k.kalloc(64),
 		lru:   k.kalloc(64),
 		swap:  k.kalloc(64),
+	}
+	// Slow tiers thread between DRAM and swap. The flat configuration
+	// takes none of these allocations, so tier-less kernels keep the
+	// exact slab layout (and therefore byte-identical traces) of the
+	// pre-tiering model.
+	if len(cfg.Tiers) > 0 {
+		pol, _ := tier.NewBuiltin(cfg.TierPolicy) // nil for registry names; engine installs
+		k.tiers = tier.NewManager(cfg.Tiers, pol)
+		k.tierKaddr = make([]mem.PAddr, len(cfg.Tiers))
+		for i := range cfg.Tiers {
+			k.tierKaddr[i] = k.kalloc(4 * mem.KB)
+		}
+		if k.Cfg.TierScanEveryNFaults == 0 {
+			k.Cfg.TierScanEveryNFaults = 256
+		}
 	}
 	k.policy = &BuddyPolicy{}
 	return k
@@ -511,6 +553,14 @@ func (k *Kernel) ExitProcess(pid int) {
 		tr.Atomic(k.lk.swap)
 		tr.ALU(uint32(40 * len(slots))) // swap_entry_free per slot
 	}
+	// Drop the slow-tier records of pages that died unmapped in a tier
+	// (exit's analogue of freeing swap slots).
+	if k.tiersEnabled() {
+		if n := k.tiers.RemovePID(pid); n > 0 {
+			tr.Atomic(k.lk.lru)
+			tr.ALU(uint32(30 * n)) // tier descriptor free per page
+		}
+	}
 	k.khuge.dropPID(pid)
 	// Pooled kernels harvest the dead process's page-table arenas now
 	// (scrubbed in Recycle), so its chunks seed the next process's
@@ -649,6 +699,12 @@ func (k *Kernel) teardownVMA(p *Process, v *VMA, tr *instrument.Tracer) {
 		delete(p.residentIdx, rp.VA)
 		rp.Dead = true
 	}
+	if k.tiersEnabled() {
+		if n := k.tiers.RemoveRange(p.PID, v.Start, v.End); n > 0 {
+			tr.Atomic(k.lk.lru)
+			tr.ALU(uint32(30 * n)) // tier descriptor free per page
+		}
+	}
 }
 
 // releaseFrame returns a frame to its owner (buddy or RestSeg).
@@ -729,5 +785,8 @@ func (k *Kernel) ResetStats() {
 	k.stats = Stats{}
 	for _, p := range k.procs {
 		p.Stat = Stats{}
+	}
+	if k.tiersEnabled() {
+		k.tiers.ResetStats()
 	}
 }

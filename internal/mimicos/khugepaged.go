@@ -131,6 +131,14 @@ func (kh *khugepaged) tryCollapse(p *Process, cand khugeCand, tr *instrument.Tra
 		}
 		e, ok := p.PT.Lookup(key)
 		if !ok {
+			// A hole that is actually a demoted slow-tier page makes the
+			// region ineligible: collapsing would zero-fill the hole and
+			// leave the tier copy to be promoted over the huge mapping.
+			if k.tiersEnabled() && k.tiers.Contains(p.PID, va) {
+				k.stats.CollapseAborts++
+				p.Stat.CollapseAborts++
+				return true
+			}
 			continue
 		}
 		if e.Swapped || e.Size != mem.Page4K {
@@ -195,7 +203,7 @@ func (kh *khugepaged) tryCollapse(p *Process, cand khugeCand, tr *instrument.Tra
 	}
 	vma.region4K[cand.key.region] = 0
 	p.RSS += 2 * mem.MB
-	p.addResident(residentPage{VA: regionBase, Size: mem.Page2M, Frame: huge})
+	p.addResident(residentPage{VA: regionBase, Size: mem.Page2M, Frame: huge, Heat: k.touchHeat(0)})
 	tr.ALU(160) // mmu_notifier, deferred split queue, stats
 	k.stats.Collapses++
 	p.Stat.Collapses++

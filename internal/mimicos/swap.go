@@ -163,7 +163,7 @@ func (k *Kernel) swapInFault(p *Process, vma *VMA, va mem.VAddr, key mem.VAddr, 
 	k.swap.freeSlot(e.SwapSlot)
 	p.dropSwapSlot(e.SwapSlot)
 	p.RSS += size.Bytes()
-	p.addResident(residentPage{VA: base, Size: size, Frame: frame, RestSeg: restseg})
+	p.addResident(residentPage{VA: base, Size: size, Frame: frame, RestSeg: restseg, Heat: k.touchHeat(0)})
 	k.stats.MajorFaults++
 	p.Stat.MajorFaults++
 	k.stats.SwapIns++

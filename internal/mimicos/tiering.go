@@ -1,0 +1,356 @@
+package mimicos
+
+import (
+	"repro/internal/instrument"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/tier"
+)
+
+// Tiered memory (ROADMAP item 4): when Config.Tiers lists slow tiers,
+// MimicOS threads them between DRAM and swap. Slow-tier pages are
+// unmapped — demotion removes the PTE, so the next access faults and the
+// fault handler consults the tier manager before the anonymous/file
+// paths. That fault is the promotion path (Linux's NUMA-hint-fault
+// promotion, imitated on the fault clock); reclaim under DRAM pressure
+// becomes tier-aware demotion with evictions cascading down the
+// hierarchy until the terminal swap tier absorbs them. All migration
+// time is charged to the simulated clock through the tracer: device
+// latency/bandwidth via Delay (so it shows up like swap I/O does) and
+// the kernel-side copy via CopyRange through a per-tier bounce buffer.
+
+// tiersEnabled reports whether slow tiers are configured.
+func (k *Kernel) tiersEnabled() bool { return k.tiers.Enabled() }
+
+// SetTierPolicy installs an out-of-module migration policy (engine hook
+// for registry-registered policies). Must precede the first fault.
+func (k *Kernel) SetTierPolicy(p tier.Policy) {
+	if k.tiers != nil {
+		k.tiers.SetPolicy(p)
+	}
+}
+
+// TierPolicy returns the active migration policy (nil without tiers).
+func (k *Kernel) TierPolicy() tier.Policy {
+	if k.tiers == nil {
+		return nil
+	}
+	return k.tiers.Policy()
+}
+
+// TierStats returns the per-tier counter snapshot (nil without tiers).
+func (k *Kernel) TierStats() []tier.Stats {
+	if !k.tiersEnabled() {
+		return nil
+	}
+	return k.tiers.Stats()
+}
+
+// TierPageCount returns the number of pages resident in slow tiers.
+func (k *Kernel) TierPageCount() int {
+	if !k.tiersEnabled() {
+		return 0
+	}
+	return k.tiers.PageCount()
+}
+
+// touchHeat is the policy Touch applied at fault-time mapping sites;
+// it returns zero heat when tiers are off so the flat configuration
+// stays byte-identical.
+func (k *Kernel) touchHeat(heat uint32) uint32 {
+	if !k.tiersEnabled() {
+		return 0
+	}
+	return k.tiers.Policy().Touch(heat)
+}
+
+// tierLookup finds the slow-tier record covering va, if any.
+func (k *Kernel) tierLookup(p *Process, va mem.VAddr) (tier.Page, int, bool) {
+	if !k.tiersEnabled() {
+		return tier.Page{}, 0, false
+	}
+	return k.tiers.Lookup(p.PID, va)
+}
+
+// reclaim frees DRAM above the watermark: tier-aware demotion when slow
+// tiers are configured, the classic direct-to-swap path otherwise.
+func (k *Kernel) reclaim(p *Process, tr *instrument.Tracer, now uint64) {
+	if k.tiersEnabled() {
+		k.tierReclaim(p, tr, now)
+		return
+	}
+	k.directReclaim(p, tr, now)
+}
+
+// tierPromoteFault services a fault on a slow-tier page: allocate a DRAM
+// frame, charge the tier read, copy the page up, and map it. This is the
+// hint-fault promotion path — the access itself is the hotness signal.
+func (k *Kernel) tierPromoteFault(p *Process, va mem.VAddr, key mem.VAddr, pg tier.Page, t int, tr *instrument.Tracer, now uint64) FaultOutcome {
+	exit := tr.Enter("tier_promote")
+	defer exit()
+	tr.Atomic(k.lk.lru)
+	tr.ALU(220) // hint-fault bookkeeping, migration target setup
+	tr.TouchObject(k.tierKaddr[t], 2, 0)
+
+	frame, ok := k.Phys.Alloc4K()
+	if !ok {
+		// DRAM full: demote something, then retry once.
+		k.tierReclaim(p, tr, now)
+		frame, ok = k.Phys.Alloc4K()
+		if !ok {
+			k.stats.SegvFaults++
+			p.Stat.SegvFaults++
+			return FaultOutcome{OK: false}
+		}
+	}
+
+	spec := k.tiers.Spec(t)
+	cost := spec.ReadCost(pg.Size.Bytes())
+	tr.Delay(cost)
+	k.tiers.AddReadCycles(t, cost)
+	k.stats.MigrationCycles += cost
+	p.Stat.MigrationCycles += cost
+	// Fill the frame through the tier bounce buffer.
+	tr.CopyRange(frame, k.tierKaddr[t], pg.Size.Bytes())
+
+	keyBase := key - (va - pg.VA)
+	tr.Atomic(k.lk.pt)
+	if err := p.PT.Insert(keyBase, pagetable.Entry{
+		Frame: frame, Size: pg.Size, Present: true, Writable: true, Accessed: true,
+	}, tr); err != nil {
+		k.Phys.Free(frame, pg.Size.Bytes()/(4*mem.KB))
+		k.stats.SegvFaults++
+		p.Stat.SegvFaults++
+		return FaultOutcome{OK: false}
+	}
+	k.tiers.Promote(p.PID, pg.VA)
+	p.RSS += pg.Size.Bytes()
+	p.addResident(residentPage{
+		VA: pg.VA, Size: pg.Size, Frame: frame,
+		Heat: k.tiers.Policy().Touch(pg.Heat),
+	})
+	k.stats.Promotions++
+	p.Stat.Promotions++
+	k.stats.MinorFaults++
+	p.Stat.MinorFaults++
+	k.stats.FaultsBySize[pg.Size]++
+	p.Stat.FaultsBySize[pg.Size]++
+	return FaultOutcome{OK: true, Frame: frame, Size: pg.Size}
+}
+
+// tierReclaim is the tier-aware replacement for directReclaim: cold 4K
+// pages demote into slow tiers (the policy picks how deep); huge pages
+// are not migrated — they keep the legacy direct swap-out, and only on
+// the desperate pass, since splitting is not modeled.
+func (k *Kernel) tierReclaim(p *Process, tr *instrument.Tracer, now uint64) {
+	if len(p.resident) == 0 {
+		return
+	}
+	exit := tr.Enter("tier_reclaim")
+	defer exit()
+	tr.Atomic(k.lk.lru)
+	tr.ALU(420) // shrink_lruvec scan setup
+	k.stats.ReclaimRuns++
+	p.Stat.ReclaimRuns++
+
+	pol := k.tiers.Policy()
+	const batch = 16
+	evicted := 0
+	for pass := 0; pass < 2 && evicted < batch; pass++ {
+		scanned := 0
+		for evicted < batch && scanned < 2*len(p.resident) {
+			if p.clockHand >= len(p.resident) {
+				p.clockHand = 0
+			}
+			idx := p.clockHand
+			p.clockHand++
+			scanned++
+			rp := p.resident[idx]
+			if rp.Dead || rp.RestSeg {
+				continue
+			}
+			tr.Load(k.lk.lru)
+			tr.ALU(18)
+			if rp.Size != mem.Page4K {
+				if pass > 0 && k.swapOutPage(p, rp.VA, rp.Size, tr, now, false) {
+					evicted++
+				}
+			} else if pass == 0 && !pol.Victim(rp.Heat, 0) {
+				// Spared: second chance, decay in place.
+				p.resident[idx].Heat = pol.Decay(rp.Heat)
+				continue
+			} else if k.demotePage(p, rp, tr, now) {
+				evicted++
+			}
+			if k.Phys.UsedFraction() < k.Cfg.SwapThreshold-0.02 {
+				return
+			}
+		}
+	}
+}
+
+// demotePage migrates one resident 4K page from DRAM into the slow tier
+// the policy selects, unmapping it so the next access promotes it back.
+func (k *Kernel) demotePage(p *Process, rp residentPage, tr *instrument.Tracer, now uint64) bool {
+	pol := k.tiers.Policy()
+	t := pol.DemoteTo(k.tiers.SlowTiers(), rp.Heat)
+	if t < 0 {
+		t = 0
+	}
+	if t >= k.tiers.SlowTiers() {
+		t = k.tiers.SlowTiers() - 1
+	}
+	if !k.tierMakeRoom(t, rp.Size.Bytes(), tr, now) {
+		// Hierarchy wedged (tiers and swap full): legacy direct swap-out.
+		return k.swapOutPage(p, rp.VA, rp.Size, tr, now, false)
+	}
+
+	exit := tr.Enter("tier_demote")
+	defer exit()
+	tr.Atomic(k.lk.lru)
+	tr.ALU(240) // try_to_unmap, migration descriptor setup
+	tr.TouchObject(k.tierKaddr[t], 1, 2)
+
+	key := k.keyForNoCharge(p, rp.VA)
+	if e, ok := p.PT.Lookup(key); !ok || !e.Present {
+		return false
+	}
+	spec := k.tiers.Spec(t)
+	cost := spec.WriteCost(rp.Size.Bytes())
+	tr.Delay(cost)
+	k.tiers.AddWriteCycles(t, cost)
+	k.stats.MigrationCycles += cost
+	p.Stat.MigrationCycles += cost
+	// Copy down through the tier bounce buffer.
+	tr.CopyRange(k.tierKaddr[t], rp.Frame, rp.Size.Bytes())
+
+	p.PT.Remove(key, tr)
+	k.notifyUnmap(p.PID, rp.VA, rp.Size)
+	tr.ALU(60) // TLB shootdown IPI bookkeeping
+	k.Phys.Free(rp.Frame, rp.Size.Bytes()/(4*mem.KB))
+	p.dropResident(rp.VA)
+	p.RSS -= rp.Size.Bytes()
+	k.tiers.Insert(t, tier.Page{
+		PID: p.PID, VA: rp.VA, Size: rp.Size, Heat: pol.Decay(rp.Heat),
+	})
+	k.stats.Demotions++
+	p.Stat.Demotions++
+	return true
+}
+
+// tierMakeRoom frees capacity in tier t for n more bytes, cascading
+// victims down the hierarchy (t+1, then t+2, ...) and into swap at the
+// terminal level. It returns false only when the whole hierarchy below
+// t is wedged (every deeper tier and the swap file full).
+func (k *Kernel) tierMakeRoom(t int, n uint64, tr *instrument.Tracer, now uint64) bool {
+	for !k.tiers.HasRoom(t, n) {
+		pg, ok := k.tiers.PickVictim(t)
+		if !ok {
+			return false
+		}
+		vp := k.procs[pg.PID]
+		if vp == nil {
+			// Orphan record (its process raced an exit); just drop it.
+			k.tiers.Evict(pg.PID, pg.VA)
+			continue
+		}
+		if t+1 < k.tiers.SlowTiers() {
+			if !k.tierMakeRoom(t+1, pg.Size.Bytes(), tr, now) {
+				// Deeper levels wedged: push this victim to swap instead.
+				if !k.swapOutTierPage(vp, pg, tr, now) {
+					return false
+				}
+				continue
+			}
+			exit := tr.Enter("tier_cascade")
+			tr.Atomic(k.lk.lru)
+			tr.ALU(160) // migration descriptor move between tier lists
+			src, dst := k.tiers.Spec(t), k.tiers.Spec(t+1)
+			rc := src.ReadCost(pg.Size.Bytes())
+			wc := dst.WriteCost(pg.Size.Bytes())
+			tr.Delay(rc + wc)
+			k.tiers.AddReadCycles(t, rc)
+			k.tiers.AddWriteCycles(t+1, wc)
+			k.stats.MigrationCycles += rc + wc
+			vp.Stat.MigrationCycles += rc + wc
+			tr.CopyRange(k.tierKaddr[t+1], k.tierKaddr[t], pg.Size.Bytes())
+			k.tiers.Evict(pg.PID, pg.VA)
+			k.tiers.Insert(t+1, pg)
+			exit()
+		} else if !k.swapOutTierPage(vp, pg, tr, now) {
+			return false
+		}
+	}
+	return true
+}
+
+// swapOutTierPage evicts a slow-tier page into the swap file — the
+// terminal step of the cascade. Unlike swapOutPage the page is already
+// unmapped (frame and RSS were released at demotion), so this installs a
+// fresh swap PTE rather than converting a present one.
+func (k *Kernel) swapOutTierPage(vp *Process, pg tier.Page, tr *instrument.Tracer, now uint64) bool {
+	exit := tr.Enter("swap_out")
+	defer exit()
+	tr.Atomic(k.lk.swap)
+	tr.ALU(240) // swap cache insert, writeback setup
+	tr.TouchObject(k.swap.kaddr, 2, 1)
+
+	slot, ok := k.swap.allocSlot()
+	if !ok {
+		return false
+	}
+	var dev uint64 = 1_015_000 // stand-in program latency (~350 µs)
+	if k.Disk != nil {
+		dev = k.Disk.Write(slot*4096, pg.Size.Bytes(), now)
+	}
+	tr.Delay(dev)
+	k.stats.SwapCycles += dev
+	vp.Stat.SwapCycles += dev
+	k.stats.SwapOuts++
+	vp.Stat.SwapOuts++
+
+	tr.Atomic(k.lk.pt)
+	if err := vp.PT.Insert(k.keyForNoCharge(vp, pg.VA), pagetable.Entry{
+		Size: pg.Size, Swapped: true, SwapSlot: slot,
+	}, tr); err != nil {
+		k.swap.freeSlot(slot)
+		return false
+	}
+	vp.noteSwapSlot(slot)
+	k.tiers.Evict(pg.PID, pg.VA)
+	return true
+}
+
+// tierSample imitates the access-bit sampling scan on the fault clock:
+// every TierScanEveryNFaults faults a window of the faulting process's
+// resident list is scanned and each page's heat decays (pages kept hot
+// by faults — mappings and promotions — out-earn the decay).
+func (k *Kernel) tierSample(p *Process, tr *instrument.Tracer) {
+	if len(p.resident) == 0 {
+		return
+	}
+	exit := tr.Enter("tier_scan")
+	defer exit()
+	tr.ALU(180) // scan control block, rmap locks
+	pol := k.tiers.Policy()
+	const window = 64
+	limit := window
+	if limit > len(p.resident) {
+		limit = len(p.resident)
+	}
+	for i := 0; i < limit; i++ {
+		if p.sampleHand >= len(p.resident) {
+			p.sampleHand = 0
+		}
+		rp := &p.resident[p.sampleHand]
+		p.sampleHand++
+		if i%8 == 0 {
+			tr.Load(k.lk.pt)
+			tr.ALU(12) // batched PTE access-bit read+clear
+		}
+		if rp.Dead {
+			continue
+		}
+		rp.Heat = pol.Decay(rp.Heat)
+	}
+}

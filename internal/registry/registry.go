@@ -22,6 +22,7 @@ import (
 	"repro/internal/mimicos"
 	"repro/internal/mmu"
 	"repro/internal/pagetable"
+	"repro/internal/tier"
 	"repro/internal/workloads"
 )
 
@@ -38,6 +39,9 @@ var (
 		"bd": true, "thp": true, "cr-thp": true, "ar-thp": true,
 		"utopia": true, "eager": true,
 	}
+	builtinTierPolicies = map[string]bool{
+		"hotcold": true, "clock": true,
+	}
 )
 
 // BuiltinDesign reports whether name is a built-in translation design.
@@ -45,6 +49,10 @@ func BuiltinDesign(name string) bool { return builtinDesigns[name] }
 
 // BuiltinPolicy reports whether name is a built-in allocation policy.
 func BuiltinPolicy(name string) bool { return builtinPolicies[name] }
+
+// BuiltinTierPolicy reports whether name is a built-in tier migration
+// policy.
+func BuiltinTierPolicy(name string) bool { return builtinTierPolicies[name] }
 
 // DesignEnv is what a registered translation-design constructor gets to
 // work with: one process's page table (custom designs usually resolve
@@ -61,10 +69,11 @@ type DesignEnv struct {
 }
 
 var (
-	mu       sync.RWMutex
-	policies = map[string]func() mimicos.AllocPolicy{}
-	designs  = map[string]func(DesignEnv) mmu.Design{}
-	loads    = map[string]func(workloads.Params) (*workloads.Workload, error){}
+	mu           sync.RWMutex
+	policies     = map[string]func() mimicos.AllocPolicy{}
+	tierPolicies = map[string]func() tier.Policy{}
+	designs      = map[string]func(DesignEnv) mmu.Design{}
+	loads        = map[string]func(workloads.Params) (*workloads.Workload, error){}
 )
 
 // validate applies the shared hygiene rules: a non-empty name, a
@@ -116,6 +125,39 @@ func PolicyNames() []string {
 	mu.RLock()
 	defer mu.RUnlock()
 	return sortedKeys(policies)
+}
+
+// RegisterTierPolicy registers a tier-migration-policy constructor
+// under name. The constructor runs once per simulated system (tier
+// policies can be stateful); the usual hygiene rules apply.
+func RegisterTierPolicy(name string, ctor func() tier.Policy) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if err := validate("tier policy", name, ctor, ctor == nil, BuiltinTierPolicy, tierPolicies); err != nil {
+		return err
+	}
+	tierPolicies[name] = ctor
+	return nil
+}
+
+// NewTierPolicy constructs a fresh instance of the registered tier
+// policy, or reports false for an unknown name.
+func NewTierPolicy(name string) (tier.Policy, bool) {
+	mu.RLock()
+	ctor, ok := tierPolicies[name]
+	mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return ctor(), true
+}
+
+// TierPolicyNames returns the registered (non-built-in) tier policy
+// names, sorted.
+func TierPolicyNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return sortedKeys(tierPolicies)
 }
 
 // RegisterDesign registers a translation-design constructor under name.
@@ -204,6 +246,7 @@ func reset() {
 	mu.Lock()
 	defer mu.Unlock()
 	policies = map[string]func() mimicos.AllocPolicy{}
+	tierPolicies = map[string]func() tier.Policy{}
 	designs = map[string]func(DesignEnv) mmu.Design{}
 	loads = map[string]func(workloads.Params) (*workloads.Workload, error){}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/registry"
+	"repro/internal/tier"
 	"repro/internal/trace"
 )
 
@@ -54,6 +55,38 @@ func KnownPolicies() []PolicyName {
 	}
 	return out
 }
+
+// KnownTierPolicies returns every selectable tier migration policy
+// name: the built-ins ("clock", "hotcold") followed by policies
+// registered through the public extension API (repro/ext), sorted
+// within each group.
+func KnownTierPolicies() []string {
+	out := tier.BuiltinNames()
+	return append(out, registry.TierPolicyNames()...)
+}
+
+// ParseTierPolicy validates a tier migration policy name: a built-in
+// or one registered through the extension API. The empty string is
+// valid and selects the default (TierPolicyHotCold) when tiers are
+// configured.
+func ParseTierPolicy(name string) (string, error) {
+	if name == "" {
+		return "", nil
+	}
+	for _, p := range KnownTierPolicies() {
+		if p == name {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("virtuoso: unknown tier policy %q (known: %v)", name, KnownTierPolicies())
+}
+
+// ValidateTierSpecs checks a slow-tier list the way Open and sweep-spec
+// parsing do: non-empty unique names (with "dram" and "swap" reserved
+// for the implicit fast and terminal tiers), at least one page of
+// capacity, and non-zero access latencies. A nil or empty list — flat
+// memory — is valid.
+func ValidateTierSpecs(specs []TierSpec) error { return tier.ValidateSpecs(specs) }
 
 // RegisteredWorkloads returns the names of workloads registered through
 // the public extension API (repro/ext), sorted. Catalog workloads are
@@ -136,6 +169,39 @@ func WithPolicy(p PolicyName) Option {
 			return err
 		}
 		s.cfg.Policy = p
+		return nil
+	}
+}
+
+// WithTiers configures a tiered physical memory hierarchy: DRAM plus
+// the given slow tiers in fall-back order, with the swap device (when
+// configured) as the implicit terminal tier. Cold pages demote down
+// the hierarchy under DRAM pressure; a fault on a slow-tier page is
+// the promotion hint that migrates it back to DRAM, with migration
+// cost charged to simulated time. Passing no specs restores flat
+// memory. The specs are validated here, so Open reports a bad
+// hierarchy before any simulation starts.
+func WithTiers(specs ...TierSpec) Option {
+	return func(s *openState) error {
+		if err := ValidateTierSpecs(specs); err != nil {
+			return err
+		}
+		s.cfg.OSCfg.Tiers = append([]TierSpec(nil), specs...)
+		return nil
+	}
+}
+
+// WithTierPolicy selects the tier migration policy — a built-in
+// (TierPolicyHotCold, TierPolicyClock) or one registered through the
+// extension API (repro/ext). It only has effect together with
+// WithTiers; Open rejects a policy set on a flat-memory config.
+func WithTierPolicy(name string) Option {
+	return func(s *openState) error {
+		p, err := ParseTierPolicy(name)
+		if err != nil {
+			return err
+		}
+		s.cfg.OSCfg.TierPolicy = p
 		return nil
 	}
 }

@@ -24,9 +24,13 @@ type Result struct {
 	Workload string     `json:"workload"`
 	Design   DesignName `json:"design"`
 	Policy   PolicyName `json:"policy"`
-	Mode     string     `json:"mode"`
-	Seed     uint64     `json:"seed"`
-	Metrics  Metrics    `json:"metrics"`
+	// TierPolicy echoes the tier migration policy of a tiered-memory
+	// point ("" for flat-memory points; the default policy name when
+	// tiers were configured without an explicit policy).
+	TierPolicy string  `json:"tier_policy,omitempty"`
+	Mode       string  `json:"mode"`
+	Seed       uint64  `json:"seed"`
+	Metrics    Metrics `json:"metrics"`
 	// Multi carries the per-process breakdown of a multiprogrammed
 	// point (Sweep.Mixes / Session.MultiResult); Metrics then echoes
 	// Multi.Aggregate. Nil for single-workload points.

@@ -24,7 +24,9 @@ func ParseShard(s string) (Shard, error) { return sweepjob.ParseShard(s) }
 // Result encoding, or simulation semantics change in a way that makes
 // old checkpoints unresumable — the hash change makes stale files fail
 // loudly instead of merging silently wrong data.
-const specVersion = 1
+// v2: tiered-memory subsystem — tier axes join the grid, and Result
+// encoding gained per-tier and swap-device counters.
+const specVersion = 2
 
 // SpecHash fingerprints everything that determines the sweep's points
 // and their results: the full base configuration, the grid axes,
@@ -43,17 +45,19 @@ const specVersion = 1
 // identifies their behaviour so incompatible runs hash apart.
 func (s *Sweep) SpecHash() string {
 	payload := struct {
-		Module      string         `json:"module"`
-		SpecVersion int            `json:"spec_version"`
-		Base        Config         `json:"base"`
-		Workloads   []string       `json:"workloads,omitempty"`
-		Mixes       [][]string     `json:"mixes,omitempty"`
-		Designs     []DesignName   `json:"designs,omitempty"`
-		Policies    []PolicyName   `json:"policies,omitempty"`
-		Seeds       []uint64       `json:"seeds,omitempty"`
-		Params      WorkloadParams `json:"params"`
-		Label       string         `json:"label,omitempty"`
-	}{"repro", specVersion, s.Base, s.Workloads, s.Mixes, s.Designs, s.Policies, s.Seeds, s.Params, s.Label}
+		Module       string         `json:"module"`
+		SpecVersion  int            `json:"spec_version"`
+		Base         Config         `json:"base"`
+		Workloads    []string       `json:"workloads,omitempty"`
+		Mixes        [][]string     `json:"mixes,omitempty"`
+		Designs      []DesignName   `json:"designs,omitempty"`
+		Policies     []PolicyName   `json:"policies,omitempty"`
+		TierSpecs    [][]TierSpec   `json:"tier_specs,omitempty"`
+		TierPolicies []string       `json:"tier_policies,omitempty"`
+		Seeds        []uint64       `json:"seeds,omitempty"`
+		Params       WorkloadParams `json:"params"`
+		Label        string         `json:"label,omitempty"`
+	}{"repro", specVersion, s.Base, s.Workloads, s.Mixes, s.Designs, s.Policies, s.TierSpecs, s.TierPolicies, s.Seeds, s.Params, s.Label}
 	b, err := json.Marshal(payload)
 	if err != nil {
 		// Config is plain data; this is reachable only through
@@ -97,6 +101,11 @@ func (s *Sweep) PointKey(p Point) (string, error) {
 	cfg.Design = p.Design
 	cfg.Policy = p.Policy
 	cfg.Seed = p.Seed
+	cfg.OSCfg.Tiers = p.Tiers
+	cfg.OSCfg.TierPolicy = p.TierPolicy
+	if len(cfg.OSCfg.Tiers) == 0 {
+		cfg.OSCfg.TierPolicy = "" // flat cells ignore the policy axis, as Run does
+	}
 	if s.Configure != nil {
 		if err := s.Configure(&cfg, p); err != nil {
 			return "", err
@@ -124,6 +133,13 @@ type SweepSpec struct {
 	Policies  []string   `json:"policies,omitempty"`
 	Seeds     []uint64   `json:"seeds,omitempty"`
 
+	// Tiered-memory axes (Sweep.TierSpecs / Sweep.TierPolicies). Each
+	// tier_specs entry is one slow-tier list; an explicit empty list is
+	// the flat configuration, so a spec can compare flat vs. tiered in
+	// one grid. Specs and policy names are validated here, not mid-run.
+	TierSpecs    [][]TierSpec `json:"tier_specs,omitempty"`
+	TierPolicies []string     `json:"tier_policies,omitempty"`
+
 	// Workload construction params (Sweep.Params). 0 keeps defaults.
 	Scale     float64 `json:"scale,omitempty"`
 	LongIters int     `json:"long_iters,omitempty"`
@@ -140,6 +156,14 @@ type SweepSpec struct {
 	Quantum       uint64   `json:"quantum_cycles,omitempty"`
 	CtxSwitchCost uint64   `json:"ctx_switch_cycles,omitempty"`
 	ASIDRetention bool     `json:"asid_retention,omitempty"`
+
+	// Memory sizing overrides, for consolidation/pressure scenarios
+	// (undersized DRAM spilling into slow tiers or swap). PhysBytes and
+	// SwapBytes are in bytes; SwapThreshold is the reclaim watermark as
+	// a used fraction of DRAM. Zero/nil keep the base defaults.
+	PhysBytes     uint64   `json:"phys_bytes,omitempty"`
+	SwapBytes     uint64   `json:"swap_bytes,omitempty"`
+	SwapThreshold *float64 `json:"swap_threshold,omitempty"`
 
 	// Execution knobs. Shard ("i/N"), Parallel, and Cache do not affect
 	// results or the spec hash; Label salts the hash (see Sweep.Label).
@@ -201,6 +225,18 @@ func (sp *SweepSpec) Sweep() (*Sweep, error) {
 		base.CtxSwitchCycles = sp.CtxSwitchCost
 	}
 	base.ASIDRetention = sp.ASIDRetention
+	if sp.PhysBytes != 0 {
+		base.OSCfg.PhysBytes = sp.PhysBytes
+	}
+	if sp.SwapBytes != 0 {
+		base.OSCfg.SwapBytes = sp.SwapBytes
+	}
+	if sp.SwapThreshold != nil {
+		if *sp.SwapThreshold <= 0 || *sp.SwapThreshold > 1 {
+			return nil, fmt.Errorf("virtuoso: spec swap_threshold %v out of range (0, 1]", *sp.SwapThreshold)
+		}
+		base.OSCfg.SwapThreshold = *sp.SwapThreshold
+	}
 
 	var designs []DesignName
 	for _, d := range sp.Designs {
@@ -218,23 +254,41 @@ func (sp *SweepSpec) Sweep() (*Sweep, error) {
 		}
 		policies = append(policies, pn)
 	}
+	for i, specs := range sp.TierSpecs {
+		if err := ValidateTierSpecs(specs); err != nil {
+			return nil, fmt.Errorf("virtuoso: spec tier_specs[%d]: %w", i, err)
+		}
+	}
+	var tierPolicies []string
+	for _, tp := range sp.TierPolicies {
+		name, err := ParseTierPolicy(tp)
+		if err != nil {
+			return nil, err
+		}
+		tierPolicies = append(tierPolicies, name)
+	}
+	if len(tierPolicies) > 0 && len(sp.TierSpecs) == 0 && len(base.OSCfg.Tiers) == 0 {
+		return nil, fmt.Errorf("virtuoso: sweep spec sets tier_policies without tier_specs")
+	}
 	shard, err := ParseShard(sp.Shard)
 	if err != nil {
 		return nil, err
 	}
 
 	s := &Sweep{
-		Base:      base,
-		Workloads: sp.Workloads,
-		Mixes:     sp.Mixes,
-		Designs:   designs,
-		Policies:  policies,
-		Seeds:     sp.Seeds,
-		Params:    WorkloadParams{Scale: sp.Scale, LongIters: sp.LongIters},
-		Parallel:  sp.Parallel,
-		Shard:     shard,
-		Cache:     sp.Cache,
-		Label:     sp.Label,
+		Base:         base,
+		Workloads:    sp.Workloads,
+		Mixes:        sp.Mixes,
+		Designs:      designs,
+		Policies:     policies,
+		TierSpecs:    sp.TierSpecs,
+		TierPolicies: tierPolicies,
+		Seeds:        sp.Seeds,
+		Params:       WorkloadParams{Scale: sp.Scale, LongIters: sp.LongIters},
+		Parallel:     sp.Parallel,
+		Shard:        shard,
+		Cache:        sp.Cache,
+		Label:        sp.Label,
 	}
 	if len(s.Workloads) == 0 && len(s.Mixes) == 0 {
 		return nil, fmt.Errorf("virtuoso: sweep spec selects no workloads or mixes")

@@ -26,6 +26,11 @@ type Point struct {
 	// (Sweep.Mixes); Workload is then the "+"-joined mix name. Nil for
 	// single-workload points.
 	Mix []string
+	// Tiers / TierPolicy are the point's tiered-memory cell
+	// (Sweep.TierSpecs / Sweep.TierPolicies). Nil/empty means the base
+	// configuration's values.
+	Tiers      []TierSpec
+	TierPolicy string
 }
 
 // SweepEvent reports one finished point to a progress callback.
@@ -80,6 +85,17 @@ type Sweep struct {
 	// Workloads entries on the same axis, so a sweep can compare
 	// single-process and multiprogrammed points in one grid.
 	Mixes [][]string
+
+	// TierSpecs is the tiered-memory configuration axis: each entry is
+	// one slow-tier list (nil = flat DRAM + swap), applied to the
+	// point's Config.OSCfg.Tiers. TierPolicies is the migration-policy
+	// axis over built-in and ext-registered names. Empty axes default
+	// to the base configuration's values, like Designs/Policies. Flat
+	// entries ignore the policy axis (a migration policy is meaningless
+	// without tiers), so a grid mixing flat and tiered cells with N
+	// policies runs the flat cell N identical times.
+	TierSpecs    [][]TierSpec
+	TierPolicies []string
 
 	// Params configures catalog workload construction (footprint scale,
 	// long-running iteration count) for every point. It is threaded
@@ -190,6 +206,14 @@ func (s *Sweep) Points() []Point {
 	if len(seeds) == 0 {
 		seeds = []uint64{s.Base.Seed}
 	}
+	tierSpecs := s.TierSpecs
+	if len(tierSpecs) == 0 {
+		tierSpecs = [][]TierSpec{s.Base.OSCfg.Tiers}
+	}
+	tierPolicies := s.TierPolicies
+	if len(tierPolicies) == 0 {
+		tierPolicies = []string{s.Base.OSCfg.TierPolicy}
+	}
 	type wl struct {
 		name string
 		mix  []string
@@ -201,15 +225,19 @@ func (s *Sweep) Points() []Point {
 	for _, mix := range s.Mixes {
 		axis = append(axis, wl{name: core.MixName(mix), mix: mix})
 	}
-	pts := make([]Point, 0, len(axis)*len(designs)*len(policies)*len(seeds))
+	pts := make([]Point, 0, len(axis)*len(designs)*len(policies)*len(tierSpecs)*len(tierPolicies)*len(seeds))
 	for _, w := range axis {
 		for _, d := range designs {
 			for _, p := range policies {
-				for _, seed := range seeds {
-					pts = append(pts, Point{
-						Index: len(pts), Workload: w.name, Mix: w.mix,
-						Design: d, Policy: p, Seed: seed,
-					})
+				for _, ts := range tierSpecs {
+					for _, tp := range tierPolicies {
+						for _, seed := range seeds {
+							pts = append(pts, Point{
+								Index: len(pts), Workload: w.name, Mix: w.mix,
+								Design: d, Policy: p, Tiers: ts, TierPolicy: tp, Seed: seed,
+							})
+						}
+					}
 				}
 			}
 		}
@@ -303,6 +331,14 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 		cfg.Design = p.Design
 		cfg.Policy = p.Policy
 		cfg.Seed = p.Seed
+		cfg.OSCfg.Tiers = p.Tiers
+		cfg.OSCfg.TierPolicy = p.TierPolicy
+		if len(cfg.OSCfg.Tiers) == 0 {
+			// A flat cell of the tier axis ignores the policy axis: a
+			// migration policy is meaningless without tiers, and leaving
+			// it set would fail engine validation.
+			cfg.OSCfg.TierPolicy = ""
+		}
 		if s.Configure != nil {
 			if err := s.Configure(&cfg, p); err != nil {
 				return nil, fmt.Errorf("virtuoso: point %d (%s/%s/%s): %w", p.Index, p.Workload, p.Design, p.Policy, err)
@@ -474,15 +510,29 @@ func (s *Sweep) Run(ctx context.Context) (*Report, error) {
 // Configure hook may have overridden design, policy, or seed.
 func buildResult(p Point, cfg Config, out runner.Outcome) Result {
 	return Result{
-		Index:    p.Index,
-		Workload: p.Workload,
-		Design:   cfg.Design,
-		Policy:   cfg.Policy,
-		Mode:     cfg.Mode.String(),
-		Seed:     cfg.Seed,
-		Metrics:  out.Metrics,
-		Multi:    out.Multi,
+		Index:      p.Index,
+		Workload:   p.Workload,
+		Design:     cfg.Design,
+		Policy:     cfg.Policy,
+		TierPolicy: tierPolicyEcho(cfg),
+		Mode:       cfg.Mode.String(),
+		Seed:       cfg.Seed,
+		Metrics:    out.Metrics,
+		Multi:      out.Multi,
 	}
+}
+
+// tierPolicyEcho names the migration policy a config would run with —
+// empty for flat configs, the default name when tiers are set without
+// an explicit policy.
+func tierPolicyEcho(cfg Config) string {
+	if len(cfg.OSCfg.Tiers) == 0 {
+		return ""
+	}
+	if cfg.OSCfg.TierPolicy == "" {
+		return TierPolicyHotCold
+	}
+	return cfg.OSCfg.TierPolicy
 }
 
 // workloadFactory returns the per-point workload constructor, deferring

@@ -1,0 +1,273 @@
+package virtuoso_test
+
+// Determinism and surface tests for the tiered-memory subsystem: the
+// tier axes sweep like any other axis, tiered points are byte-identical
+// across fresh, pooled, and parallel execution, and the per-tier /
+// swap-device counters reach the public Result.
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	virtuoso "repro"
+)
+
+// tierSweepSpecs is the 2-tier hierarchy the determinism grid sweeps:
+// a CXL-like near tier over an NVM-like far tier.
+func tierSweepSpecs() [][]virtuoso.TierSpec {
+	cxl := virtuoso.TierSpec{Name: "cxl", Bytes: 64 << 20, ReadLat: 600, WriteLat: 900, BytesPerCycle: 8}
+	nvm := virtuoso.TierSpec{Name: "nvm", Bytes: 128 << 20, ReadLat: 2500, WriteLat: 8000, BytesPerCycle: 2}
+	return [][]virtuoso.TierSpec{
+		{cxl},
+		{cxl, nvm},
+	}
+}
+
+// tierSweep is the determinism grid: 2 workloads × {1-tier, 2-tier} ×
+// {hotcold, clock} = 8 points, under enough DRAM pressure that pages
+// actually migrate.
+func tierSweep() *virtuoso.Sweep {
+	base := virtuoso.ScaledConfig()
+	base.MaxAppInsts = 400_000
+	// Buddy keeps the pages 4K (and so migratable); 12MB of DRAM puts
+	// the 0.05-scale footprints well past the 50% watermark.
+	base.Policy = virtuoso.PolicyBuddy
+	base.OSCfg.PhysBytes = 12 << 20
+	base.OSCfg.SwapBytes = 512 << 20
+	base.OSCfg.SwapThreshold = 0.5
+	return &virtuoso.Sweep{
+		Base:         base,
+		Workloads:    []string{"BFS", "RND"},
+		TierSpecs:    tierSweepSpecs(),
+		TierPolicies: []string{virtuoso.TierPolicyHotCold, virtuoso.TierPolicyClock},
+		Seeds:        []uint64{1},
+		Params:       virtuoso.WorkloadParams{Scale: 0.05},
+		Parallel:     4,
+	}
+}
+
+// TestTierDeterminism proves the tiered-memory paths hold the repo's
+// determinism contract: the same tier grid run fresh-sequential,
+// pooled-sequential, and pooled-parallel yields byte-identical
+// CanonicalJSON reports.
+func TestTierDeterminism(t *testing.T) {
+	const points = 8
+
+	fresh := tierSweep()
+	fresh.NoReuse = true
+	fresh.Parallel = 1
+	freshRep, err := fresh.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(freshRep.Results) != points {
+		t.Fatalf("fresh run: %d results, want %d", len(freshRep.Results), points)
+	}
+
+	pooled := tierSweep()
+	pooled.Parallel = 1
+	pooledRep, err := pooled.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := tierSweep()
+	parRep, err := par.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	freshJSON := canonicalReport(t, freshRep)
+	pooledJSON := canonicalReport(t, pooledRep)
+	parJSON := canonicalReport(t, parRep)
+	if !bytes.Equal(pooledJSON, freshJSON) {
+		diffReports(t, pooledJSON, freshJSON)
+	}
+	if !bytes.Equal(parJSON, freshJSON) {
+		diffReports(t, parJSON, freshJSON)
+	}
+
+	// The grid must actually exercise migration, or the equivalence is
+	// vacuous — and the tier counters must surface in the public Result.
+	var demotions, promotions uint64
+	for _, r := range freshRep.Results {
+		if r.TierPolicy != virtuoso.TierPolicyHotCold && r.TierPolicy != virtuoso.TierPolicyClock {
+			t.Fatalf("point %d echoes tier policy %q", r.Index, r.TierPolicy)
+		}
+		if len(r.Metrics.Tiers) == 0 {
+			t.Fatalf("point %d has no per-tier counters", r.Index)
+		}
+		for _, ts := range r.Metrics.Tiers {
+			if ts.Name != "cxl" && ts.Name != "nvm" {
+				t.Fatalf("point %d reports unknown tier %q", r.Index, ts.Name)
+			}
+		}
+		demotions += r.Metrics.OS.Demotions
+		promotions += r.Metrics.OS.Promotions
+	}
+	if demotions == 0 || promotions == 0 {
+		t.Fatalf("grid exercised no migration: demotions=%d promotions=%d", demotions, promotions)
+	}
+}
+
+// TestTierSweepSpecRoundTrip drives the same tier grid through the
+// declarative JSON spec path (`virtuoso sweep run -spec`) and checks
+// validation rejects bad hierarchies and unknown policies loudly.
+func TestTierSweepSpecRoundTrip(t *testing.T) {
+	spec := []byte(`{
+		"workloads": ["RND"],
+		"tier_specs": [[{"name": "cxl", "bytes": 67108864, "read_lat": 600, "write_lat": 900}]],
+		"tier_policies": ["clock"],
+		"scale": 0.05
+	}`)
+	sp, err := virtuoso.ParseSweepSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := sp.Sweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := sw.Points()
+	if len(pts) != 1 || len(pts[0].Tiers) != 1 || pts[0].TierPolicy != "clock" {
+		t.Fatalf("spec expanded to %+v", pts)
+	}
+
+	bad := []struct {
+		name, body, want string
+	}{
+		{"zero capacity", `{"workloads":["RND"],"tier_specs":[[{"name":"cxl","read_lat":1,"write_lat":1}]]}`, "zero capacity"},
+		{"zero latency", `{"workloads":["RND"],"tier_specs":[[{"name":"cxl","bytes":4096,"write_lat":1}]]}`, "zero read latency"},
+		{"duplicate name", `{"workloads":["RND"],"tier_specs":[[{"name":"cxl","bytes":4096,"read_lat":1,"write_lat":1},{"name":"cxl","bytes":4096,"read_lat":1,"write_lat":1}]]}`, "duplicate"},
+		{"reserved swap", `{"workloads":["RND"],"tier_specs":[[{"name":"swap","bytes":4096,"read_lat":1,"write_lat":1}]]}`, "reserved"},
+		{"unknown policy", `{"workloads":["RND"],"tier_specs":[[{"name":"cxl","bytes":4096,"read_lat":1,"write_lat":1}]],"tier_policies":["lru-misspelt"]}`, "unknown tier policy"},
+		{"policy without tiers", `{"workloads":["RND"],"tier_policies":["clock"]}`, "without tier_specs"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			sp, err := virtuoso.ParseSweepSpec([]byte(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sp.Sweep(); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTierOpenValidation pins the Open-time loud-failure contract for
+// tier misconfiguration.
+func TestTierOpenValidation(t *testing.T) {
+	good := virtuoso.TierSpec{Name: "cxl", Bytes: 64 << 20, ReadLat: 600, WriteLat: 900}
+	if _, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("RND"),
+		virtuoso.WithTiers(good),
+		virtuoso.WithTierPolicy(virtuoso.TierPolicyClock),
+	); err != nil {
+		t.Fatalf("valid tier config rejected: %v", err)
+	}
+
+	if _, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("RND"),
+		virtuoso.WithTiers(virtuoso.TierSpec{Name: "cxl", ReadLat: 1, WriteLat: 1}),
+	); err == nil || !strings.Contains(err.Error(), "zero capacity") {
+		t.Fatalf("zero-capacity tier: %v", err)
+	}
+	if _, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("RND"),
+		virtuoso.WithTierPolicy("nope"),
+	); err == nil || !strings.Contains(err.Error(), "unknown tier policy") {
+		t.Fatalf("unknown policy: %v", err)
+	}
+	// A policy on a flat config is rejected by the engine, not silently
+	// ignored.
+	if _, err := virtuoso.Open(
+		virtuoso.WithScaledConfig(),
+		virtuoso.WithWorkload("RND"),
+		virtuoso.WithTierPolicy(virtuoso.TierPolicyClock),
+	); err == nil || !strings.Contains(err.Error(), "without any tiers") {
+		t.Fatalf("policy without tiers: %v", err)
+	}
+}
+
+// TestTierFastPathEquivalence runs a tier configuration under real DRAM
+// pressure on both the batched fast lane and the per-instruction
+// reference loop: the migration paths (demote, cascade, promote,
+// sampling scans) must be byte-identical across the two. This is the
+// pressured complement of the tiered TestFastPathEquivalence matrix
+// row, which runs without memory pressure.
+func TestTierFastPathEquivalence(t *testing.T) {
+	run := func(ref bool) []byte {
+		cfg := virtuoso.ScaledConfig()
+		cfg.MaxAppInsts = 400_000
+		cfg.Policy = virtuoso.PolicyBuddy
+		cfg.ReferencePath = ref
+		cfg.OSCfg.PhysBytes = 12 << 20
+		cfg.OSCfg.SwapBytes = 512 << 20
+		cfg.OSCfg.SwapThreshold = 0.5
+		cfg.OSCfg.Tiers = tierSweepSpecs()[1]
+		sess, err := virtuoso.Open(
+			virtuoso.WithConfig(cfg),
+			virtuoso.WithWorkload("RND"),
+			virtuoso.WithWorkloadScale(0.05),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.OS.Demotions == 0 {
+			t.Fatal("equivalence run exercised no migration; test is vacuous")
+		}
+		rep := &virtuoso.Report{Results: []virtuoso.Result{sess.Result(m)}, Points: 1}
+		data, err := rep.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	diffReports(t, run(false), run(true))
+}
+
+// TestTierSessionSurface checks a tiered single session end to end:
+// migrations happen, the tier and swap-device counters surface in
+// Metrics, and the Result echoes the policy.
+func TestTierSessionSurface(t *testing.T) {
+	cfg := virtuoso.ScaledConfig()
+	cfg.MaxAppInsts = 400_000
+	cfg.Policy = virtuoso.PolicyBuddy
+	cfg.OSCfg.PhysBytes = 12 << 20
+	cfg.OSCfg.SwapBytes = 512 << 20
+	cfg.OSCfg.SwapThreshold = 0.5
+	cfg.OSCfg.Tiers = tierSweepSpecs()[0]
+	sess, err := virtuoso.Open(
+		virtuoso.WithConfig(cfg),
+		virtuoso.WithWorkload("RND"),
+		virtuoso.WithWorkloadScale(0.05),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OS.Demotions == 0 {
+		t.Fatal("no demotions under pressure")
+	}
+	if len(m.Tiers) != 1 || m.Tiers[0].Name != "cxl" || m.Tiers[0].PagesIn == 0 {
+		t.Fatalf("tier counters: %+v", m.Tiers)
+	}
+	res := sess.Result(m)
+	if res.TierPolicy != virtuoso.TierPolicyHotCold {
+		t.Fatalf("result echoes tier policy %q, want default %q", res.TierPolicy, virtuoso.TierPolicyHotCold)
+	}
+}

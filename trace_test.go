@@ -67,8 +67,8 @@ func TestReplayDeterminism(t *testing.T) {
 		name  string
 		ropts []virtuoso.RecordOption
 	}{
-		{"bfs.trc", nil},                                                // v2 (default)
-		{"bfs1.trc", []virtuoso.RecordOption{virtuoso.RecordFormatV1()}}, // v1 plain
+		{"bfs.trc", nil}, // v2 (default)
+		{"bfs1.trc", []virtuoso.RecordOption{virtuoso.RecordFormatV1()}},    // v1 plain
 		{"bfs1.trc.gz", []virtuoso.RecordOption{virtuoso.RecordFormatV1()}}, // v1 gzip envelope
 	}
 	for _, rc := range recordings {

@@ -100,6 +100,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/mimicos"
 	"repro/internal/registry"
+	"repro/internal/tier"
 	"repro/internal/workloads"
 )
 
@@ -140,6 +141,12 @@ type (
 	Snapshot = core.Snapshot
 	// UtopiaSegSpec configures one Utopia RestSeg (Config.UtopiaSegs).
 	UtopiaSegSpec = core.UtopiaSegSpec
+	// TierSpec describes one slow memory tier (capacity, latencies,
+	// bandwidth) of a tiered-memory hierarchy (see WithTiers).
+	TierSpec = tier.Spec
+	// TierStats is one tier's migration and occupancy counters
+	// (Metrics.Tiers).
+	TierStats = tier.Stats
 )
 
 // Observer receives streaming interval snapshots during a run (see
@@ -224,6 +231,17 @@ const (
 	// PolicyEager is eager paging: allocate whole ranges at mmap time
 	// (the RMM design's companion policy).
 	PolicyEager = core.PolicyEager
+)
+
+// Tier migration policies (tiered-memory hierarchies, see WithTiers).
+const (
+	// TierPolicyHotCold is the default multi-bit-heat policy: pages warm
+	// up in steps on access, cool by halving on scan, and demotion depth
+	// depends on remaining heat.
+	TierPolicyHotCold = tier.PolicyHotCold
+	// TierPolicyClock is a one-bit referenced/not-referenced policy
+	// approximating Linux's active/inactive LRU split.
+	TierPolicyClock = tier.PolicyClock
 )
 
 // DefaultConfig returns the paper's Table 4 Virtuoso+Sniper system.
@@ -392,12 +410,13 @@ func (s *Session) RunMultiContext(ctx context.Context) (MultiMetrics, error) {
 // reports — so key downstream tooling on Result.Key(), not Index.
 func (s *Session) Result(m Metrics) Result {
 	return Result{
-		Workload: s.w.Name(),
-		Design:   s.cfg.Design,
-		Policy:   s.cfg.Policy,
-		Mode:     s.cfg.Mode.String(),
-		Seed:     s.cfg.Seed,
-		Metrics:  m,
+		Workload:   s.w.Name(),
+		Design:     s.cfg.Design,
+		Policy:     s.cfg.Policy,
+		TierPolicy: tierPolicyEcho(s.cfg),
+		Mode:       s.cfg.Mode.String(),
+		Seed:       s.cfg.Seed,
+		Metrics:    m,
 	}
 }
 
@@ -408,13 +427,14 @@ func (s *Session) Result(m Metrics) Result {
 // byte-comparable.
 func (s *Session) MultiResult(mm MultiMetrics) Result {
 	return Result{
-		Workload: core.MixName(mm.Mix),
-		Design:   s.cfg.Design,
-		Policy:   s.cfg.Policy,
-		Mode:     s.cfg.Mode.String(),
-		Seed:     s.cfg.Seed,
-		Metrics:  mm.Aggregate,
-		Multi:    &mm,
+		Workload:   core.MixName(mm.Mix),
+		Design:     s.cfg.Design,
+		Policy:     s.cfg.Policy,
+		TierPolicy: tierPolicyEcho(s.cfg),
+		Mode:       s.cfg.Mode.String(),
+		Seed:       s.cfg.Seed,
+		Metrics:    mm.Aggregate,
+		Multi:      &mm,
 	}
 }
 
